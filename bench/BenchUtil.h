@@ -1,0 +1,132 @@
+//===- bench/BenchUtil.h - shared helpers for the experiment harness ------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure bench binaries: compile/recompile
+/// wrappers over the update-case table and cycle measurement via the
+/// simulator. Benches print tables to stdout (they are reporting tools, so
+/// the no-iostream library rule does not apply to them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_BENCH_BENCHUTIL_H
+#define UCC_BENCH_BENCHUTIL_H
+
+#include "core/Compiler.h"
+#include "sim/Simulator.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace uccbench {
+
+/// Compiles or dies (benches have no recovery story).
+inline ucc::CompileOutput compileOrDie(const std::string &Source,
+                                       const ucc::CompileOptions &Opts) {
+  ucc::DiagnosticEngine Diag;
+  auto Out = ucc::Compiler::compile(Source, Opts, Diag);
+  if (!Out) {
+    std::fprintf(stderr, "bench: compilation failed:\n%s", Diag.str().c_str());
+    std::exit(1);
+  }
+  return std::move(*Out);
+}
+
+inline ucc::CompileOutput recompileOrDie(const std::string &Source,
+                                         const ucc::CompilationRecord &Old,
+                                         const ucc::CompileOptions &Opts) {
+  ucc::DiagnosticEngine Diag;
+  auto Out = ucc::Compiler::recompile(Source, Old, Opts, Diag);
+  if (!Out) {
+    std::fprintf(stderr, "bench: recompilation failed:\n%s",
+                 Diag.str().c_str());
+    std::exit(1);
+  }
+  return std::move(*Out);
+}
+
+/// Baseline (update-oblivious) options: GCC-RA + GCC-DA.
+inline ucc::CompileOptions baselineOptions() {
+  ucc::CompileOptions Opts;
+  Opts.RA = ucc::RegAllocKind::Baseline;
+  Opts.DA = ucc::DataAllocKind::BaselineHash;
+  return Opts;
+}
+
+/// Update-conscious options: UCC-RA + UCC-DA.
+inline ucc::CompileOptions uccOptions(double Cnt = 1000.0) {
+  ucc::CompileOptions Opts;
+  Opts.RA = ucc::RegAllocKind::UpdateConscious;
+  Opts.DA = ucc::DataAllocKind::UpdateConscious;
+  Opts.Ucc.Cnt = Cnt;
+  return Opts;
+}
+
+/// Cycles for a single run of an image (dies on trap).
+inline uint64_t cyclesFor(const ucc::BinaryImage &Img) {
+  ucc::SimOptions Opts;
+  Opts.MaxSteps = 50'000'000;
+  ucc::RunResult R = ucc::runImage(Img, Opts);
+  if (R.Trapped) {
+    std::fprintf(stderr, "bench: simulation trapped: %s\n",
+                 R.TrapReason.c_str());
+    std::exit(1);
+  }
+  return R.Cycles;
+}
+
+/// One evaluated update: both compilers applied to the same case.
+struct CaseResult {
+  const ucc::UpdateCase *Case = nullptr;
+  int DiffInstBaseline = 0;
+  int DiffInstUcc = 0;
+  int64_t DiffCycleBaseline = 0;
+  int64_t DiffCycleUcc = 0;
+  size_t ScriptBytesBaseline = 0;
+  size_t ScriptBytesUcc = 0;
+  int ReusedBaseline = 0;
+  int ReusedUcc = 0;
+  int InsertedMovs = 0;
+};
+
+/// Runs one update case under both compilers.
+inline CaseResult evaluateCase(const ucc::UpdateCase &Case,
+                               double Cnt = 1000.0) {
+  CaseResult R;
+  R.Case = &Case;
+
+  ucc::CompileOutput V1 = compileOrDie(Case.OldSource, baselineOptions());
+  uint64_t OldCycles = cyclesFor(V1.Image);
+
+  ucc::CompileOutput VBase =
+      recompileOrDie(Case.NewSource, V1.Record, baselineOptions());
+  ucc::CompileOutput VUcc =
+      recompileOrDie(Case.NewSource, V1.Record, uccOptions(Cnt));
+
+  ucc::ImageDiff DBase = ucc::diffImages(V1.Image, VBase.Image);
+  ucc::ImageDiff DUcc = ucc::diffImages(V1.Image, VUcc.Image);
+  R.DiffInstBaseline = DBase.totalDiffInst();
+  R.DiffInstUcc = DUcc.totalDiffInst();
+  R.ReusedBaseline = DBase.totalMatched();
+  R.ReusedUcc = DUcc.totalMatched();
+
+  R.DiffCycleBaseline = static_cast<int64_t>(cyclesFor(VBase.Image)) -
+                        static_cast<int64_t>(OldCycles);
+  R.DiffCycleUcc = static_cast<int64_t>(cyclesFor(VUcc.Image)) -
+                   static_cast<int64_t>(OldCycles);
+
+  R.ScriptBytesBaseline =
+      ucc::makeImageUpdate(V1.Image, VBase.Image).scriptBytes();
+  R.ScriptBytesUcc = ucc::makeImageUpdate(V1.Image, VUcc.Image).scriptBytes();
+  for (const ucc::UccAllocStats &S : VUcc.RegAllocStats)
+    R.InsertedMovs += S.InsertedMovs;
+  return R;
+}
+
+} // namespace uccbench
+
+#endif // UCC_BENCH_BENCHUTIL_H

@@ -1,0 +1,88 @@
+//===- bench/SyntheticWindows.h - window generator for Figs. 13-15 --------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates synthetic allocation windows ("changed chunks") of controlled
+/// size for the solver-scaling experiments (Figs. 13-15) and the
+/// preferred-tag ablation of section 5.6. The generated code has the shape
+/// of straight-line compute: each statement defines a variable from one or
+/// two previously defined ones; a configurable fraction of statements is
+/// unchanged and carries preferred-register tags.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_BENCH_SYNTHETICWINDOWS_H
+#define UCC_BENCH_SYNTHETICWINDOWS_H
+
+#include "regalloc/UccIlpModel.h"
+#include "support/RNG.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace uccbench {
+
+enum class TagMode {
+  Good,       ///< consistent, achievable preferred registers
+  None,       ///< no tags at all (allocate from scratch)
+  Misleading  ///< random tags (the paper's adversarial experiment)
+};
+
+inline ucc::WindowSpec makeSyntheticWindow(int NumStmts, int NumVars,
+                                           int NumRegs, TagMode Mode,
+                                           uint64_t Seed) {
+  ucc::RNG Rng(Seed);
+  ucc::WindowSpec Spec;
+  Spec.NumVars = NumVars;
+  Spec.NumRegs = NumRegs;
+  Spec.EntryReg.assign(static_cast<size_t>(NumVars), -1);
+  Spec.ExitReg.assign(static_cast<size_t>(NumVars), -1);
+  Spec.LiveOut.assign(static_cast<size_t>(NumVars), false);
+
+  // A consistent register plan used for Good tags (round-robin is always
+  // achievable when NumVars <= NumRegs; otherwise tags overlap, which is
+  // realistic for pressured chunks).
+  auto goodReg = [&](int Var) { return Var % NumRegs; };
+
+  std::vector<bool> Defined(static_cast<size_t>(NumVars), false);
+  for (int S = 0; S < NumStmts; ++S) {
+    ucc::WindowInstr I;
+    I.Freq = 1.0 + static_cast<double>(Rng.below(8));
+    // Draw the changed flag unconditionally so every TagMode sees the
+    // same program structure for a given seed.
+    bool Changed = Rng.chance(2, 5);
+    I.Changed = Mode == TagMode::None || Changed;
+    int Def = static_cast<int>(Rng.below(static_cast<uint64_t>(NumVars)));
+    I.Def = Def;
+    // Use one or two already-defined variables.
+    int NumUses = static_cast<int>(Rng.range(0, 2));
+    for (int U = 0; U < NumUses; ++U) {
+      int Var = static_cast<int>(Rng.below(static_cast<uint64_t>(NumVars)));
+      if (!Defined[static_cast<size_t>(Var)])
+        continue;
+      I.Uses.push_back(Var);
+      int Pref = -1;
+      if (!I.Changed && Mode == TagMode::Good)
+        Pref = goodReg(Var);
+      else if (!I.Changed && Mode == TagMode::Misleading)
+        Pref = static_cast<int>(
+            Rng.below(static_cast<uint64_t>(NumRegs)));
+      I.UsePref.push_back(Pref);
+    }
+    if (!I.Changed && Mode == TagMode::Good)
+      I.DefPref = goodReg(Def);
+    else if (!I.Changed && Mode == TagMode::Misleading)
+      I.DefPref =
+          static_cast<int>(Rng.below(static_cast<uint64_t>(NumRegs)));
+    Defined[static_cast<size_t>(Def)] = true;
+    Spec.Instrs.push_back(std::move(I));
+  }
+  return Spec;
+}
+
+} // namespace uccbench
+
+#endif // UCC_BENCH_SYNTHETICWINDOWS_H

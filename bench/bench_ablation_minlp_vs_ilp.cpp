@@ -1,0 +1,60 @@
+//===- bench/bench_ablation_minlp_vs_ilp.cpp - paper section 5.6 ----------===//
+//
+// Reproduces the MINLP-vs-ILP comparison (A1/A3 in DESIGN.md): the exact
+// nonlinear objective of eq. 12 is optimized by exhaustive search (the
+// "MINLP solver" stand-in) and compared against the theta=3/4 linearized
+// ILP. The paper observed identical allocation decisions, with the
+// nonlinear solve orders of magnitude slower; the same shape appears here
+// as the exponential enumeration cost takes off while the ILP stays fast.
+//
+//===----------------------------------------------------------------------===//
+
+#include "SyntheticWindows.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace ucc;
+using namespace uccbench;
+
+int main() {
+  std::printf("Ablation: exact nonlinear objective (MINLP stand-in) vs "
+              "theta=3/4 linearized ILP\n\n");
+  std::printf("%8s  %6s  %6s  | %12s  %12s  | %10s  %10s  %8s\n", "instrs",
+              "vars", "regs", "exact obj", "ILP obj", "exact (s)",
+              "ILP (s)", "same?");
+
+  struct Config {
+    int Stmts, Vars, Regs;
+  };
+  const Config Configs[] = {{6, 3, 4},  {8, 4, 4},  {10, 4, 5},
+                            {12, 5, 5}, {14, 5, 6}, {16, 6, 6}};
+  int Agree = 0, Total = 0;
+  for (const Config &C : Configs) {
+    WindowSpec Spec = makeSyntheticWindow(C.Stmts, C.Vars, C.Regs,
+                                          TagMode::Good, 11);
+
+    auto T0 = std::chrono::steady_clock::now();
+    WindowSolution Exact = solveWindowExact(Spec);
+    auto T1 = std::chrono::steady_clock::now();
+    ILPOptions Opts;
+    Opts.TimeLimitSec = 30.0;
+    WindowSolution Ilp = solveWindow(Spec, Opts);
+    auto T2 = std::chrono::steady_clock::now();
+
+    double ExactSec = std::chrono::duration<double>(T1 - T0).count();
+    double IlpSec = std::chrono::duration<double>(T2 - T1).count();
+    bool Same = Ilp.Objective <= Exact.Objective + 1e-6;
+    Agree += Same;
+    ++Total;
+    std::printf("%8d  %6d  %6d  | %12.1f  %12.1f  | %10.4f  %10.4f  %8s\n",
+                C.Stmts, C.Vars, C.Regs, Exact.Objective, Ilp.Objective,
+                ExactSec, IlpSec, Same ? "yes" : "NO");
+  }
+  std::printf("\n%d/%d configurations: the linearized ILP found decisions "
+              "at least as good as the exact nonlinear optimum\n(the "
+              "paper: identical decisions, with the nonlinear solver "
+              "orders of magnitude slower).\n",
+              Agree, Total);
+  return 0;
+}

@@ -1,0 +1,36 @@
+//===- bench/bench_fig03_power_model.cpp - paper Fig. 3 -------------------===//
+//
+// Prints the Mica2 power model (Fig. 3) and the derived per-cycle /
+// per-bit energies every other experiment builds on, including the
+// section 2.1 break-even example (how many executions pay for one
+// transmitted instruction word).
+//
+//===----------------------------------------------------------------------===//
+
+#include "energy/EnergyModel.h"
+
+#include <cstdio>
+
+using namespace ucc;
+
+int main() {
+  std::printf("Figure 3: the power model for Mica2\n\n");
+  std::printf("%s\n", EnergyModel::powerTable().c_str());
+
+  EnergyModel Model;
+  std::printf("Derived quantities:\n");
+  std::printf("  energy per CPU cycle          %.3e J\n",
+              Model.energyPerCycle());
+  std::printf("  energy per transmitted bit    %.3e J  (1000x one ALU "
+              "instruction)\n",
+              Model.energyPerBit());
+  std::printf("  energy per instruction word   %.3e J  (32 bits)\n",
+              Model.instrTransmissionEnergy());
+  std::printf("  radio Tx first-principles     %.3e J/bit (21.5 mA at "
+              "38.4 kbps)\n",
+              Model.power().radioTxEnergyPerBit());
+  std::printf("\nSection 2.1 break-even: one saved instruction word pays "
+              "for %.0f extra executed cycles\n",
+              Model.breakEvenExecutions(1.0, 1.0));
+  return 0;
+}

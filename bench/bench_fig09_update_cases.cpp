@@ -1,0 +1,42 @@
+//===- bench/bench_fig09_update_cases.cpp - paper Figs. 8 and 9 -----------===//
+//
+// Prints the benchmark suite (Fig. 8) with compiled sizes, and the update
+// test cases (Fig. 9) with the instruction counts of both versions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace ucc;
+using namespace uccbench;
+
+int main() {
+  std::printf("Figure 8: benchmark programs\n\n");
+  std::printf("%-16s  %7s  %6s  %s\n", "benchmark", "instrs", "funcs",
+              "details");
+  for (const Workload &W : workloads()) {
+    CompileOutput Out = compileOrDie(W.Source, baselineOptions());
+    std::printf("%-16s  %7zu  %6zu  %.70s\n", W.Name.c_str(),
+                Out.Image.Code.size(), Out.Image.Functions.size(),
+                W.Details.c_str());
+  }
+
+  std::printf("\nFigure 9: experimental update details\n\n");
+  std::printf("%4s  %-6s  %-16s  %8s  %8s  %s\n", "case", "level",
+              "benchmark", "old#", "new#", "update details");
+  for (const UpdateCase &Case : updateCases()) {
+    CompileOutput Old = compileOrDie(Case.OldSource, baselineOptions());
+    CompileOutput New = compileOrDie(Case.NewSource, baselineOptions());
+    std::printf("%4d  %-6s  %-16s  %8zu  %8zu  %.60s\n", Case.Id,
+                updateLevelName(Case.Level), Case.Benchmark.c_str(),
+                Old.Image.Code.size(), New.Image.Code.size(),
+                Case.Description.c_str());
+  }
+  std::printf("\nData-layout cases (Fig. 16):\n");
+  for (const UpdateCase &Case : dataLayoutCases())
+    std::printf("  D%d  %-16s  %.60s\n", Case.Id - 100,
+                Case.Benchmark.c_str(), Case.Description.c_str());
+  return 0;
+}

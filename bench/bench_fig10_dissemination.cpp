@@ -1,0 +1,59 @@
+//===- bench/bench_fig10_dissemination.cpp - paper Fig. 10 ----------------===//
+//
+// Reproduces Fig. 10 (the code dissemination cost): Diff_inst for update
+// test cases 1..12 under the update-oblivious baseline (GCC-RA, diffed with
+// the best possible binary match) and UCC-RA, plus the case-13 large-change
+// discussion of section 5.3 (instructions reused vs updated).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace ucc;
+using namespace uccbench;
+
+int main() {
+  std::printf("Figure 10: code dissemination cost (Diff_inst per update)\n");
+  std::printf("Lower is better; GCC-RA is diffed with the best possible "
+              "binary match.\n\n");
+  std::printf("%4s  %-6s  %-42s  %8s  %8s  %9s\n", "case", "level",
+              "update", "GCC-RA", "UCC-RA", "reduction");
+
+  double TotalBase = 0.0, TotalUcc = 0.0;
+  for (const UpdateCase &Case : updateCases()) {
+    if (Case.Id > 12)
+      continue;
+    CaseResult R = evaluateCase(Case);
+    double Reduction =
+        R.DiffInstBaseline > 0
+            ? 100.0 * (R.DiffInstBaseline - R.DiffInstUcc) /
+                  R.DiffInstBaseline
+            : 0.0;
+    std::printf("%4d  %-6s  %-42.42s  %8d  %8d  %8.1f%%\n", Case.Id,
+                updateLevelName(Case.Level), Case.Description.c_str(),
+                R.DiffInstBaseline, R.DiffInstUcc, Reduction);
+    TotalBase += R.DiffInstBaseline;
+    TotalUcc += R.DiffInstUcc;
+  }
+  std::printf("%4s  %-6s  %-42s  %8.0f  %8.0f  %8.1f%%\n", "sum", "", "",
+              TotalBase, TotalUcc,
+              TotalBase > 0 ? 100.0 * (TotalBase - TotalUcc) / TotalBase
+                            : 0.0);
+
+  // Section 5.3's case-13 narrative: the application swap. Report reuse.
+  const UpdateCase &Case13 = updateCases()[12];
+  CaseResult R13 = evaluateCase(Case13);
+  std::printf("\nCase 13 (%s):\n", Case13.Description.c_str());
+  std::printf("  GCC-RA reuses %d instructions, must update %d\n",
+              R13.ReusedBaseline, R13.DiffInstBaseline);
+  std::printf("  UCC-RA reuses %d instructions, must update %d\n",
+              R13.ReusedUcc, R13.DiffInstUcc);
+  if (R13.ReusedBaseline > 0)
+    std::printf("  UCC-RA reuses %d more (%.1f%% over GCC-RA)\n",
+                R13.ReusedUcc - R13.ReusedBaseline,
+                100.0 * (R13.ReusedUcc - R13.ReusedBaseline) /
+                    R13.ReusedBaseline);
+  return 0;
+}

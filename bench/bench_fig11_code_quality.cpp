@@ -1,0 +1,48 @@
+//===- bench/bench_fig11_code_quality.cpp - paper Fig. 11 -----------------===//
+//
+// Reproduces Fig. 11 (the code quality comparison): Diff_cycle — the
+// change in single-run execution cycles relative to the old binary — for
+// GCC-RA and UCC-RA across update cases 1..12. UCC-RA may run slightly
+// slower when it inserted movs; the paper reports the slowdown is
+// negligible (for test case 12, 3 cycles of ~244K).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace ucc;
+using namespace uccbench;
+
+int main() {
+  std::printf("Figure 11: the performance comparison (single run)\n\n");
+  std::printf("%4s  %-42s  %10s  %10s  %6s  %12s\n", "case", "update",
+              "GCC-RA dC", "UCC-RA dC", "movs", "UCC slowdown");
+  std::vector<const UpdateCase *> Rows;
+  for (const UpdateCase &Case : updateCases())
+    if (Case.Id <= 12)
+      Rows.push_back(&Case);
+  Rows.push_back(&liveRangeExtensionCase()); // the Cnt-sensitive case
+
+  for (const UpdateCase *CasePtr : Rows) {
+    const UpdateCase &Case = *CasePtr;
+    CaseResult R = evaluateCase(Case);
+    // Slowdown of UCC-RA's update relative to the baseline's update, as a
+    // fraction of one whole run.
+    CompileOutput New = compileOrDie(Case.NewSource, baselineOptions());
+    uint64_t RunCycles = cyclesFor(New.Image);
+    double Slowdown =
+        100.0 *
+        static_cast<double>(R.DiffCycleUcc - R.DiffCycleBaseline) /
+        static_cast<double>(RunCycles);
+    std::printf("%4d  %-42.42s  %10lld  %10lld  %6d  %11.4f%%\n", Case.Id,
+                Case.Description.c_str(),
+                static_cast<long long>(R.DiffCycleBaseline),
+                static_cast<long long>(R.DiffCycleUcc), R.InsertedMovs,
+                Slowdown);
+  }
+  std::printf("\n(dC = cycles(new binary) - cycles(old binary) for one "
+              "run; UCC-RA's extra cycles come from inserted movs.)\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===- bench/bench_fig16_data_alloc.cpp - paper section 5.7 / Fig. 16 -----===//
+//
+// Reproduces the update-conscious data-allocation study: for the D1/D2
+// cases, compares Diff_inst when the data allocator is the gcc-style
+// hashed layout (GCC-DA) versus UCC-DA, with UCC-RA held fixed so the
+// effect is isolated to data layout (as in section 5.7).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace ucc;
+using namespace uccbench;
+
+namespace {
+
+int diffWith(const UpdateCase &Case, DataAllocKind DA) {
+  CompileOptions OldOpts = baselineOptions();
+  CompileOutput V1 = compileOrDie(Case.OldSource, OldOpts);
+
+  CompileOptions NewOpts;
+  NewOpts.RA = RegAllocKind::UpdateConscious; // isolate the DA effect
+  NewOpts.DA = DA;
+  CompileOutput V2 = recompileOrDie(Case.NewSource, V1.Record, NewOpts);
+  return diffImages(V1.Image, V2.Image).totalDiffInst();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Figure 16 / section 5.7: update-conscious data "
+              "allocation\n");
+  std::printf("Diff_inst with UCC-RA fixed; only the data allocator "
+              "varies.\n\n");
+  std::printf("%4s  %-16s  %-46s  %8s  %8s\n", "case", "benchmark",
+              "update", "GCC-DA", "UCC-DA");
+  for (const UpdateCase &Case : dataLayoutCases()) {
+    int Baseline = diffWith(Case, DataAllocKind::BaselineHash);
+    int Ucc = diffWith(Case, DataAllocKind::UpdateConscious);
+    std::printf("%4s%d  %-16s  %-46.46s  %8d  %8d\n", "D",
+                Case.Id - 100, Case.Benchmark.c_str(),
+                Case.Description.c_str(), Baseline, Ucc);
+  }
+
+  std::printf("\nSection 5.7 narrative checks:\n");
+  std::printf("  D1: adding globals reshuffles the hashed layout, touching "
+              "every instruction that addresses a moved\n      variable; "
+              "UCC-DA appends/reuses holes so surviving variables keep "
+              "their addresses.\n");
+  std::printf("  D2: renaming a variable is a delete+insert for UCC-DA, "
+              "which puts the new name into the old hole —\n      the "
+              "binary barely changes, while name-hash layout moves "
+              "everything.\n");
+  return 0;
+}

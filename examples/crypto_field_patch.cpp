@@ -1,0 +1,102 @@
+//===- examples/crypto_field_patch.cpp - patching deployed crypto ---------===//
+//
+// The AES benchmark as a field-update story: the deployed nodes encrypt
+// their readings with AES-128; the update adds ciphertext-stealing-style
+// output masking to the transmit path. Crypto code is big (the S-box
+// machinery dominates the image), so retransmitting it whole is exactly
+// what the paper's diff-based dissemination avoids.
+//
+// Build and run:   ./build/examples/crypto_field_patch
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "sim/Simulator.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace ucc;
+
+int main() {
+  DiagnosticEngine Diag;
+  const std::string &AesV1 = workloadSource("AES");
+
+  // The update: mask each output byte with a rolling counter before it
+  // leaves the node (a defensive tweak to frustrate traffic analysis).
+  std::string AesV2 = AesV1;
+  const std::string Needle = "  for (i = 0; i < 16; i = i + 1) {\n"
+                             "    __out(15, state[i]);\n"
+                             "  }";
+  const std::string Patch = "  int rolling = 0x5a;\n"
+                            "  for (i = 0; i < 16; i = i + 1) {\n"
+                            "    __out(15, state[i] ^ rolling);\n"
+                            "    rolling = (rolling + 17) & 0xff;\n"
+                            "  }";
+  size_t At = AesV2.find(Needle);
+  if (At == std::string::npos) {
+    std::fprintf(stderr, "needle not found in AES source\n");
+    return 1;
+  }
+  AesV2.replace(At, Needle.size(), Patch);
+
+  auto V1 = Compiler::compile(AesV1, CompileOptions(), Diag);
+  if (!V1) {
+    std::fprintf(stderr, "compile failed:\n%s", Diag.str().c_str());
+    return 1;
+  }
+
+  CompileOptions Ucc;
+  Ucc.RA = RegAllocKind::UpdateConscious;
+  Ucc.DA = DataAllocKind::UpdateConscious;
+  auto V2Ucc = Compiler::recompile(AesV2, V1->Record, Ucc, Diag);
+  auto V2Base = Compiler::recompile(AesV2, V1->Record, CompileOptions(),
+                                    Diag);
+  if (!V2Ucc || !V2Base) {
+    std::fprintf(stderr, "recompile failed:\n%s", Diag.str().c_str());
+    return 1;
+  }
+
+  UpdatePackage PkgUcc = makeUpdate(*V1, *V2Ucc);
+  UpdatePackage PkgBase = makeUpdate(*V1, *V2Base);
+
+  std::printf("AES image: %zu instructions (%zu bytes)\n",
+              V1->Image.Code.size(), V1->Image.transmitBytes());
+  std::printf("\n%-18s %10s %14s\n", "", "Diff_inst", "script bytes");
+  std::printf("%-18s %10d %14zu\n", "update-oblivious",
+              PkgBase.Diff.totalDiffInst(), PkgBase.ScriptBytes);
+  std::printf("%-18s %10d %14zu\n", "update-conscious",
+              PkgUcc.Diff.totalDiffInst(), PkgUcc.ScriptBytes);
+  std::printf("%-18s %10s %14zu\n", "full reflash", "-",
+              V2Ucc->Image.transmitBytes());
+
+  // Prove the patched node still encrypts correctly: unmask the outputs
+  // and compare with the FIPS-197 ciphertext.
+  BinaryImage Patched;
+  if (!applyUpdate(V1->Image, PkgUcc.Update, Patched)) {
+    std::fprintf(stderr, "patch failed\n");
+    return 1;
+  }
+  SimOptions Sim;
+  Sim.MaxSteps = 50'000'000;
+  RunResult R = runImage(Patched, Sim);
+  if (R.Trapped || R.DebugTrace.size() != 16) {
+    std::fprintf(stderr, "patched AES run failed: %s\n",
+                 R.TrapReason.c_str());
+    return 1;
+  }
+  const int Expected[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                            0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  int Rolling = 0x5a;
+  bool Ok = true;
+  for (int K = 0; K < 16; ++K) {
+    int Unmasked = (R.DebugTrace[static_cast<size_t>(K)] ^ Rolling) & 0xff;
+    Ok &= Unmasked == Expected[K];
+    Rolling = (Rolling + 17) & 0xff;
+  }
+  std::printf("\npatched node's masked ciphertext unmasks to FIPS-197 "
+              "vector: %s\n",
+              Ok ? "yes" : "NO");
+  return Ok ? 0 : 1;
+}

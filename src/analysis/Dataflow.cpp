@@ -1,0 +1,73 @@
+//===- analysis/Dataflow.cpp ------------------------------------------------==//
+
+#include "analysis/Dataflow.h"
+
+#include <cassert>
+
+using namespace ucc;
+
+Liveness ucc::computeLiveness(const FlowGraph &G) {
+  size_t NumBlocks = G.Blocks.size();
+  size_t NumValues = static_cast<size_t>(G.NumValues);
+
+  Liveness L;
+  L.LiveIn.assign(NumBlocks, BitVector(NumValues));
+  L.LiveOut.assign(NumBlocks, BitVector(NumValues));
+
+  // Per-block gen (upward-exposed uses) and kill (defs) sets.
+  std::vector<BitVector> Gen(NumBlocks, BitVector(NumValues));
+  std::vector<BitVector> Kill(NumBlocks, BitVector(NumValues));
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    for (const DefUse &I : G.Blocks[B].Instrs) {
+      for (int U : I.Uses)
+        if (!Kill[B].test(static_cast<size_t>(U)))
+          Gen[B].set(static_cast<size_t>(U));
+      for (int D : I.Defs)
+        Kill[B].set(static_cast<size_t>(D));
+    }
+  }
+
+  // Classic round-robin fixpoint; backward problems converge fastest when
+  // iterating blocks in reverse layout order.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t BI = NumBlocks; BI-- > 0;) {
+      BitVector Out(NumValues);
+      for (int S : G.Blocks[BI].Succs) {
+        assert(S >= 0 && static_cast<size_t>(S) < NumBlocks &&
+               "bad successor index");
+        Out.unionWith(L.LiveIn[static_cast<size_t>(S)]);
+      }
+      if (!(Out == L.LiveOut[BI])) {
+        L.LiveOut[BI] = Out;
+        Changed = true;
+      }
+      // LiveIn = Gen | (Out - Kill)
+      Out.subtract(Kill[BI]);
+      Out.unionWith(Gen[BI]);
+      if (!(Out == L.LiveIn[BI])) {
+        L.LiveIn[BI] = std::move(Out);
+        Changed = true;
+      }
+    }
+  }
+  return L;
+}
+
+std::vector<BitVector> Liveness::liveAfterPerInstr(const FlowGraph &G,
+                                                   int B) const {
+  const FlowBlock &Block = G.Blocks[static_cast<size_t>(B)];
+  size_t N = Block.Instrs.size();
+  std::vector<BitVector> Result(N, BitVector(LiveOut[0].size()));
+  BitVector Live = LiveOut[static_cast<size_t>(B)];
+  for (size_t K = N; K-- > 0;) {
+    Result[K] = Live;
+    const DefUse &I = Block.Instrs[K];
+    for (int D : I.Defs)
+      Live.reset(static_cast<size_t>(D));
+    for (int U : I.Uses)
+      Live.set(static_cast<size_t>(U));
+  }
+  return Result;
+}

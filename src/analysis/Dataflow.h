@@ -1,0 +1,58 @@
+//===- analysis/Dataflow.h - generic backward liveness ---------------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic backward liveness over an abstract CFG of def/use lists. Both
+/// the IR (virtual registers) and the machine layer (virtual + physical
+/// registers) instantiate this with an adapter, so the fixpoint logic lives
+/// in exactly one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_ANALYSIS_DATAFLOW_H
+#define UCC_ANALYSIS_DATAFLOW_H
+
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ucc {
+
+/// Registers defined and used by one abstract instruction.
+struct DefUse {
+  std::vector<int> Defs;
+  std::vector<int> Uses;
+};
+
+/// One abstract CFG block: instruction def/use lists plus successor block
+/// indices.
+struct FlowBlock {
+  std::vector<DefUse> Instrs;
+  std::vector<int> Succs;
+};
+
+/// An abstract CFG over \c NumValues distinct registers/values.
+struct FlowGraph {
+  std::vector<FlowBlock> Blocks;
+  int NumValues = 0;
+};
+
+/// Result of the liveness fixpoint: per-block live-in/live-out sets.
+struct Liveness {
+  std::vector<BitVector> LiveIn;
+  std::vector<BitVector> LiveOut;
+
+  /// Per-instruction live-after sets for block \p B: element K holds the
+  /// values live immediately *after* instruction K of the block.
+  std::vector<BitVector> liveAfterPerInstr(const FlowGraph &G, int B) const;
+};
+
+/// Runs backward liveness to a fixpoint over \p G.
+Liveness computeLiveness(const FlowGraph &G);
+
+} // namespace ucc
+
+#endif // UCC_ANALYSIS_DATAFLOW_H

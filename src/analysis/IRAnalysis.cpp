@@ -1,0 +1,71 @@
+//===- analysis/IRAnalysis.cpp ----------------------------------------------==//
+
+#include "analysis/IRAnalysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ucc;
+
+std::vector<int> ucc::irDefs(const Instr &I) {
+  if (I.hasDst())
+    return {I.Dst};
+  return {};
+}
+
+std::vector<int> ucc::irUses(const Instr &I) {
+  std::vector<int> Uses;
+  Uses.reserve(I.Srcs.size());
+  for (VReg S : I.Srcs)
+    Uses.push_back(S);
+  return Uses;
+}
+
+FlowGraph ucc::buildFlowGraph(const Function &F) {
+  FlowGraph G;
+  G.NumValues = F.NumVRegs;
+  G.Blocks.reserve(F.Blocks.size());
+  for (const BasicBlock &BB : F.Blocks) {
+    FlowBlock FB;
+    FB.Succs = BB.successors();
+    FB.Instrs.reserve(BB.Instrs.size());
+    for (const Instr &I : BB.Instrs)
+      FB.Instrs.push_back(DefUse{irDefs(I), irUses(I)});
+    G.Blocks.push_back(std::move(FB));
+  }
+  return G;
+}
+
+std::vector<int> ucc::loopDepths(const Function &F) {
+  size_t N = F.Blocks.size();
+  std::vector<int> Depth(N, 0);
+  // Every back edge source -> target (target earlier in layout) nests the
+  // layout range [target, source] one level deeper.
+  for (size_t B = 0; B < N; ++B) {
+    for (int S : F.Blocks[B].successors()) {
+      if (S < 0 || static_cast<size_t>(S) > B)
+        continue;
+      for (size_t K = static_cast<size_t>(S); K <= B; ++K)
+        ++Depth[K];
+    }
+  }
+  return Depth;
+}
+
+std::vector<double> ucc::blockFrequencies(const Function &F, double Cap) {
+  std::vector<int> Depth = loopDepths(F);
+  std::vector<double> Freq(Depth.size(), 1.0);
+  for (size_t B = 0; B < Depth.size(); ++B)
+    Freq[B] = std::min(Cap, std::pow(10.0, Depth[B]));
+  return Freq;
+}
+
+std::vector<double> ucc::statementFrequencies(const Function &F, double Cap) {
+  std::vector<double> BlockFreq = blockFrequencies(F, Cap);
+  std::vector<double> Freq;
+  Freq.reserve(static_cast<size_t>(F.instrCount()));
+  for (size_t B = 0; B < F.Blocks.size(); ++B)
+    for (size_t K = 0; K < F.Blocks[B].Instrs.size(); ++K)
+      Freq.push_back(BlockFreq[B]);
+  return Freq;
+}

@@ -1,0 +1,277 @@
+//===- codegen/ISel.cpp -------------------------------------------------------==//
+
+#include "codegen/ISel.h"
+
+#include "analysis/IRAnalysis.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace ucc;
+
+namespace {
+
+MOp binToMOp(BinKind Op) {
+  switch (Op) {
+  case BinKind::Add:
+    return MOp::ADD;
+  case BinKind::Sub:
+    return MOp::SUB;
+  case BinKind::Mul:
+    return MOp::MUL;
+  case BinKind::Div:
+    return MOp::DIV;
+  case BinKind::Rem:
+    return MOp::REM;
+  case BinKind::And:
+    return MOp::AND;
+  case BinKind::Or:
+    return MOp::OR;
+  case BinKind::Xor:
+    return MOp::XOR;
+  case BinKind::Shl:
+    return MOp::SHL;
+  case BinKind::Shr:
+    return MOp::SHR;
+  }
+  return MOp::NOP;
+}
+
+MOp predToBranch(CmpPred Pred) {
+  switch (Pred) {
+  case CmpPred::EQ:
+    return MOp::BEQ;
+  case CmpPred::NE:
+    return MOp::BNE;
+  case CmpPred::LT:
+    return MOp::BLT;
+  case CmpPred::LE:
+    return MOp::BLE;
+  case CmpPred::GT:
+    return MOp::BGT;
+  case CmpPred::GE:
+    return MOp::BGE;
+  }
+  return MOp::BNE;
+}
+
+class ISelImpl {
+public:
+  ISelImpl(const Module &M, const Function &F) : M(M), F(F) {}
+
+  MachineFunction run() {
+    MF.Name = F.Name;
+    MF.NextVReg = FirstVReg + F.NumVRegs;
+    MF.VRegNames = F.VRegNames; // source names make frame homes stable
+    for (const FrameObject &FO : F.FrameObjects)
+      MF.makeFrameObject(FO.Name, FO.SizeWords, /*IsSpill=*/false);
+
+    MF.Blocks.resize(F.Blocks.size());
+    // Mirror block names and successors up front.
+    for (size_t B = 0; B < F.Blocks.size(); ++B) {
+      MF.Blocks[B].Name = F.Blocks[B].Name;
+      MF.Blocks[B].Succs = F.Blocks[B].successors();
+    }
+
+    int IRIndex = 0;
+    for (size_t B = 0; B < F.Blocks.size(); ++B) {
+      CurBlock = static_cast<int>(B);
+      if (B == 0)
+        emitPrologue();
+      for (const Instr &I : F.Blocks[B].Instrs) {
+        CurIRIndex = IRIndex++;
+        select(I);
+      }
+    }
+    return std::move(MF);
+  }
+
+private:
+  int vregOf(VReg IRReg) const {
+    assert(IRReg >= 0 && "expected a valid IR vreg");
+    return FirstVReg + IRReg;
+  }
+
+  MInstr &emit(MOp Op) {
+    MInstr I;
+    I.Op = Op;
+    I.IRIndex = CurIRIndex;
+    MF.Blocks[static_cast<size_t>(CurBlock)].Instrs.push_back(I);
+    return MF.Blocks[static_cast<size_t>(CurBlock)].Instrs.back();
+  }
+
+  void emitPrologue() {
+    CurIRIndex = -1;
+    emit(MOp::ENTER); // Imm patched after frame layout
+    for (size_t K = 0; K < F.Params.size(); ++K) {
+      MInstr &I = emit(MOp::MOV);
+      I.A = vregOf(F.Params[K]);
+      I.B = static_cast<int>(K); // physical argument register rK
+    }
+  }
+
+  void select(const Instr &I) {
+    switch (I.Op) {
+    case Opcode::Const: {
+      MInstr &MI = emit(MOp::LDI);
+      MI.A = vregOf(I.Dst);
+      MI.Imm = static_cast<int16_t>(I.Imm);
+      return;
+    }
+    case Opcode::Mov: {
+      MInstr &MI = emit(MOp::MOV);
+      MI.A = vregOf(I.Dst);
+      MI.B = vregOf(I.Srcs[0]);
+      return;
+    }
+    case Opcode::Bin: {
+      MInstr &MI = emit(binToMOp(I.BinK));
+      MI.A = vregOf(I.Dst);
+      MI.B = vregOf(I.Srcs[0]);
+      MI.C = vregOf(I.Srcs[1]);
+      return;
+    }
+    case Opcode::Un: {
+      MInstr &MI = emit(I.UnK == UnKind::Neg ? MOp::NEG : MOp::NOTR);
+      MI.A = vregOf(I.Dst);
+      MI.B = vregOf(I.Srcs[0]);
+      return;
+    }
+    case Opcode::LoadG: {
+      MInstr &MI = emit(I.Srcs.empty() ? MOp::LDG : MOp::LDGX);
+      MI.A = vregOf(I.Dst);
+      if (!I.Srcs.empty())
+        MI.B = vregOf(I.Srcs[0]);
+      MI.GlobalIdx = I.Global;
+      return;
+    }
+    case Opcode::StoreG: {
+      bool Indexed = I.Srcs.size() == 2;
+      MInstr &MI = emit(Indexed ? MOp::STGX : MOp::STG);
+      MI.A = vregOf(I.Srcs[0]);
+      if (Indexed)
+        MI.B = vregOf(I.Srcs[1]);
+      MI.GlobalIdx = I.Global;
+      return;
+    }
+    case Opcode::LoadF: {
+      MInstr &MI = emit(I.Srcs.empty() ? MOp::LDF : MOp::LDFX);
+      MI.A = vregOf(I.Dst);
+      if (!I.Srcs.empty())
+        MI.B = vregOf(I.Srcs[0]);
+      MI.FrameIdx = I.Slot;
+      return;
+    }
+    case Opcode::StoreF: {
+      bool Indexed = I.Srcs.size() == 2;
+      MInstr &MI = emit(Indexed ? MOp::STFX : MOp::STF);
+      MI.A = vregOf(I.Srcs[0]);
+      if (Indexed)
+        MI.B = vregOf(I.Srcs[1]);
+      MI.FrameIdx = I.Slot;
+      return;
+    }
+    case Opcode::Call: {
+      assert(I.Srcs.size() <= NumArgRegs && "too many call arguments");
+      for (size_t K = 0; K < I.Srcs.size(); ++K) {
+        MInstr &MI = emit(MOp::MOV);
+        MI.A = static_cast<int>(K);
+        MI.B = vregOf(I.Srcs[K]);
+      }
+      MInstr &CallMI = emit(MOp::CALL);
+      CallMI.Callee = I.Callee;
+      if (I.hasDst()) {
+        MInstr &MI = emit(MOp::MOV);
+        MI.A = vregOf(I.Dst);
+        MI.B = RetReg;
+      }
+      return;
+    }
+    case Opcode::Br: {
+      MInstr &MI = emit(MOp::JMP);
+      MI.Target = I.TrueBB;
+      return;
+    }
+    case Opcode::CondBr: {
+      MInstr &Cmp = emit(MOp::CMP);
+      Cmp.A = vregOf(I.Srcs[0]);
+      Cmp.B = vregOf(I.Srcs[1]);
+      MInstr &Bcc = emit(predToBranch(I.PredK));
+      Bcc.Target = I.TrueBB;
+      MInstr &Jmp = emit(MOp::JMP);
+      Jmp.Target = I.FalseBB;
+      return;
+    }
+    case Opcode::Ret: {
+      if (!I.Srcs.empty()) {
+        MInstr &MI = emit(MOp::MOV);
+        MI.A = RetReg;
+        MI.B = vregOf(I.Srcs[0]);
+      }
+      emit(MOp::RET);
+      return;
+    }
+    case Opcode::In: {
+      MInstr &MI = emit(MOp::IN);
+      MI.A = vregOf(I.Dst);
+      MI.Imm = static_cast<int32_t>(I.Imm);
+      return;
+    }
+    case Opcode::Out: {
+      MInstr &MI = emit(MOp::OUT);
+      MI.A = vregOf(I.Srcs[0]);
+      MI.Imm = static_cast<int32_t>(I.Imm);
+      return;
+    }
+    case Opcode::Halt:
+      emit(MOp::HALT);
+      return;
+    }
+  }
+
+  const Module &M;
+  const Function &F;
+  MachineFunction MF;
+  int CurBlock = 0;
+  int CurIRIndex = -1;
+};
+
+} // namespace
+
+MachineFunction ucc::selectFunction(const Module &M, const Function &F) {
+  return ISelImpl(M, F).run();
+}
+
+MachineModule ucc::selectModule(const Module &M) {
+  MachineModule MM;
+  MM.EntryFunc = M.EntryFunc;
+  MM.Functions.reserve(M.Functions.size());
+  for (const Function &F : M.Functions)
+    MM.Functions.push_back(selectFunction(M, F));
+  return MM;
+}
+
+std::vector<double> ucc::machineFrequencies(const Function &F,
+                                            const MachineFunction &MF) {
+  std::vector<double> BlockFreq = blockFrequencies(F);
+
+  // Map each IR statement index (block-major order) to its block.
+  std::vector<int> IRIndexToBlock;
+  for (size_t B = 0; B < F.Blocks.size(); ++B)
+    for (size_t K = 0; K < F.Blocks[B].Instrs.size(); ++K)
+      IRIndexToBlock.push_back(static_cast<int>(B));
+
+  std::vector<double> Freq;
+  Freq.reserve(static_cast<size_t>(MF.instrCount()));
+  for (const MBlock &BB : MF.Blocks) {
+    for (const MInstr &I : BB.Instrs) {
+      double W = 1.0;
+      if (I.IRIndex >= 0 &&
+          I.IRIndex < static_cast<int>(IRIndexToBlock.size()))
+        W = BlockFreq[static_cast<size_t>(
+            IRIndexToBlock[static_cast<size_t>(I.IRIndex)])];
+      Freq.push_back(W);
+    }
+  }
+  return Freq;
+}

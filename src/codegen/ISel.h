@@ -1,0 +1,38 @@
+//===- codegen/ISel.h - IR -> SAVR instruction selection ------------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction selection from the mid-level IR to pre-allocation SAVR
+/// machine code. Selection is 1:N and local; calls are lowered to explicit
+/// argument moves into r0..r3 (the caller-saved convention both register
+/// allocators then honor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_CODEGEN_ISEL_H
+#define UCC_CODEGEN_ISEL_H
+
+#include "codegen/MachineIR.h"
+#include "ir/IR.h"
+
+namespace ucc {
+
+/// Selects machine code for every function in \p M. The result still uses
+/// virtual registers; run a register allocator before encoding.
+MachineModule selectModule(const Module &M);
+
+/// Selects one function (exposed for unit tests).
+MachineFunction selectFunction(const Module &M, const Function &F);
+
+/// Per-machine-instruction execution-frequency estimates for \p MF, taken
+/// from the IR block frequencies of the originating statements (the paper's
+/// `freq(s)`). Index = linear instruction position.
+std::vector<double> machineFrequencies(const Function &F,
+                                       const MachineFunction &MF);
+
+} // namespace ucc
+
+#endif // UCC_CODEGEN_ISEL_H

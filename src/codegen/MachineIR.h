@@ -1,0 +1,122 @@
+//===- codegen/MachineIR.h - pre-encoding machine representation ----------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-level representation between instruction selection and
+/// binary encoding. Register operands may be virtual (>= FirstVReg) before
+/// register allocation and are physical afterwards; each operand keeps its
+/// originating virtual register so the allocation can be validated and
+/// recorded (the CompilationRecord the update-conscious compiler feeds on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_CODEGEN_MACHINEIR_H
+#define UCC_CODEGEN_MACHINEIR_H
+
+#include "analysis/Dataflow.h"
+#include "codegen/SAVR.h"
+
+#include <string>
+#include <vector>
+
+namespace ucc {
+
+/// One machine instruction before encoding.
+struct MInstr {
+  MOp Op = MOp::NOP;
+  /// Register operands; -1 when unused. Roles follow codegen/SAVR.h.
+  int A = -1;
+  int B = -1;
+  int C = -1;
+  /// Originating virtual registers of A/B/C; filled by the register
+  /// allocator when it substitutes physical registers.
+  int VA = -1;
+  int VB = -1;
+  int VC = -1;
+  int32_t Imm = 0;    ///< LDI immediate / port number
+  int Target = -1;    ///< branch target: machine block id (pre-layout)
+  int Callee = -1;    ///< CALL: function index
+  int GlobalIdx = -1; ///< LDG/STG/LDGX/STGX: global index
+  int FrameIdx = -1;  ///< LDF/STF/LDFX/STFX: frame object index
+  int IRIndex = -1;   ///< originating IR statement (frequency lookup)
+};
+
+/// Registers defined by \p I. CALL clobbers every physical register; the
+/// liveness adapter handles that separately via mopIsCall().
+std::vector<int> minstrDefs(const MInstr &I);
+/// Registers used by \p I.
+std::vector<int> minstrUses(const MInstr &I);
+/// True when \p Op is CALL (clobbers all physical registers).
+inline bool mopIsCall(MOp Op) { return Op == MOp::CALL; }
+
+/// A machine basic block.
+struct MBlock {
+  std::string Name;
+  std::vector<MInstr> Instrs;
+  std::vector<int> Succs;
+};
+
+/// Sizes (in words) of everything addressed frame-relative.
+struct MFrameObject {
+  std::string Name;
+  int SizeWords = 1;
+  bool IsSpill = false;
+};
+
+/// A machine function.
+struct MachineFunction {
+  std::string Name;
+  std::vector<MBlock> Blocks;
+  std::vector<MFrameObject> FrameObjects;
+  int NextVReg = FirstVReg;
+  /// Source names per virtual register, indexed by (vreg - FirstVReg);
+  /// empty for compiler temporaries. Used to give frame homes stable,
+  /// version-independent names.
+  std::vector<std::string> VRegNames;
+
+  int makeVReg() {
+    VRegNames.push_back("");
+    return NextVReg++;
+  }
+
+  const std::string &vregName(int VReg) const {
+    static const std::string Empty;
+    size_t Idx = static_cast<size_t>(VReg - FirstVReg);
+    return Idx < VRegNames.size() ? VRegNames[Idx] : Empty;
+  }
+
+  /// Creates a frame object, uniquifying the name so that names are a
+  /// stable cross-version identity for the differ.
+  int makeFrameObject(const std::string &Name, int SizeWords, bool IsSpill);
+
+  int instrCount() const;
+
+  /// Renders the function as assembly-like text (virtual or physical regs).
+  std::string print() const;
+};
+
+/// A machine module mirrors the IR module's functions and globals.
+struct MachineModule {
+  std::vector<MachineFunction> Functions;
+  int EntryFunc = -1;
+};
+
+/// Builds the liveness CFG for \p F. Values are register ids; virtual
+/// registers and the NumPhysRegs physical registers share the space, so
+/// fixed (physical) liveness falls out of the same fixpoint. CALL defines
+/// every physical register (the caller-saved clobber); RET uses RetReg.
+FlowGraph buildMachineFlowGraph(const MachineFunction &F);
+
+/// Linearizes \p F: returns (block, instr) pairs in layout order.
+struct LinearInstrRef {
+  int Block;
+  int Index;
+};
+std::vector<LinearInstrRef> linearize(const MachineFunction &F);
+
+} // namespace ucc
+
+#endif // UCC_CODEGEN_MACHINEIR_H

@@ -1,0 +1,220 @@
+//===- codegen/SAVR.cpp -------------------------------------------------------==//
+
+#include "codegen/SAVR.h"
+
+#include "support/Format.h"
+
+using namespace ucc;
+
+const char *ucc::mopName(MOp Op) {
+  switch (Op) {
+  case MOp::NOP:
+    return "nop";
+  case MOp::HALT:
+    return "halt";
+  case MOp::LDI:
+    return "ldi";
+  case MOp::MOV:
+    return "mov";
+  case MOp::ADD:
+    return "add";
+  case MOp::SUB:
+    return "sub";
+  case MOp::MUL:
+    return "mul";
+  case MOp::DIV:
+    return "div";
+  case MOp::REM:
+    return "rem";
+  case MOp::AND:
+    return "and";
+  case MOp::OR:
+    return "or";
+  case MOp::XOR:
+    return "xor";
+  case MOp::SHL:
+    return "shl";
+  case MOp::SHR:
+    return "shr";
+  case MOp::NEG:
+    return "neg";
+  case MOp::NOTR:
+    return "not";
+  case MOp::CMP:
+    return "cmp";
+  case MOp::BEQ:
+    return "beq";
+  case MOp::BNE:
+    return "bne";
+  case MOp::BLT:
+    return "blt";
+  case MOp::BGE:
+    return "bge";
+  case MOp::BGT:
+    return "bgt";
+  case MOp::BLE:
+    return "ble";
+  case MOp::JMP:
+    return "jmp";
+  case MOp::CALL:
+    return "call";
+  case MOp::RET:
+    return "ret";
+  case MOp::LDG:
+    return "ldg";
+  case MOp::STG:
+    return "stg";
+  case MOp::LDGX:
+    return "ldgx";
+  case MOp::STGX:
+    return "stgx";
+  case MOp::LDF:
+    return "ldf";
+  case MOp::STF:
+    return "stf";
+  case MOp::LDFX:
+    return "ldfx";
+  case MOp::STFX:
+    return "stfx";
+  case MOp::IN:
+    return "in";
+  case MOp::OUT:
+    return "out";
+  case MOp::ENTER:
+    return "enter";
+  case MOp::NumOpcodes:
+    break;
+  }
+  return "???";
+}
+
+int ucc::mopCycles(MOp Op, bool Taken) {
+  switch (Op) {
+  case MOp::NOP:
+  case MOp::LDI:
+  case MOp::MOV:
+  case MOp::ADD:
+  case MOp::SUB:
+  case MOp::AND:
+  case MOp::OR:
+  case MOp::XOR:
+  case MOp::SHL:
+  case MOp::SHR:
+  case MOp::NEG:
+  case MOp::NOTR:
+  case MOp::CMP:
+  case MOp::IN:
+  case MOp::OUT:
+  case MOp::ENTER:
+    return 1;
+  case MOp::MUL:
+    return 2;
+  case MOp::DIV:
+  case MOp::REM:
+    return 8;
+  case MOp::BEQ:
+  case MOp::BNE:
+  case MOp::BLT:
+  case MOp::BGE:
+  case MOp::BGT:
+  case MOp::BLE:
+    return Taken ? 2 : 1;
+  case MOp::JMP:
+    return 2;
+  case MOp::CALL:
+  case MOp::RET:
+    return 4;
+  case MOp::LDG:
+  case MOp::STG:
+  case MOp::LDGX:
+  case MOp::STGX:
+  case MOp::LDF:
+  case MOp::STF:
+  case MOp::LDFX:
+  case MOp::STFX:
+    return 2;
+  case MOp::HALT:
+  case MOp::NumOpcodes:
+    return 0;
+  }
+  return 1;
+}
+
+bool ucc::isCondBranch(MOp Op) {
+  switch (Op) {
+  case MOp::BEQ:
+  case MOp::BNE:
+  case MOp::BLT:
+  case MOp::BGE:
+  case MOp::BGT:
+  case MOp::BLE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+std::string ucc::disassembleInstr(uint32_t Word) {
+  EncodedInstr E = EncodedInstr::unpack(Word);
+  switch (E.Op) {
+  case MOp::NOP:
+  case MOp::HALT:
+  case MOp::RET:
+    return mopName(E.Op);
+  case MOp::LDI:
+    return format("ldi r%u, %d", E.A, static_cast<int16_t>(E.Imm));
+  case MOp::MOV:
+    return format("mov r%u, r%u", E.A, E.B);
+  case MOp::ADD:
+  case MOp::SUB:
+  case MOp::MUL:
+  case MOp::DIV:
+  case MOp::REM:
+  case MOp::AND:
+  case MOp::OR:
+  case MOp::XOR:
+  case MOp::SHL:
+  case MOp::SHR:
+    return format("%s r%u, r%u, r%u", mopName(E.Op), E.A, E.B, E.regC());
+  case MOp::NEG:
+  case MOp::NOTR:
+    return format("%s r%u, r%u", mopName(E.Op), E.A, E.B);
+  case MOp::CMP:
+    return format("cmp r%u, r%u", E.A, E.B);
+  case MOp::BEQ:
+  case MOp::BNE:
+  case MOp::BLT:
+  case MOp::BGE:
+  case MOp::BGT:
+  case MOp::BLE:
+  case MOp::JMP:
+    return format("%s +%u", mopName(E.Op), E.Imm);
+  case MOp::CALL:
+    return format("call fn%u", E.Imm);
+  case MOp::LDG:
+    return format("ldg r%u, [%u]", E.A, E.Imm);
+  case MOp::STG:
+    return format("stg [%u], r%u", E.Imm, E.A);
+  case MOp::LDGX:
+    return format("ldgx r%u, [%u + r%u]", E.A, E.Imm, E.B);
+  case MOp::STGX:
+    return format("stgx [%u + r%u], r%u", E.Imm, E.B, E.A);
+  case MOp::LDF:
+    return format("ldf r%u, {%u}", E.A, E.Imm);
+  case MOp::STF:
+    return format("stf {%u}, r%u", E.Imm, E.A);
+  case MOp::LDFX:
+    return format("ldfx r%u, {%u + r%u}", E.A, E.Imm, E.B);
+  case MOp::STFX:
+    return format("stfx {%u + r%u}, r%u", E.Imm, E.B, E.A);
+  case MOp::IN:
+    return format("in r%u, port%u", E.A, E.Imm);
+  case MOp::OUT:
+    return format("out port%u, r%u", E.Imm, E.A);
+  case MOp::ENTER:
+    return format("enter %u", E.Imm);
+  case MOp::NumOpcodes:
+    break;
+  }
+  return format(".word 0x%08x", Word);
+}

@@ -1,0 +1,153 @@
+//===- codegen/SAVR.h - the simulated AVR-class target ISA ----------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SAVR is the reproduction's stand-in for the ATmega128L AVR core of the
+/// Mica2 mote (see DESIGN.md section 4): sixteen 16-bit general-purpose
+/// registers, fixed 4-byte instruction words, frame-pointer-relative
+/// load/store, port-mapped I/O and an index-addressed data segment.
+///
+/// Register convention:
+///   r0..r11  allocatable general-purpose registers (caller-saved)
+///   r0..r3   argument registers; r0 also carries return values
+///   r12..r15 reserved (unused by generated code; kept for ISA headroom)
+///
+/// Instruction word layout (little-endian 32-bit):
+///   bits  0..7   opcode
+///   bits  8..11  register field A
+///   bits 12..15  register field B
+///   bits 16..31  Imm16 (3-register ops keep register C in Imm16 bits 0..3)
+///
+/// Branch/jump targets are instruction indices *relative to the function
+/// entry*, and CALL takes a function-table index rather than an address.
+/// Both choices mean that moving a function in the image does not change
+/// its encoded bytes, matching the paper's per-function diff accounting
+/// (section 5.3: code shifting from neighboring functions is excluded).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_CODEGEN_SAVR_H
+#define UCC_CODEGEN_SAVR_H
+
+#include <cstdint>
+#include <string>
+
+namespace ucc {
+
+/// Number of physical registers visible to the allocators.
+constexpr int NumPhysRegs = 12;
+/// Argument registers r0..r3 (in order); r0 carries return values.
+constexpr int NumArgRegs = 4;
+constexpr int RetReg = 0;
+/// Machine virtual-register ids start here; anything below is physical.
+constexpr int FirstVReg = 16;
+
+/// Returns true for physical register ids.
+inline bool isPhysReg(int Reg) { return Reg >= 0 && Reg < FirstVReg; }
+/// Returns true for virtual register ids.
+inline bool isVirtReg(int Reg) { return Reg >= FirstVReg; }
+
+/// SAVR opcodes.
+enum class MOp : uint8_t {
+  NOP = 0,
+  HALT,
+  LDI,  ///< A <- Imm16
+  MOV,  ///< A <- B
+  // Three-register ALU: A <- B op C.
+  ADD,
+  SUB,
+  MUL,
+  DIV, ///< signed; division by zero yields 0
+  REM,
+  AND,
+  OR,
+  XOR,
+  SHL,
+  SHR, ///< arithmetic right shift
+  // Two-register ALU: A <- op B.
+  NEG,
+  NOTR,
+  // Compare and branch (flags live only between CMP and the next branch).
+  CMP, ///< compare A with B, set flags
+  BEQ,
+  BNE,
+  BLT,
+  BGE,
+  BGT,
+  BLE,
+  JMP,
+  CALL, ///< Imm16 = function-table index
+  RET,
+  // Data-segment access; Imm16 = word address (resolved from data layout).
+  LDG,  ///< A <- data[Imm]
+  STG,  ///< data[Imm] <- A
+  LDGX, ///< A <- data[Imm + B]
+  STGX, ///< data[Imm + B] <- A
+  // Frame access; Imm16 = word offset within the current frame.
+  LDF,  ///< A <- frame[Imm]
+  STF,  ///< frame[Imm] <- A
+  LDFX, ///< A <- frame[Imm + B]
+  STFX, ///< frame[Imm + B] <- A
+  // Port-mapped I/O.
+  IN,  ///< A <- port[Imm]
+  OUT, ///< port[Imm] <- A
+  // Frame allocation; first instruction of every function.
+  ENTER, ///< allocate Imm16 frame words
+  NumOpcodes
+};
+
+/// Well-known I/O ports used by the workload suite and the simulator.
+enum Port : int {
+  PortLed = 0,       ///< LED register (low 3 bits displayed)
+  PortRadioData = 1, ///< radio payload staging
+  PortRadioSend = 2, ///< writing N transmits a packet of the last N words
+  PortTimer = 3,     ///< reading yields the scripted timer tick count
+  PortSensor = 4,    ///< reading yields the next scripted sensor sample
+  PortDebug = 15     ///< writes are collected in the debug trace
+};
+
+/// Returns the mnemonic for \p Op.
+const char *mopName(MOp Op);
+
+/// Returns the cycle cost of \p Op. Branches cost an extra cycle when
+/// \p Taken (the table mirrors AVR-class cores; see DESIGN.md).
+int mopCycles(MOp Op, bool Taken = false);
+
+/// True for BEQ..BLE.
+bool isCondBranch(MOp Op);
+
+/// A decoded 4-byte SAVR instruction word.
+struct EncodedInstr {
+  MOp Op = MOp::NOP;
+  uint8_t A = 0;
+  uint8_t B = 0;
+  uint16_t Imm = 0;
+
+  /// Register C of three-register ALU ops lives in Imm bits 0..3.
+  uint8_t regC() const { return Imm & 0xf; }
+
+  uint32_t pack() const {
+    return static_cast<uint32_t>(Op) | (static_cast<uint32_t>(A & 0xf) << 8) |
+           (static_cast<uint32_t>(B & 0xf) << 12) |
+           (static_cast<uint32_t>(Imm) << 16);
+  }
+
+  static EncodedInstr unpack(uint32_t Word) {
+    EncodedInstr E;
+    E.Op = static_cast<MOp>(Word & 0xff);
+    E.A = (Word >> 8) & 0xf;
+    E.B = (Word >> 12) & 0xf;
+    E.Imm = static_cast<uint16_t>(Word >> 16);
+    return E;
+  }
+};
+
+/// Renders one encoded instruction as assembly text.
+std::string disassembleInstr(uint32_t Word);
+
+} // namespace ucc
+
+#endif // UCC_CODEGEN_SAVR_H

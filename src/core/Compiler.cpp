@@ -1,0 +1,208 @@
+//===- core/Compiler.cpp ------------------------------------------------------==//
+
+#include "core/Compiler.h"
+
+#include "analysis/IRAnalysis.h"
+#include "codegen/ISel.h"
+#include "frontend/IRGen.h"
+#include "ir/Verifier.h"
+#include "regalloc/LinearScan.h"
+#include "regalloc/Validator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ucc;
+
+namespace {
+
+/// Shared front half: parse, lower, verify, optimize, select.
+std::optional<std::pair<Module, MachineModule>>
+frontHalf(const std::string &Source, const CompileOptions &Opts,
+          DiagnosticEngine &Diag) {
+  Module M = compileToIR(Source, Diag);
+  if (Diag.hasErrors())
+    return std::nullopt;
+  if (M.EntryFunc < 0) {
+    Diag.error({}, "program has no 'main' function");
+    return std::nullopt;
+  }
+  std::vector<std::string> Problems = verifyModule(M);
+  if (!Problems.empty()) {
+    for (const std::string &P : Problems)
+      Diag.error({}, "internal: IR verification failed: " + P);
+    return std::nullopt;
+  }
+  optimizeModule(M, Opts.Opt);
+  assert(moduleIsValid(M) && "optimizer broke the module");
+  return std::make_pair(std::move(M), MachineModule());
+}
+
+/// Builds the record from a finished compilation.
+CompilationRecord buildRecord(const Module &M, const MachineModule &MM,
+                              const DataLayoutMap &DL,
+                              const std::vector<FrameLayout> &Frames) {
+  CompilationRecord Rec;
+  for (const Function &F : M.Functions)
+    Rec.FunctionNames.push_back(F.Name);
+  for (const GlobalVar &G : M.Globals)
+    Rec.GlobalNames.push_back(G.Name);
+  Rec.FinalCode = MM.Functions;
+  for (const FrameLayout &FL : Frames)
+    Rec.FrameOffsets.push_back(FL.Offsets);
+  Rec.GlobalLayout = toOldLayout(M, DL);
+  return Rec;
+}
+
+/// Back half shared by compile and recompile: allocate registers, lay out
+/// data, encode, and assemble the output.
+CompileOutput backHalf(Module M, const CompileOptions &Opts,
+                       const CompilationRecord *OldRecord) {
+  CompileOutput Out;
+  Out.MachineCode = selectModule(M);
+
+  // Name tables for cross-version symbol resolution.
+  std::vector<std::string> NewGlobalNames, NewFunctionNames;
+  for (const GlobalVar &G : M.Globals)
+    NewGlobalNames.push_back(G.Name);
+  for (const Function &F : M.Functions)
+    NewFunctionNames.push_back(F.Name);
+
+  bool UseUcc = Opts.RA == RegAllocKind::UpdateConscious &&
+                OldRecord != nullptr;
+
+  for (size_t F = 0; F < Out.MachineCode.Functions.size(); ++F) {
+    MachineFunction &MF = Out.MachineCode.Functions[F];
+    if (UseUcc) {
+      UccContext Ctx;
+      int OldIdx = OldRecord->findFunction(MF.Name);
+      Ctx.OldFinal =
+          OldIdx >= 0
+              ? &OldRecord->FinalCode[static_cast<size_t>(OldIdx)]
+              : nullptr;
+      Ctx.OldGlobalNames = &OldRecord->GlobalNames;
+      Ctx.OldFunctionNames = &OldRecord->FunctionNames;
+      Ctx.NewGlobalNames = &NewGlobalNames;
+      Ctx.NewFunctionNames = &NewFunctionNames;
+
+      UccAllocOptions UccOpts = Opts.Ucc;
+      UccOpts.EtransInstr = Opts.Energy.instrTransmissionEnergy();
+      UccOpts.EexeCycle = Opts.Energy.energyPerCycle();
+
+      // Measured profile when the caller supplied one, else the static
+      // loop-depth estimate.
+      std::vector<double> Freq;
+      auto Profiled = Opts.ProfiledFreq.find(MF.Name);
+      if (Profiled != Opts.ProfiledFreq.end())
+        Freq = Profiled->second;
+      else
+        Freq = statementFrequencies(M.Functions[F]);
+      Freq.resize(static_cast<size_t>(M.Functions[F].instrCount()), 1.0);
+      Out.RegAllocStats.push_back(allocateUcc(MF, Ctx, UccOpts, Freq));
+    } else {
+      allocateLinearScan(MF);
+      Out.RegAllocStats.push_back(UccAllocStats{});
+    }
+    assert(validateAllocation(MF).empty() &&
+           "register allocation failed validation");
+  }
+
+  // Data layout.
+  if (Opts.DA == DataAllocKind::UpdateConscious && OldRecord)
+    Out.Layout = layoutGlobalsUpdateConscious(
+        M, OldRecord->GlobalLayout, Opts.UccDa, &Out.DataAllocStats);
+  else
+    Out.Layout = layoutGlobalsBaseline(M);
+
+  std::vector<FrameLayout> Frames;
+  for (const MachineFunction &MF : Out.MachineCode.Functions) {
+    int OldIdx = UseUcc && Opts.DA == DataAllocKind::UpdateConscious
+                     ? OldRecord->findFunction(MF.Name)
+                     : -1;
+    if (OldIdx >= 0 &&
+        static_cast<size_t>(OldIdx) < OldRecord->FrameOffsets.size())
+      Frames.push_back(layoutFrameUpdateConscious(
+          MF,
+          OldRecord->FinalCode[static_cast<size_t>(OldIdx)].FrameObjects,
+          OldRecord->FrameOffsets[static_cast<size_t>(OldIdx)],
+          Opts.UccDa));
+    else
+      Frames.push_back(layoutFrame(MF));
+  }
+
+  Out.Image = encodeModule(Out.MachineCode, M, Out.Layout, Frames,
+                           &Out.EncodedIRIndex);
+  Out.Record = buildRecord(M, Out.MachineCode, Out.Layout, Frames);
+  Out.IR = std::move(M);
+  return Out;
+}
+
+} // namespace
+
+std::optional<CompileOutput> Compiler::compile(const std::string &Source,
+                                               const CompileOptions &Opts,
+                                               DiagnosticEngine &Diag) {
+  auto Front = frontHalf(Source, Opts, Diag);
+  if (!Front)
+    return std::nullopt;
+  return backHalf(std::move(Front->first), Opts, /*OldRecord=*/nullptr);
+}
+
+std::optional<CompileOutput>
+Compiler::recompile(const std::string &Source,
+                    const CompilationRecord &OldRecord,
+                    const CompileOptions &Opts, DiagnosticEngine &Diag) {
+  auto Front = frontHalf(Source, Opts, Diag);
+  if (!Front)
+    return std::nullopt;
+  return backHalf(std::move(Front->first), Opts, &OldRecord);
+}
+
+std::map<std::string, std::vector<double>>
+ucc::profiledStatementFrequencies(const CompileOutput &Out,
+                                  const std::vector<uint64_t> &InstrCounts) {
+  std::map<std::string, std::vector<double>> Freq;
+  if (InstrCounts.size() != Out.Image.Code.size())
+    return Freq; // profile does not belong to this image
+
+  // Normalizer: one "run" is one execution of the entry function's body.
+  double Runs = 1.0;
+  if (Out.Image.EntryFunc >= 0) {
+    const FunctionSpan &Entry =
+        Out.Image.Functions[static_cast<size_t>(Out.Image.EntryFunc)];
+    Runs = std::max<double>(1.0, static_cast<double>(
+                                     InstrCounts[Entry.Start]));
+  }
+
+  for (size_t F = 0; F < Out.Image.Functions.size(); ++F) {
+    const FunctionSpan &Span = Out.Image.Functions[F];
+    const std::vector<int> &IRIdx = Out.EncodedIRIndex[F];
+    int MaxIR = -1;
+    for (int Idx : IRIdx)
+      MaxIR = std::max(MaxIR, Idx);
+    std::vector<double> Table(static_cast<size_t>(MaxIR + 1), 0.0);
+    for (size_t K = 0; K < IRIdx.size(); ++K) {
+      if (IRIdx[K] < 0)
+        continue;
+      double Count =
+          static_cast<double>(InstrCounts[Span.Start + K]) / Runs;
+      Table[static_cast<size_t>(IRIdx[K])] =
+          std::max(Table[static_cast<size_t>(IRIdx[K])], Count);
+    }
+    // Never-executed statements keep a small floor so the cost model does
+    // not treat them as free.
+    for (double &W : Table)
+      W = std::max(W, 0.01);
+    Freq[Span.Name] = std::move(Table);
+  }
+  return Freq;
+}
+
+UpdatePackage ucc::makeUpdate(const CompileOutput &Old,
+                              const CompileOutput &New) {
+  UpdatePackage Pkg;
+  Pkg.Update = makeImageUpdate(Old.Image, New.Image);
+  Pkg.Diff = diffImages(Old.Image, New.Image);
+  Pkg.ScriptBytes = Pkg.Update.scriptBytes();
+  return Pkg;
+}

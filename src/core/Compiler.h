@@ -1,0 +1,125 @@
+//===- core/Compiler.h - the update-conscious compiler driver -------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the library: the sink-side compiler of the
+/// paper's Fig. 1. `compile` performs an initial compilation and records
+/// its code-generation decisions; `recompile` compiles an updated source
+/// either update-obliviously (the GCC-RA/GCC-DA baseline) or update-
+/// consciously against the stored record (UCC-RA/UCC-DA); `makeUpdate`
+/// summarizes the binary difference as the edit script a sensor applies
+/// (Fig. 2).
+///
+/// Typical use:
+/// \code
+///   DiagnosticEngine Diag;
+///   auto V1 = Compiler::compile(SourceV1, {}, Diag);
+///   CompileOptions Opts;
+///   Opts.RA = RegAllocKind::UpdateConscious;
+///   Opts.DA = DataAllocKind::UpdateConscious;
+///   auto V2 = Compiler::recompile(SourceV2, V1->Record, Opts, Diag);
+///   UpdatePackage Pkg = makeUpdate(*V1, *V2);
+///   // Pkg.ScriptBytes go over the radio; sensors run applyUpdate().
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_CORE_COMPILER_H
+#define UCC_CORE_COMPILER_H
+
+#include "codegen/BinaryImage.h"
+#include "core/Record.h"
+#include "dataalloc/DataAlloc.h"
+#include "diff/ImageDiff.h"
+#include "energy/EnergyModel.h"
+#include "opt/Passes.h"
+#include "regalloc/UccAlloc.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ucc {
+
+/// Which register allocator a recompilation uses.
+enum class RegAllocKind { Baseline, UpdateConscious };
+
+/// Compiler configuration.
+struct CompileOptions {
+  OptLevel Opt = OptLevel::O1;
+  RegAllocKind RA = RegAllocKind::Baseline;
+  DataAllocKind DA = DataAllocKind::BaselineHash;
+  UccAllocOptions Ucc;   ///< UCC-RA knobs (K, Cnt, strategy, splits)
+  UccDaOptions UccDa;    ///< UCC-DA knobs (SpaceT)
+  EnergyModel Energy;    ///< fills the UCC cost terms
+  /// Measured `freq(s)` per function name (index = IR statement index).
+  /// When a function has an entry here, UCC-RA uses it instead of the
+  /// static loop-depth estimate. Build one with
+  /// profiledStatementFrequencies().
+  std::map<std::string, std::vector<double>> ProfiledFreq;
+};
+
+/// Everything a compilation produces.
+struct CompileOutput {
+  Module IR;                 ///< optimized IR
+  MachineModule MachineCode; ///< final, register-allocated
+  BinaryImage Image;
+  CompilationRecord Record;  ///< what the sink stores for next time
+  DataLayoutMap Layout;
+  std::vector<UccAllocStats> RegAllocStats; ///< per function (UCC runs)
+  RegionLayout DataAllocStats;              ///< UCC-DA region statistics
+  /// Per function, the originating IR-statement index of every encoded
+  /// instruction (-1 for compiler-inserted code). Bridges simulator
+  /// profiles back to `freq(s)`.
+  std::vector<std::vector<int>> EncodedIRIndex;
+};
+
+/// The compiler facade.
+class Compiler {
+public:
+  /// Initial compilation (no previous decisions).
+  static std::optional<CompileOutput> compile(const std::string &Source,
+                                              const CompileOptions &Opts,
+                                              DiagnosticEngine &Diag);
+
+  /// Compiles updated \p Source against \p OldRecord. With
+  /// RegAllocKind::Baseline this is the update-oblivious baseline (the
+  /// record is ignored except for UCC-DA when selected).
+  static std::optional<CompileOutput>
+  recompile(const std::string &Source, const CompilationRecord &OldRecord,
+            const CompileOptions &Opts, DiagnosticEngine &Diag);
+};
+
+/// The dissemination-ready summary of one update.
+struct UpdatePackage {
+  ImageUpdate Update;  ///< per-function edit scripts + data delta
+  ImageDiff Diff;      ///< Diff_inst metrics
+  size_t ScriptBytes = 0;
+};
+
+/// Builds the update package from two compilations.
+UpdatePackage makeUpdate(const CompileOutput &Old, const CompileOutput &New);
+
+/// Converts a profiled simulator run of \p Out's image into measured
+/// `freq(s)` tables (per function name, indexed by IR statement), suitable
+/// for CompileOptions::ProfiledFreq. Counts are normalized so the entry
+/// function's first statement has frequency 1; statements that never ran
+/// get a small non-zero floor. The run must have been collected with
+/// SimOptions::CollectProfile on the same image.
+///
+/// Profiles are measured on the *deployed* (old) version and applied to
+/// the updated one — the paper's usage. Statement indices drift where the
+/// source changed, so treat the result as the estimate it is; unchanged
+/// regions (the ones whose allocation decisions matter) line up.
+std::map<std::string, std::vector<double>>
+profiledStatementFrequencies(const CompileOutput &Out,
+                             const std::vector<uint64_t> &InstrCounts);
+
+} // namespace ucc
+
+#endif // UCC_CORE_COMPILER_H

@@ -1,0 +1,55 @@
+//===- core/Record.h - the sink-side compilation record -------------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CompilationRecord is what makes the compiler *update-conscious*
+/// (paper section 2): the sink keeps, alongside each deployed image, the
+/// code-generation decisions that produced it — the final register-
+/// allocated machine code (with per-operand virtual-register provenance,
+/// i.e. which variable each register held) and the data layout. When the
+/// source is updated, the compiler recompiles against this record so the
+/// new binary matches the old one wherever possible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_CORE_RECORD_H
+#define UCC_CORE_RECORD_H
+
+#include "codegen/MachineIR.h"
+#include "dataalloc/DataAlloc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ucc {
+
+/// Everything the sink remembers about one compilation.
+struct CompilationRecord {
+  /// Old module's function names, in function-index order (resolves the
+  /// Callee indices inside FinalCode across versions).
+  std::vector<std::string> FunctionNames;
+  /// Old module's global names, in global-index order.
+  std::vector<std::string> GlobalNames;
+  /// Final (register-allocated) machine code per function, parallel to
+  /// FunctionNames. Operand provenance lives in MInstr::VA/VB/VC.
+  std::vector<MachineFunction> FinalCode;
+  /// Frame-object word offsets per function (parallel to FinalCode's
+  /// FrameObjects), as encoded into the deployed image.
+  std::vector<std::vector<int>> FrameOffsets;
+  /// The data layout the old image used.
+  OldRegionLayout GlobalLayout;
+
+  int findFunction(const std::string &Name) const;
+
+  std::vector<uint8_t> serialize() const;
+  static bool deserialize(const std::vector<uint8_t> &Bytes,
+                          CompilationRecord &Out);
+};
+
+} // namespace ucc
+
+#endif // UCC_CORE_RECORD_H

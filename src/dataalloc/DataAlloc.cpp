@@ -1,0 +1,345 @@
+//===- dataalloc/DataAlloc.cpp ------------------------------------------------==//
+
+#include "dataalloc/DataAlloc.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ucc;
+
+const OldRegionLayout::Entry *
+OldRegionLayout::find(const std::string &Name) const {
+  for (const Entry &E : Entries)
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline: hash-table iteration order
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// djb2 string hash — any stable hash works; what matters is that layout
+/// order depends on *names*, reproducing the gcc behavior of section 5.7.
+unsigned nameHash(const std::string &S) {
+  unsigned H = 5381;
+  for (char C : S)
+    H = H * 33 + static_cast<unsigned char>(C);
+  return H;
+}
+
+constexpr unsigned NumBuckets = 16;
+
+} // namespace
+
+RegionLayout ucc::allocateRegionBaseline(const std::vector<RegionVar> &Vars) {
+  // Chained hash table with newest-first buckets, iterated in bucket order.
+  std::vector<std::vector<const RegionVar *>> Buckets(NumBuckets);
+  for (const RegionVar &V : Vars) {
+    auto &Bucket = Buckets[nameHash(V.Name) % NumBuckets];
+    Bucket.insert(Bucket.begin(), &V);
+  }
+
+  RegionLayout Out;
+  int Offset = 0;
+  for (const auto &Bucket : Buckets) {
+    for (const RegionVar *V : Bucket) {
+      Out.Offsets[V->Name] = Offset;
+      Offset += V->SizeWords;
+    }
+  }
+  Out.Words = Offset;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// UCC-DA: threshold-based incremental layout
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Mutable word-granular occupancy state for one region while the
+/// update-conscious allocator works on it.
+struct RegionState {
+  const RegionSpec *Spec = nullptr;
+  std::map<std::string, int> Offsets; // placed variables
+  std::vector<bool> Used;             // word occupancy
+
+  int words() const { return static_cast<int>(Used.size()); }
+
+  void ensure(int Words) {
+    if (Words > words())
+      Used.resize(static_cast<size_t>(Words), false);
+  }
+
+  void place(const std::string &Name, int Offset, int Size) {
+    ensure(Offset + Size);
+    for (int K = 0; K < Size; ++K) {
+      assert(!Used[static_cast<size_t>(Offset + K)] &&
+             "overlapping placement");
+      Used[static_cast<size_t>(Offset + K)] = true;
+    }
+    Offsets[Name] = Offset;
+  }
+
+  void release(int Offset, int Size) {
+    for (int K = 0; K < Size; ++K)
+      Used[static_cast<size_t>(Offset + K)] = false;
+  }
+
+  /// First-fit hole of at least \p Size words strictly below \p Limit
+  /// (pass INT_MAX for "anywhere"). Returns -1 when none exists.
+  int findHole(int Size, int Limit) const {
+    int Run = 0;
+    for (int P = 0; P < words() && P < Limit; ++P) {
+      Run = Used[static_cast<size_t>(P)] ? 0 : Run + 1;
+      if (Run >= Size) {
+        int Start = P - Size + 1;
+        if (Start + Size <= Limit)
+          return Start;
+      }
+    }
+    return -1;
+  }
+
+  /// Drops unused words at the end of the region.
+  void trimTrailing() {
+    while (!Used.empty() && !Used.back())
+      Used.pop_back();
+  }
+
+  int holeWords() const {
+    int N = 0;
+    for (bool B : Used)
+      N += B ? 0 : 1;
+    return N;
+  }
+
+  const RegionVar *varByName(const std::string &Name) const {
+    for (const RegionVar &V : Spec->Vars)
+      if (V.Name == Name)
+        return &V;
+    return nullptr;
+  }
+
+  /// The variable at the highest offset ("last variable", eq. 17).
+  const RegionVar *lastVar(int *OffsetOut) const {
+    const RegionVar *Best = nullptr;
+    int BestOffset = -1;
+    for (const auto &[Name, Offset] : Offsets) {
+      if (Offset > BestOffset) {
+        const RegionVar *V = varByName(Name);
+        if (V) {
+          Best = V;
+          BestOffset = Offset;
+        }
+      }
+    }
+    if (OffsetOut)
+      *OffsetOut = BestOffset;
+    return Best;
+  }
+};
+
+} // namespace
+
+std::vector<RegionLayout>
+ucc::allocateRegionsUpdateConscious(const std::vector<RegionSpec> &Regions,
+                                    const UccDaOptions &Opts) {
+  std::vector<RegionState> States(Regions.size());
+  std::vector<RegionLayout> Results(Regions.size());
+
+  // Phase 1 per region: keep surviving variables in place, then fill holes
+  // with new variables, appending only when no hole fits.
+  for (size_t R = 0; R < Regions.size(); ++R) {
+    RegionState &S = States[R];
+    S.Spec = &Regions[R];
+    S.ensure(Regions[R].Old.Words);
+
+    for (const RegionVar &V : Regions[R].Vars) {
+      const OldRegionLayout::Entry *E = Regions[R].Old.find(V.Name);
+      if (E && E->SizeWords == V.SizeWords)
+        S.place(V.Name, E->Offset, V.SizeWords);
+    }
+    for (const RegionVar &V : Regions[R].Vars) {
+      if (S.Offsets.count(V.Name))
+        continue;
+      int Hole = S.findHole(V.SizeWords, /*Limit=*/1 << 30);
+      int At = Hole >= 0 ? Hole : S.words();
+      S.place(V.Name, At, V.SizeWords);
+    }
+    S.trimTrailing();
+  }
+
+  // Phase 2: reclaim leftover holes (eq. 16/17). Keep relocating the last
+  // variable of the region maximizing Depth / Usage(last) until the wasted
+  // space is within SpaceT or no further relocation is possible.
+  auto wasted = [&]() {
+    long long W = 0;
+    for (RegionState &S : States)
+      W += static_cast<long long>(S.holeWords()) * S.Spec->Depth;
+    return W;
+  };
+
+  while (wasted() > Opts.SpaceT) {
+    // Pick the best region per eq. 17 among those that can actually move
+    // their last variable into an earlier hole.
+    int BestRegion = -1;
+    double BestScore = -1.0;
+    int BestHole = -1, BestOffset = -1;
+    const RegionVar *BestVar = nullptr;
+
+    for (size_t R = 0; R < States.size(); ++R) {
+      RegionState &S = States[R];
+      if (S.holeWords() == 0)
+        continue;
+      int LastOffset = -1;
+      const RegionVar *Last = S.lastVar(&LastOffset);
+      if (!Last)
+        continue;
+      int Hole = S.findHole(Last->SizeWords, LastOffset);
+      if (Hole < 0)
+        continue;
+      double Score = static_cast<double>(S.Spec->Depth) /
+                     std::max(1, Last->Usage);
+      if (Score > BestScore) {
+        BestScore = Score;
+        BestRegion = static_cast<int>(R);
+        BestHole = Hole;
+        BestOffset = LastOffset;
+        BestVar = Last;
+      }
+    }
+    if (BestRegion < 0)
+      break; // nothing can be reclaimed
+
+    RegionState &S = States[static_cast<size_t>(BestRegion)];
+    S.release(BestOffset, BestVar->SizeWords);
+    S.Offsets.erase(BestVar->Name);
+    S.place(BestVar->Name, BestHole, BestVar->SizeWords);
+    S.trimTrailing();
+    ++Results[static_cast<size_t>(BestRegion)].RelocatedVars;
+  }
+
+  for (size_t R = 0; R < States.size(); ++R) {
+    States[R].trimTrailing();
+    Results[R].Offsets = States[R].Offsets;
+    Results[R].Words = States[R].words();
+    Results[R].HoleWords = States[R].holeWords();
+  }
+  return Results;
+}
+
+//===----------------------------------------------------------------------===//
+// Module-level wrappers
+//===----------------------------------------------------------------------===//
+
+std::vector<int> ucc::globalUsageCounts(const Module &M) {
+  std::vector<int> Counts(M.Globals.size(), 0);
+  for (const Function &F : M.Functions)
+    for (const BasicBlock &BB : F.Blocks)
+      for (const Instr &I : BB.Instrs)
+        if ((I.Op == Opcode::LoadG || I.Op == Opcode::StoreG) &&
+            I.Global >= 0)
+          ++Counts[static_cast<size_t>(I.Global)];
+  return Counts;
+}
+
+namespace {
+
+std::vector<RegionVar> regionVarsFor(const Module &M) {
+  std::vector<int> Usage = globalUsageCounts(M);
+  std::vector<RegionVar> Vars;
+  Vars.reserve(M.Globals.size());
+  for (size_t G = 0; G < M.Globals.size(); ++G)
+    Vars.push_back(RegionVar{M.Globals[G].Name, M.Globals[G].SizeWords,
+                             std::max(1, Usage[G])});
+  return Vars;
+}
+
+DataLayoutMap toDataLayoutMap(const Module &M, const RegionLayout &Layout) {
+  DataLayoutMap DL;
+  DL.GlobalOffsets.resize(M.Globals.size(), 0);
+  int Words = Layout.Words;
+  for (size_t G = 0; G < M.Globals.size(); ++G) {
+    auto It = Layout.Offsets.find(M.Globals[G].Name);
+    assert(It != Layout.Offsets.end() && "global missing from layout");
+    DL.GlobalOffsets[G] = It->second;
+    Words = std::max(Words, It->second + M.Globals[G].SizeWords);
+  }
+  DL.DataWords = Words;
+  return DL;
+}
+
+} // namespace
+
+DataLayoutMap ucc::layoutGlobalsBaseline(const Module &M) {
+  return toDataLayoutMap(M, allocateRegionBaseline(regionVarsFor(M)));
+}
+
+DataLayoutMap ucc::layoutGlobalsUpdateConscious(const Module &M,
+                                                const OldRegionLayout &Old,
+                                                const UccDaOptions &Opts,
+                                                RegionLayout *StatsOut) {
+  RegionSpec Spec;
+  Spec.Vars = regionVarsFor(M);
+  Spec.Old = Old;
+  Spec.Depth = 1; // the globals segment exists exactly once
+  std::vector<RegionLayout> Layouts =
+      allocateRegionsUpdateConscious({Spec}, Opts);
+  if (StatsOut)
+    *StatsOut = Layouts[0];
+  return toDataLayoutMap(M, Layouts[0]);
+}
+
+OldRegionLayout ucc::toOldLayout(const Module &M, const DataLayoutMap &DL) {
+  OldRegionLayout Old;
+  Old.Words = DL.DataWords;
+  for (size_t G = 0; G < M.Globals.size(); ++G)
+    Old.Entries.push_back(OldRegionLayout::Entry{
+        M.Globals[G].Name, DL.GlobalOffsets[G], M.Globals[G].SizeWords});
+  return Old;
+}
+
+FrameLayout ucc::layoutFrameUpdateConscious(
+    const MachineFunction &MF, const std::vector<MFrameObject> &OldObjects,
+    const std::vector<int> &OldOffsets, const UccDaOptions &Opts) {
+  assert(OldObjects.size() == OldOffsets.size() &&
+         "old frame layout arrays must be parallel");
+  RegionSpec Spec;
+  for (const MFrameObject &FO : MF.FrameObjects)
+    Spec.Vars.push_back(RegionVar{FO.Name, FO.SizeWords, 1});
+  Spec.Old.Words = 0;
+  for (size_t K = 0; K < OldObjects.size(); ++K) {
+    Spec.Old.Entries.push_back(OldRegionLayout::Entry{
+        OldObjects[K].Name, OldOffsets[K], OldObjects[K].SizeWords});
+    Spec.Old.Words = std::max(
+        Spec.Old.Words, OldOffsets[K] + OldObjects[K].SizeWords);
+  }
+  Spec.Depth = 1;
+
+  std::vector<RegionLayout> Layouts =
+      allocateRegionsUpdateConscious({Spec}, Opts);
+  FrameLayout FL;
+  FL.FrameWords = Layouts[0].Words;
+  for (const MFrameObject &FO : MF.FrameObjects) {
+    auto It = Layouts[0].Offsets.find(FO.Name);
+    assert(It != Layouts[0].Offsets.end() && "frame object missing");
+    FL.Offsets.push_back(It->second);
+  }
+  return FL;
+}
+
+FrameLayout ucc::layoutFrame(const MachineFunction &MF) {
+  FrameLayout FL;
+  FL.Offsets.reserve(MF.FrameObjects.size());
+  int Offset = 0;
+  for (const MFrameObject &FO : MF.FrameObjects) {
+    FL.Offsets.push_back(Offset);
+    Offset += FO.SizeWords;
+  }
+  FL.FrameWords = Offset;
+  return FL;
+}

@@ -1,0 +1,58 @@
+//===- diff/Align.h - generic LCS alignment --------------------------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generic longest-common-subsequence alignment over an arbitrary equality
+/// predicate. The word-level binary differ and UCC-RA's machine-instruction
+/// aligner both build on this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_DIFF_ALIGN_H
+#define UCC_DIFF_ALIGN_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace ucc {
+
+/// Computes an LCS alignment between sequences of lengths \p M and \p N
+/// under \p Equal(i, j). Returns matched index pairs, strictly increasing
+/// in both components. O(M*N) time and space.
+template <typename EqualFn>
+std::vector<std::pair<int, int>> lcsAlign(size_t M, size_t N, EqualFn Equal) {
+  std::vector<uint32_t> Table((M + 1) * (N + 1), 0);
+  auto At = [&](size_t I, size_t J) -> uint32_t & {
+    return Table[I * (N + 1) + J];
+  };
+  for (size_t I = M; I-- > 0;) {
+    for (size_t J = N; J-- > 0;) {
+      if (Equal(I, J))
+        At(I, J) = At(I + 1, J + 1) + 1;
+      else
+        At(I, J) = std::max(At(I + 1, J), At(I, J + 1));
+    }
+  }
+  std::vector<std::pair<int, int>> Matches;
+  size_t I = 0, J = 0;
+  while (I < M && J < N) {
+    if (Equal(I, J)) {
+      Matches.push_back({static_cast<int>(I), static_cast<int>(J)});
+      ++I;
+      ++J;
+    } else if (At(I + 1, J) >= At(I, J + 1)) {
+      ++I;
+    } else {
+      ++J;
+    }
+  }
+  return Matches;
+}
+
+} // namespace ucc
+
+#endif // UCC_DIFF_ALIGN_H

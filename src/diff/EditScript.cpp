@@ -1,0 +1,211 @@
+//===- diff/EditScript.cpp ----------------------------------------------------==//
+
+#include "diff/EditScript.h"
+
+#include "support/ByteStream.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ucc;
+
+namespace {
+
+/// Maximum word count representable in one primitive byte (6 bits).
+constexpr uint32_t MaxChunk = 63;
+
+/// Number of <=63-word chunks needed for \p Count words.
+size_t chunksFor(uint32_t Count) { return (Count + MaxChunk - 1) / MaxChunk; }
+
+} // namespace
+
+size_t EditScript::encodedBytes() const {
+  size_t Bytes = 0;
+  for (const EditPrim &P : Prims) {
+    if (P.Count == 0)
+      continue;
+    switch (P.Op) {
+    case EditOp::Copy:
+    case EditOp::Remove:
+      Bytes += chunksFor(P.Count);
+      break;
+    case EditOp::Insert:
+    case EditOp::Replace:
+      Bytes += chunksFor(P.Count) + static_cast<size_t>(P.Count) * 4;
+      break;
+    }
+  }
+  return Bytes;
+}
+
+size_t EditScript::primitiveCount() const {
+  size_t N = 0;
+  for (const EditPrim &P : Prims)
+    if (P.Count != 0)
+      N += chunksFor(P.Count);
+  return N;
+}
+
+std::vector<uint8_t> EditScript::encode() const {
+  ByteWriter W;
+  for (const EditPrim &P : Prims) {
+    uint32_t Remaining = P.Count;
+    uint32_t WordPos = 0;
+    while (Remaining > 0) {
+      uint32_t Chunk = std::min(Remaining, MaxChunk);
+      W.writeU8(static_cast<uint8_t>((static_cast<uint8_t>(P.Op) << 6) |
+                                     Chunk));
+      if (P.Op == EditOp::Insert || P.Op == EditOp::Replace) {
+        for (uint32_t K = 0; K < Chunk; ++K)
+          W.writeU32(P.Words[WordPos + K]);
+        WordPos += Chunk;
+      }
+      Remaining -= Chunk;
+    }
+  }
+  return W.take();
+}
+
+bool EditScript::decode(const std::vector<uint8_t> &Bytes, EditScript &Out) {
+  Out.Prims.clear();
+  ByteReader R(Bytes);
+  while (!R.atEnd() && !R.hadError()) {
+    uint8_t Head = R.readU8();
+    EditPrim P;
+    P.Op = static_cast<EditOp>(Head >> 6);
+    P.Count = Head & 0x3f;
+    if (P.Count == 0)
+      return false; // zero-length primitives are never produced
+    if (P.Op == EditOp::Insert || P.Op == EditOp::Replace) {
+      P.Words.reserve(P.Count);
+      for (uint32_t K = 0; K < P.Count; ++K)
+        P.Words.push_back(R.readU32());
+    }
+    Out.Prims.push_back(std::move(P));
+  }
+  return !R.hadError();
+}
+
+std::vector<std::pair<int, int>>
+ucc::alignWords(const std::vector<uint32_t> &Old,
+                const std::vector<uint32_t> &New) {
+  size_t M = Old.size(), N = New.size();
+  // Classic O(M*N) LCS table; workload functions are a few thousand words
+  // at most, so the quadratic table is cheap and exact (the paper compares
+  // against the *best possible* binary match, section 5.3).
+  std::vector<uint32_t> Table((M + 1) * (N + 1), 0);
+  auto At = [&](size_t I, size_t J) -> uint32_t & {
+    return Table[I * (N + 1) + J];
+  };
+  for (size_t I = M; I-- > 0;) {
+    for (size_t J = N; J-- > 0;) {
+      if (Old[I] == New[J])
+        At(I, J) = At(I + 1, J + 1) + 1;
+      else
+        At(I, J) = std::max(At(I + 1, J), At(I, J + 1));
+    }
+  }
+
+  std::vector<std::pair<int, int>> Matches;
+  size_t I = 0, J = 0;
+  while (I < M && J < N) {
+    if (Old[I] == New[J]) {
+      Matches.push_back({static_cast<int>(I), static_cast<int>(J)});
+      ++I;
+      ++J;
+    } else if (At(I + 1, J) >= At(I, J + 1)) {
+      ++I;
+    } else {
+      ++J;
+    }
+  }
+  return Matches;
+}
+
+EditScript ucc::makeEditScript(const std::vector<uint32_t> &Old,
+                               const std::vector<uint32_t> &New) {
+  std::vector<std::pair<int, int>> Matches = alignWords(Old, New);
+  EditScript Script;
+
+  auto push = [&](EditOp Op, uint32_t Count,
+                  std::vector<uint32_t> Words = {}) {
+    if (Count == 0)
+      return;
+    // Merge adjacent primitives of the same kind.
+    if (!Script.Prims.empty() && Script.Prims.back().Op == Op) {
+      EditPrim &Last = Script.Prims.back();
+      Last.Count += Count;
+      Last.Words.insert(Last.Words.end(), Words.begin(), Words.end());
+      return;
+    }
+    Script.Prims.push_back(EditPrim{Op, Count, std::move(Words)});
+  };
+
+  size_t OldPos = 0, NewPos = 0;
+  auto emitGap = [&](size_t OldEnd, size_t NewEnd) {
+    size_t Removed = OldEnd - OldPos;
+    size_t Inserted = NewEnd - NewPos;
+    // A paired removal+insertion becomes a cheaper Replace.
+    size_t Replaced = std::min(Removed, Inserted);
+    if (Replaced > 0) {
+      std::vector<uint32_t> Words(New.begin() + NewPos,
+                                  New.begin() + NewPos + Replaced);
+      push(EditOp::Replace, static_cast<uint32_t>(Replaced),
+           std::move(Words));
+    }
+    if (Removed > Replaced)
+      push(EditOp::Remove, static_cast<uint32_t>(Removed - Replaced));
+    if (Inserted > Replaced) {
+      std::vector<uint32_t> Words(New.begin() + NewPos + Replaced,
+                                  New.begin() + NewEnd);
+      push(EditOp::Insert, static_cast<uint32_t>(Inserted - Replaced),
+           std::move(Words));
+    }
+    OldPos = OldEnd;
+    NewPos = NewEnd;
+  };
+
+  for (const auto &[OldIdx, NewIdx] : Matches) {
+    emitGap(static_cast<size_t>(OldIdx), static_cast<size_t>(NewIdx));
+    push(EditOp::Copy, 1);
+    ++OldPos;
+    ++NewPos;
+  }
+  emitGap(Old.size(), New.size());
+  return Script;
+}
+
+bool ucc::applyEditScript(const std::vector<uint32_t> &Old,
+                          const EditScript &Script,
+                          std::vector<uint32_t> &Out) {
+  Out.clear();
+  size_t OldPos = 0;
+  for (const EditPrim &P : Script.Prims) {
+    switch (P.Op) {
+    case EditOp::Copy:
+      if (OldPos + P.Count > Old.size())
+        return false;
+      Out.insert(Out.end(), Old.begin() + OldPos,
+                 Old.begin() + OldPos + P.Count);
+      OldPos += P.Count;
+      break;
+    case EditOp::Remove:
+      if (OldPos + P.Count > Old.size())
+        return false;
+      OldPos += P.Count;
+      break;
+    case EditOp::Insert:
+      if (P.Words.size() != P.Count)
+        return false;
+      Out.insert(Out.end(), P.Words.begin(), P.Words.end());
+      break;
+    case EditOp::Replace:
+      if (P.Words.size() != P.Count || OldPos + P.Count > Old.size())
+        return false;
+      Out.insert(Out.end(), P.Words.begin(), P.Words.end());
+      OldPos += P.Count;
+      break;
+    }
+  }
+  return OldPos == Old.size();
+}

@@ -1,0 +1,68 @@
+//===- diff/EditScript.h - edit scripts over instruction words ------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary diffing and edit scripts, operating on 4-byte SAVR instruction
+/// words. The script language is the paper's (section 2.2): four primitives
+/// — copy / remove (one byte each, carrying a length) and insert / replace
+/// (a one-byte opcode followed by the raw instruction words). The encoded
+/// script is what gets transmitted over the WSN; its byte size drives the
+/// transmission-energy term of every experiment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_DIFF_EDITSCRIPT_H
+#define UCC_DIFF_EDITSCRIPT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ucc {
+
+/// The four update primitives of section 2.2.
+enum class EditOp : uint8_t { Copy = 0, Remove = 1, Insert = 2, Replace = 3 };
+
+/// One primitive. Count is in instruction words; Insert/Replace carry the
+/// words themselves.
+struct EditPrim {
+  EditOp Op = EditOp::Copy;
+  uint32_t Count = 0;
+  std::vector<uint32_t> Words;
+};
+
+/// An edit script transforming one word sequence into another.
+struct EditScript {
+  std::vector<EditPrim> Prims;
+
+  /// Encoded size in bytes: copy/remove cost 1 byte per <=63 words;
+  /// insert/replace cost 1 byte + 4 bytes per word (split every 63).
+  size_t encodedBytes() const;
+
+  /// Number of primitives after length splitting (packet-count estimates).
+  size_t primitiveCount() const;
+
+  std::vector<uint8_t> encode() const;
+  static bool decode(const std::vector<uint8_t> &Bytes, EditScript &Out);
+};
+
+/// Longest-common-subsequence alignment of \p Old and \p New. Returns
+/// matched index pairs (OldIdx, NewIdx), strictly increasing in both.
+std::vector<std::pair<int, int>>
+alignWords(const std::vector<uint32_t> &Old, const std::vector<uint32_t> &New);
+
+/// Builds a minimal-primitive edit script from an LCS alignment.
+EditScript makeEditScript(const std::vector<uint32_t> &Old,
+                          const std::vector<uint32_t> &New);
+
+/// The sensor-side patcher (paper Fig. 2): interprets \p Script against
+/// \p Old. Returns false on a malformed script (wrong lengths).
+bool applyEditScript(const std::vector<uint32_t> &Old,
+                     const EditScript &Script, std::vector<uint32_t> &Out);
+
+} // namespace ucc
+
+#endif // UCC_DIFF_EDITSCRIPT_H

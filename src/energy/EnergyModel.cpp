@@ -1,0 +1,35 @@
+//===- energy/EnergyModel.cpp -------------------------------------------------==//
+
+#include "energy/EnergyModel.h"
+
+#include "support/Format.h"
+
+#include <limits>
+
+using namespace ucc;
+
+EnergyModel::EnergyModel(double BitToInstrRatio, Mica2Power Power)
+    : Pwr(Power), EnergyPerCycle(Power.energyPerCycle()),
+      EnergyPerBit(BitToInstrRatio * Power.energyPerCycle()) {}
+
+double EnergyModel::breakEvenExecutions(double SavedInstrs,
+                                        double ExtraCycles) const {
+  if (ExtraCycles <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  return SavedInstrs * instrTransmissionEnergy() /
+         (ExtraCycles * EnergyPerCycle);
+}
+
+std::string EnergyModel::powerTable(const Mica2Power &P) {
+  std::string Out;
+  Out += "Mode          Current      Mode           Current\n";
+  Out += format("CPU active    %5.1f mA    Radio Rx       %5.1f mA\n",
+                P.CpuActiveA * 1e3, P.RadioRxA * 1e3);
+  Out += format("CPU idle      %5.1f mA    Tx (+10dB)     %5.1f mA\n",
+                P.CpuIdleA * 1e3, P.RadioTxA * 1e3);
+  Out += format("CPU standby   %5.0f uA    EEPROM read    %5.1f mA\n",
+                P.CpuStandbyA * 1e6, P.EepromReadA * 1e3);
+  Out += format("LEDs          %5.1f mA    EEPROM write   %5.1f mA\n",
+                P.LedsA * 1e3, P.EepromWriteA * 1e3);
+  return Out;
+}

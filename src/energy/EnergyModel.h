@@ -1,0 +1,131 @@
+//===- energy/EnergyModel.h - Mica2 power and update-energy model ---------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's energy model (sections 2.1 and 5.5). The Fig. 3 current
+/// table for the Mica2 mote is reproduced verbatim; from it we derive the
+/// per-cycle execution energy, and — following the paper's headline ratio —
+/// set the per-bit transmission energy to 1000x the energy of one ALU
+/// instruction. Equations (18)/(19):
+///
+///   Diff_energy   = Diff_inst * E_trans + Diff_cycle * E_exe * Cnt
+///   EnergySavings = Diff_energy(GCC-RA) - Diff_energy(UCC-RA)
+///
+/// where Cnt is how many times the code runs before it retires. The model
+/// also answers the compiler's planning question: how many executions make
+/// one extra runtime instruction more expensive than transmitting one
+/// instruction word (the 16,000-execution example of section 2.1 — here
+/// 32,000, since SAVR instruction words are 32 bits)?
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_ENERGY_ENERGYMODEL_H
+#define UCC_ENERGY_ENERGYMODEL_H
+
+#include <cstdint>
+#include <string>
+
+namespace ucc {
+
+/// Operating-mode currents of the Mica2 mote (paper Fig. 3), in amperes.
+struct Mica2Power {
+  double CpuActiveA = 8.0e-3;
+  double CpuIdleA = 3.2e-3;
+  double CpuStandbyA = 216e-6;
+  double LedsA = 2.2e-3;
+  double RadioRxA = 7.0e-3;
+  double RadioTxA = 21.5e-3; ///< Tx at +10 dB
+  double EepromReadA = 6.2e-3;
+  double EepromWriteA = 18.4e-3;
+
+  double SupplyVolts = 3.0;
+  double CpuHz = 7.3728e6;
+  double RadioBitsPerSec = 38400.0;
+
+  /// Joules consumed per CPU cycle while active.
+  double energyPerCycle() const {
+    return CpuActiveA * SupplyVolts / CpuHz;
+  }
+
+  /// Joules per transmitted bit from first principles (Tx current only).
+  double radioTxEnergyPerBit() const {
+    return RadioTxA * SupplyVolts / RadioBitsPerSec;
+  }
+
+  /// Joules per received bit.
+  double radioRxEnergyPerBit() const {
+    return RadioRxA * SupplyVolts / RadioBitsPerSec;
+  }
+};
+
+/// The update-energy model used by both the compiler (to decide whether an
+/// extra mov pays for itself) and the evaluation harness.
+class EnergyModel {
+public:
+  /// Builds the default model: E_exe = one CPU cycle; E_bit = Ratio x the
+  /// energy of a 1-cycle ALU instruction (paper: sending one bit costs
+  /// about as much as executing 1000 instructions).
+  explicit EnergyModel(double BitToInstrRatio = 1000.0,
+                       Mica2Power Power = Mica2Power());
+
+  const Mica2Power &power() const { return Pwr; }
+
+  /// Energy to execute \p Cycles CPU cycles.
+  double executionEnergy(double Cycles) const {
+    return Cycles * EnergyPerCycle;
+  }
+
+  /// Energy to disseminate \p Bits over one hop.
+  double transmissionEnergy(double Bits) const {
+    return Bits * EnergyPerBit;
+  }
+
+  /// Energy to disseminate one 32-bit instruction word (the paper's
+  /// E_trans).
+  double instrTransmissionEnergy() const { return transmissionEnergy(32.0); }
+
+  /// Energy to execute one average instruction (the paper's E_exe).
+  double instrExecutionEnergy(double CyclesPerInstr = 1.0) const {
+    return executionEnergy(CyclesPerInstr);
+  }
+
+  /// Equation (18).
+  double diffEnergy(double DiffInst, double DiffCycle, double Cnt) const {
+    return DiffInst * instrTransmissionEnergy() +
+           DiffCycle * EnergyPerCycle * Cnt;
+  }
+
+  /// Equation (19).
+  double energySavings(double DiffInstBaseline, double DiffCycleBaseline,
+                       double DiffInstUcc, double DiffCycleUcc,
+                       double Cnt) const {
+    return diffEnergy(DiffInstBaseline, DiffCycleBaseline, Cnt) -
+           diffEnergy(DiffInstUcc, DiffCycleUcc, Cnt);
+  }
+
+  /// Executions after which \p ExtraCycles of runtime cost outweigh
+  /// transmitting \p SavedInstrs instruction words (the compiler's
+  /// break-even; section 2.1's 16,000-execution example).
+  double breakEvenExecutions(double SavedInstrs, double ExtraCycles) const;
+
+  /// Raw knobs (tests and ablations override them).
+  double energyPerBit() const { return EnergyPerBit; }
+  double energyPerCycle() const { return EnergyPerCycle; }
+  void setEnergyPerBit(double J) { EnergyPerBit = J; }
+  void setEnergyPerCycle(double J) { EnergyPerCycle = J; }
+
+  /// Renders the Fig. 3 power table.
+  static std::string powerTable(const Mica2Power &Power = Mica2Power());
+
+private:
+  Mica2Power Pwr;
+  double EnergyPerCycle;
+  double EnergyPerBit;
+};
+
+} // namespace ucc
+
+#endif // UCC_ENERGY_ENERGYMODEL_H

@@ -1,0 +1,33 @@
+//===- frontend/IRGen.h - AST -> IR lowering -------------------------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a MiniC AST to the mid-level IR. Name resolution and semantic
+/// checks (arity, void-vs-int use, break placement, ...) happen here; every
+/// problem is reported through the DiagnosticEngine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_FRONTEND_IRGEN_H
+#define UCC_FRONTEND_IRGEN_H
+
+#include "frontend/AST.h"
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+namespace ucc {
+
+/// Lowers \p Program into an IR module. Returns the module; callers must
+/// check \p Diag before using it. The entry function is the function named
+/// "main" when present.
+Module lowerToIR(const ProgramAST &Program, DiagnosticEngine &Diag);
+
+/// Convenience: parse + lower in one step.
+Module compileToIR(const std::string &Source, DiagnosticEngine &Diag);
+
+} // namespace ucc
+
+#endif // UCC_FRONTEND_IRGEN_H

@@ -1,0 +1,316 @@
+//===- frontend/Lexer.cpp ---------------------------------------------------==//
+
+#include "frontend/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace ucc;
+
+const char *ucc::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::NotEq:
+    return "'!='";
+  case TokKind::Lt:
+    return "'<'";
+  case TokKind::Le:
+    return "'<='";
+  case TokKind::Gt:
+    return "'>'";
+  case TokKind::Ge:
+    return "'>='";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, TokKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokKind> Table = {
+      {"int", TokKind::KwInt},       {"void", TokKind::KwVoid},
+      {"if", TokKind::KwIf},         {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},   {"for", TokKind::KwFor},
+      {"return", TokKind::KwReturn}, {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue},
+  };
+  return Table;
+}
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Source, DiagnosticEngine &Diag)
+      : Src(Source), Diag(Diag) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Out;
+    while (true) {
+      skipTrivia();
+      Token T = next();
+      Out.push_back(T);
+      if (T.Kind == TokKind::Eof)
+        break;
+    }
+    return Out;
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  SourceLoc here() const { return SourceLoc{Line, Col}; }
+
+  void skipTrivia() {
+    while (Pos < Src.size()) {
+      char C = peek();
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (Pos < Src.size() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SourceLoc Start = here();
+        advance();
+        advance();
+        bool Closed = false;
+        while (Pos < Src.size()) {
+          if (peek() == '*' && peek(1) == '/') {
+            advance();
+            advance();
+            Closed = true;
+            break;
+          }
+          advance();
+        }
+        if (!Closed)
+          Diag.error(Start, "unterminated block comment");
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token make(TokKind Kind, SourceLoc Loc) {
+    Token T;
+    T.Kind = Kind;
+    T.Loc = Loc;
+    return T;
+  }
+
+  Token next() {
+    SourceLoc Loc = here();
+    if (Pos >= Src.size())
+      return make(TokKind::Eof, Loc);
+
+    char C = advance();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexIdent(C, Loc);
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber(C, Loc);
+
+    auto twoChar = [&](char Next, TokKind Two, TokKind One) {
+      if (peek() == Next) {
+        advance();
+        return make(Two, Loc);
+      }
+      return make(One, Loc);
+    };
+
+    switch (C) {
+    case '(':
+      return make(TokKind::LParen, Loc);
+    case ')':
+      return make(TokKind::RParen, Loc);
+    case '{':
+      return make(TokKind::LBrace, Loc);
+    case '}':
+      return make(TokKind::RBrace, Loc);
+    case '[':
+      return make(TokKind::LBracket, Loc);
+    case ']':
+      return make(TokKind::RBracket, Loc);
+    case ',':
+      return make(TokKind::Comma, Loc);
+    case ';':
+      return make(TokKind::Semi, Loc);
+    case '+':
+      return make(TokKind::Plus, Loc);
+    case '-':
+      return make(TokKind::Minus, Loc);
+    case '*':
+      return make(TokKind::Star, Loc);
+    case '/':
+      return make(TokKind::Slash, Loc);
+    case '%':
+      return make(TokKind::Percent, Loc);
+    case '^':
+      return make(TokKind::Caret, Loc);
+    case '~':
+      return make(TokKind::Tilde, Loc);
+    case '&':
+      return twoChar('&', TokKind::AmpAmp, TokKind::Amp);
+    case '|':
+      return twoChar('|', TokKind::PipePipe, TokKind::Pipe);
+    case '=':
+      return twoChar('=', TokKind::EqEq, TokKind::Assign);
+    case '!':
+      return twoChar('=', TokKind::NotEq, TokKind::Bang);
+    case '<':
+      if (peek() == '<') {
+        advance();
+        return make(TokKind::Shl, Loc);
+      }
+      return twoChar('=', TokKind::Le, TokKind::Lt);
+    case '>':
+      if (peek() == '>') {
+        advance();
+        return make(TokKind::Shr, Loc);
+      }
+      return twoChar('=', TokKind::Ge, TokKind::Gt);
+    default:
+      Diag.error(Loc, format("unexpected character '%c'", C));
+      return next();
+    }
+  }
+
+  Token lexIdent(char First, SourceLoc Loc) {
+    std::string Text(1, First);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text += advance();
+    auto It = keywordTable().find(Text);
+    Token T = make(It != keywordTable().end() ? It->second : TokKind::Ident,
+                   Loc);
+    T.Text = std::move(Text);
+    return T;
+  }
+
+  Token lexNumber(char First, SourceLoc Loc) {
+    int64_t Value = 0;
+    if (First == '0' && (peek() == 'x' || peek() == 'X')) {
+      advance();
+      bool AnyDigit = false;
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        char D = advance();
+        int Digit = std::isdigit(static_cast<unsigned char>(D))
+                        ? D - '0'
+                        : std::tolower(D) - 'a' + 10;
+        Value = Value * 16 + Digit;
+        AnyDigit = true;
+      }
+      if (!AnyDigit)
+        Diag.error(Loc, "hex literal requires at least one digit");
+    } else {
+      Value = First - '0';
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        Value = Value * 10 + (advance() - '0');
+    }
+    if (Value > 0xffff)
+      Diag.error(Loc, format("integer literal %lld exceeds 16 bits",
+                             static_cast<long long>(Value)));
+    Token T = make(TokKind::IntLit, Loc);
+    T.IntValue = Value;
+    return T;
+  }
+
+  const std::string &Src;
+  DiagnosticEngine &Diag;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace
+
+std::vector<Token> ucc::lex(const std::string &Source,
+                            DiagnosticEngine &Diag) {
+  return LexerImpl(Source, Diag).run();
+}

@@ -1,0 +1,30 @@
+//===- frontend/Parser.h - MiniC recursive-descent parser -----------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing a ProgramAST. Syntax errors are
+/// reported through the DiagnosticEngine; the parser recovers at statement
+/// boundaries so several errors can be reported per run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_FRONTEND_PARSER_H
+#define UCC_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace ucc {
+
+/// Parses MiniC \p Source into an AST. Returns the (possibly partial) AST;
+/// callers must check \p Diag for errors before using it.
+ProgramAST parseProgram(const std::string &Source, DiagnosticEngine &Diag);
+
+} // namespace ucc
+
+#endif // UCC_FRONTEND_PARSER_H

@@ -1,0 +1,477 @@
+//===- ir/IRParser.cpp ---------------------------------------------------------==//
+
+#include "ir/IRParser.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+using namespace ucc;
+
+namespace {
+
+/// Splits text into trimmed lines, remembering 1-based line numbers.
+struct Line {
+  std::string Text;
+  unsigned Number;
+};
+
+std::vector<Line> splitLines(const std::string &Text) {
+  std::vector<Line> Lines;
+  unsigned Number = 1;
+  size_t At = 0;
+  while (At <= Text.size()) {
+    size_t End = Text.find('\n', At);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string L = Text.substr(At, End - At);
+    size_t First = L.find_first_not_of(" \t");
+    size_t Last = L.find_last_not_of(" \t\r");
+    if (First != std::string::npos)
+      Lines.push_back({L.substr(First, Last - First + 1), Number});
+    ++Number;
+    At = End + 1;
+  }
+  return Lines;
+}
+
+/// Cursor over the tokens of one line.
+class LineCursor {
+public:
+  LineCursor(const Line &L, DiagnosticEngine &Diag)
+      : Text(L.Text), Number(L.Number), Diag(Diag) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() && std::isspace(
+                                    static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool done() {
+    skipSpace();
+    return Pos >= Text.size();
+  }
+
+  bool accept(const std::string &Token) {
+    skipSpace();
+    if (Text.compare(Pos, Token.size(), Token) != 0)
+      return false;
+    Pos += Token.size();
+    return true;
+  }
+
+  bool expect(const std::string &Token, const char *What) {
+    if (accept(Token))
+      return true;
+    error(format("expected '%s' %s", Token.c_str(), What));
+    return false;
+  }
+
+  /// Reads an identifier ([A-Za-z0-9_.]+).
+  std::string ident() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_' || Text[Pos] == '.'))
+      ++Pos;
+    if (Pos == Start)
+      error("expected an identifier");
+    return Text.substr(Start, Pos - Start);
+  }
+
+  /// Reads a (possibly negative) integer.
+  long long integer() {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+    if (Pos == Start) {
+      error("expected a number");
+      return 0;
+    }
+    return std::atoll(Text.substr(Start, Pos - Start).c_str());
+  }
+
+  /// Reads a `%name.N` or `%N` virtual-register token; returns its id.
+  VReg vreg() {
+    if (!expect("%", "before a virtual register"))
+      return 0;
+    std::string Token = ident();
+    // The id is the digits after the last '.', or the whole token.
+    size_t Dot = Token.rfind('.');
+    std::string IdPart =
+        Dot == std::string::npos ? Token : Token.substr(Dot + 1);
+    bool AllDigits = !IdPart.empty();
+    for (char C : IdPart)
+      AllDigits &= std::isdigit(static_cast<unsigned char>(C)) != 0;
+    if (!AllDigits) {
+      error(format("bad virtual register token '%%%s'", Token.c_str()));
+      return 0;
+    }
+    LastVRegName = Dot == std::string::npos ? "" : Token.substr(0, Dot);
+    return std::atoi(IdPart.c_str());
+  }
+
+  void error(const std::string &Message) {
+    Diag.error({Number, static_cast<unsigned>(Pos + 1)}, Message);
+  }
+
+  std::string LastVRegName;
+
+private:
+  const std::string &Text;
+  unsigned Number;
+  DiagnosticEngine &Diag;
+  size_t Pos = 0;
+};
+
+class IRParserImpl {
+public:
+  IRParserImpl(const std::string &Text, DiagnosticEngine &Diag)
+      : Lines(splitLines(Text)), Diag(Diag) {}
+
+  Module run() {
+    // Pre-pass: register every function and global name so forward
+    // references (calls, loads) resolve.
+    for (const Line &L : Lines) {
+      if (L.Text.rfind("func @", 0) == 0) {
+        Function F;
+        F.Name = nameAfter(L.Text, "func @");
+        M.Functions.push_back(std::move(F));
+      } else if (L.Text.rfind("global @", 0) == 0) {
+        GlobalVar G;
+        G.Name = nameAfter(L.Text, "global @");
+        M.Globals.push_back(std::move(G));
+      }
+    }
+
+    size_t FnCounter = 0;
+    for (At = 0; At < Lines.size(); ++At) {
+      const Line &L = Lines[At];
+      if (L.Text.rfind("global @", 0) == 0) {
+        parseGlobal(L);
+      } else if (L.Text.rfind("func @", 0) == 0) {
+        parseFunction(FnCounter++);
+      } else {
+        Diag.error({L.Number, 1},
+                   format("unexpected top-level line '%s'",
+                          L.Text.c_str()));
+      }
+      if (Diag.hasErrors())
+        break;
+    }
+    M.EntryFunc = M.findFunction("main");
+    return std::move(M);
+  }
+
+private:
+  static std::string nameAfter(const std::string &Text,
+                               const std::string &Prefix) {
+    size_t Start = Prefix.size();
+    size_t End = Start;
+    while (End < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[End])) ||
+            Text[End] == '_'))
+      ++End;
+    return Text.substr(Start, End - Start);
+  }
+
+  void parseGlobal(const Line &L) {
+    LineCursor C(L, Diag);
+    C.expect("global", "at global declaration");
+    C.expect("@", "before global name");
+    std::string Name = C.ident();
+    int Idx = M.findGlobal(Name);
+    GlobalVar &G = M.Globals[static_cast<size_t>(Idx)];
+    C.expect("[", "before global size");
+    G.SizeWords = static_cast<int>(C.integer());
+    C.expect("]", "after global size");
+    if (C.accept("=")) {
+      C.expect("{", "before initializer list");
+      if (!C.accept("}")) {
+        do {
+          G.Init.push_back(static_cast<int16_t>(C.integer()));
+        } while (C.accept(","));
+        C.expect("}", "after initializer list");
+      }
+    }
+  }
+
+  void parseFunction(size_t FnIdx) {
+    Function &F = M.Functions[FnIdx];
+    {
+      LineCursor C(Lines[At], Diag);
+      C.expect("func", "at function");
+      C.expect("@", "before function name");
+      C.ident(); // name (already registered)
+      C.expect("(", "before parameters");
+      if (!C.accept(")")) {
+        do {
+          VReg P = C.vreg();
+          F.Params.push_back(P);
+          noteVReg(F, P, C.LastVRegName);
+        } while (C.accept(","));
+        C.expect(")", "after parameters");
+      }
+      C.expect("{", "to open function body");
+    }
+
+    // Pre-scan the body for block labels so branches resolve forward.
+    std::map<std::string, int> BlockIdx;
+    for (size_t Look = At + 1;
+         Look < Lines.size() && Lines[Look].Text != "}"; ++Look) {
+      const std::string &T = Lines[Look].Text;
+      if (T.size() > 1 && T[0] == '.' && T.back() == ':') {
+        std::string Label = T.substr(1, T.size() - 2);
+        BlockIdx[Label] = F.makeBlock(Label);
+      }
+    }
+
+    int CurBB = -1;
+    for (++At; At < Lines.size(); ++At) {
+      const Line &L = Lines[At];
+      if (L.Text == "}")
+        return;
+      if (L.Text[0] == '.' && L.Text.back() == ':') {
+        CurBB = BlockIdx[L.Text.substr(1, L.Text.size() - 2)];
+        continue;
+      }
+      if (L.Text.rfind("frame $", 0) == 0) {
+        LineCursor C(L, Diag);
+        C.expect("frame", "at frame declaration");
+        C.expect("$", "before frame name");
+        std::string Name = C.ident();
+        C.expect("[", "before frame size");
+        int Size = static_cast<int>(C.integer());
+        C.expect("]", "after frame size");
+        F.makeFrameObject(Name, Size);
+        continue;
+      }
+      if (CurBB < 0) {
+        Diag.error({L.Number, 1}, "instruction before any block label");
+        return;
+      }
+      Instr I = parseInstr(F, BlockIdx, L);
+      if (Diag.hasErrors())
+        return;
+      F.Blocks[static_cast<size_t>(CurBB)].Instrs.push_back(std::move(I));
+    }
+    Diag.error({Lines.back().Number, 1}, "missing '}' at end of function");
+  }
+
+  void noteVReg(Function &F, VReg R, const std::string &Name) {
+    while (F.NumVRegs <= R)
+      F.makeVReg();
+    if (!Name.empty())
+      F.VRegNames[static_cast<size_t>(R)] = Name;
+  }
+
+  int blockRef(LineCursor &C, const std::map<std::string, int> &BlockIdx) {
+    C.expect(".", "before block label");
+    std::string Label = C.ident();
+    auto It = BlockIdx.find(Label);
+    if (It == BlockIdx.end()) {
+      C.error(format("unknown block '.%s'", Label.c_str()));
+      return 0;
+    }
+    return It->second;
+  }
+
+  int globalRef(LineCursor &C) {
+    C.expect("@", "before global name");
+    std::string Name = C.ident();
+    int Idx = M.findGlobal(Name);
+    if (Idx < 0)
+      C.error(format("unknown global '@%s'", Name.c_str()));
+    return std::max(0, Idx);
+  }
+
+  int slotRef(Function &F, LineCursor &C) {
+    C.expect("$", "before frame name");
+    std::string Name = C.ident();
+    for (size_t K = 0; K < F.FrameObjects.size(); ++K)
+      if (F.FrameObjects[K].Name == Name)
+        return static_cast<int>(K);
+    C.error(format("unknown frame object '$%s'", Name.c_str()));
+    return 0;
+  }
+
+  VReg readVReg(Function &F, LineCursor &C) {
+    VReg R = C.vreg();
+    noteVReg(F, R, C.LastVRegName);
+    return R;
+  }
+
+  Instr parseInstr(Function &F, const std::map<std::string, int> &BlockIdx,
+                   const Line &L) {
+    LineCursor C(L, Diag);
+    Instr I;
+    I.Loc = SourceLoc{L.Number, 1};
+
+    // Destination form: `%d = <op> ...`.
+    if (L.Text[0] == '%') {
+      I.Dst = readVReg(F, C);
+      C.expect("=", "after destination");
+      std::string Op = C.ident();
+      if (Op == "const") {
+        I.Op = Opcode::Const;
+        I.Imm = C.integer();
+        return I;
+      }
+      if (Op == "mov") {
+        I.Op = Opcode::Mov;
+        I.Srcs = {readVReg(F, C)};
+        return I;
+      }
+      if (Op == "neg" || Op == "not") {
+        I.Op = Opcode::Un;
+        I.UnK = Op == "neg" ? UnKind::Neg : UnKind::Not;
+        I.Srcs = {readVReg(F, C)};
+        return I;
+      }
+      if (Op == "loadg" || Op == "loadf") {
+        I.Op = Op == "loadg" ? Opcode::LoadG : Opcode::LoadF;
+        if (I.Op == Opcode::LoadG)
+          I.Global = globalRef(C);
+        else
+          I.Slot = slotRef(F, C);
+        if (C.accept("[")) {
+          I.Srcs = {readVReg(F, C)};
+          C.expect("]", "after index");
+        }
+        return I;
+      }
+      if (Op == "call")
+        return parseCall(F, C, I);
+      if (Op == "in") {
+        I.Op = Opcode::In;
+        I.Imm = C.integer();
+        return I;
+      }
+      // Binary operators by mnemonic.
+      static const std::map<std::string, BinKind> BinOps = {
+          {"add", BinKind::Add}, {"sub", BinKind::Sub},
+          {"mul", BinKind::Mul}, {"div", BinKind::Div},
+          {"rem", BinKind::Rem}, {"and", BinKind::And},
+          {"or", BinKind::Or},   {"xor", BinKind::Xor},
+          {"shl", BinKind::Shl}, {"shr", BinKind::Shr}};
+      auto It = BinOps.find(Op);
+      if (It != BinOps.end()) {
+        I.Op = Opcode::Bin;
+        I.BinK = It->second;
+        VReg A = readVReg(F, C);
+        C.expect(",", "between operands");
+        VReg B = readVReg(F, C);
+        I.Srcs = {A, B};
+        return I;
+      }
+      C.error(format("unknown operation '%s'", Op.c_str()));
+      return I;
+    }
+
+    // Statement forms.
+    std::string Op = C.ident();
+    if (Op == "storeg" || Op == "storef") {
+      I.Op = Op == "storeg" ? Opcode::StoreG : Opcode::StoreF;
+      if (I.Op == Opcode::StoreG)
+        I.Global = globalRef(C);
+      else
+        I.Slot = slotRef(F, C);
+      VReg Index = NoVReg;
+      if (C.accept("[")) {
+        Index = readVReg(F, C);
+        C.expect("]", "after index");
+      }
+      C.expect(",", "before stored value");
+      I.Srcs = {readVReg(F, C)};
+      if (Index != NoVReg)
+        I.Srcs.push_back(Index);
+      return I;
+    }
+    if (Op == "call") {
+      Instr Call;
+      Call.Loc = I.Loc;
+      return parseCall(F, C, Call);
+    }
+    if (Op == "br") {
+      I.Op = Opcode::Br;
+      I.TrueBB = blockRef(C, BlockIdx);
+      return I;
+    }
+    if (Op == "condbr") {
+      I.Op = Opcode::CondBr;
+      static const std::map<std::string, CmpPred> Preds = {
+          {"eq", CmpPred::EQ}, {"ne", CmpPred::NE}, {"lt", CmpPred::LT},
+          {"le", CmpPred::LE}, {"gt", CmpPred::GT}, {"ge", CmpPred::GE}};
+      std::string Pred = C.ident();
+      auto It = Preds.find(Pred);
+      if (It == Preds.end())
+        C.error(format("unknown predicate '%s'", Pred.c_str()));
+      else
+        I.PredK = It->second;
+      VReg A = readVReg(F, C);
+      C.expect(",", "between compare operands");
+      VReg B = readVReg(F, C);
+      I.Srcs = {A, B};
+      C.expect(",", "before true target");
+      I.TrueBB = blockRef(C, BlockIdx);
+      C.expect(",", "before false target");
+      I.FalseBB = blockRef(C, BlockIdx);
+      return I;
+    }
+    if (Op == "ret") {
+      I.Op = Opcode::Ret;
+      if (!C.done())
+        I.Srcs = {readVReg(F, C)};
+      return I;
+    }
+    if (Op == "out") {
+      I.Op = Opcode::Out;
+      I.Imm = C.integer();
+      C.expect(",", "before output value");
+      I.Srcs = {readVReg(F, C)};
+      return I;
+    }
+    if (Op == "halt") {
+      I.Op = Opcode::Halt;
+      return I;
+    }
+    C.error(format("unknown statement '%s'", Op.c_str()));
+    return I;
+  }
+
+  Instr parseCall(Function &F, LineCursor &C, Instr I) {
+    I.Op = Opcode::Call;
+    C.expect("@", "before callee name");
+    std::string Name = C.ident();
+    I.Callee = M.findFunction(Name);
+    if (I.Callee < 0)
+      C.error(format("unknown function '@%s'", Name.c_str()));
+    C.expect("(", "before call arguments");
+    if (!C.accept(")")) {
+      do {
+        I.Srcs.push_back(readVReg(F, C));
+      } while (C.accept(","));
+      C.expect(")", "after call arguments");
+    }
+    return I;
+  }
+
+  std::vector<Line> Lines;
+  DiagnosticEngine &Diag;
+  Module M;
+  size_t At = 0;
+};
+
+} // namespace
+
+Module ucc::parseIR(const std::string &Text, DiagnosticEngine &Diag) {
+  return IRParserImpl(Text, Diag).run();
+}

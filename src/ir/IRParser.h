@@ -1,0 +1,32 @@
+//===- ir/IRParser.h - textual IR parsing ----------------------------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual IR format produced by Module::print(), so IR can be
+/// written by hand in tests, dumped from one tool and re-read by another.
+/// print() and parseIR() round-trip: parseIR(M.print()).print() ==
+/// M.print().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_IR_IRPARSER_H
+#define UCC_IR_IRPARSER_H
+
+#include "ir/IR.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+
+namespace ucc {
+
+/// Parses \p Text into a module. Problems are reported to \p Diag (with
+/// line numbers); the result is only meaningful when no errors were
+/// raised. The entry function is the one named "main" when present.
+Module parseIR(const std::string &Text, DiagnosticEngine &Diag);
+
+} // namespace ucc
+
+#endif // UCC_IR_IRPARSER_H

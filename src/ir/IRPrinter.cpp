@@ -1,0 +1,122 @@
+//===- ir/IRPrinter.cpp - textual rendering of IR modules -----------------==//
+
+#include "ir/IR.h"
+#include "support/Format.h"
+
+using namespace ucc;
+
+namespace {
+
+std::string vregStr(const Function &F, VReg R) {
+  if (R == NoVReg)
+    return "<none>";
+  const std::string &Name = F.vregName(R);
+  if (!Name.empty())
+    return format("%%%s.%d", Name.c_str(), R);
+  return format("%%%d", R);
+}
+
+std::string instrStr(const Module &M, const Function &F, const Instr &I) {
+  auto Src = [&](size_t Idx) { return vregStr(F, I.Srcs[Idx]); };
+  switch (I.Op) {
+  case Opcode::Const:
+    return format("%s = const %lld", vregStr(F, I.Dst).c_str(),
+                  static_cast<long long>(I.Imm));
+  case Opcode::Mov:
+    return format("%s = mov %s", vregStr(F, I.Dst).c_str(), Src(0).c_str());
+  case Opcode::Bin:
+    return format("%s = %s %s, %s", vregStr(F, I.Dst).c_str(),
+                  binKindName(I.BinK), Src(0).c_str(), Src(1).c_str());
+  case Opcode::Un:
+    return format("%s = %s %s", vregStr(F, I.Dst).c_str(), unKindName(I.UnK),
+                  Src(0).c_str());
+  case Opcode::LoadG: {
+    std::string Idx = I.Srcs.empty() ? "" : format("[%s]", Src(0).c_str());
+    return format("%s = loadg @%s%s", vregStr(F, I.Dst).c_str(),
+                  M.Globals[I.Global].Name.c_str(), Idx.c_str());
+  }
+  case Opcode::StoreG: {
+    std::string Idx = I.Srcs.size() < 2 ? "" : format("[%s]", Src(1).c_str());
+    return format("storeg @%s%s, %s", M.Globals[I.Global].Name.c_str(),
+                  Idx.c_str(), Src(0).c_str());
+  }
+  case Opcode::LoadF: {
+    std::string Idx = I.Srcs.empty() ? "" : format("[%s]", Src(0).c_str());
+    return format("%s = loadf $%s%s", vregStr(F, I.Dst).c_str(),
+                  F.FrameObjects[I.Slot].Name.c_str(), Idx.c_str());
+  }
+  case Opcode::StoreF: {
+    std::string Idx = I.Srcs.size() < 2 ? "" : format("[%s]", Src(1).c_str());
+    return format("storef $%s%s, %s", F.FrameObjects[I.Slot].Name.c_str(),
+                  Idx.c_str(), Src(0).c_str());
+  }
+  case Opcode::Call: {
+    std::string Args;
+    for (size_t K = 0; K < I.Srcs.size(); ++K) {
+      if (K)
+        Args += ", ";
+      Args += Src(K);
+    }
+    std::string Head =
+        I.hasDst() ? format("%s = ", vregStr(F, I.Dst).c_str()) : "";
+    return format("%scall @%s(%s)", Head.c_str(),
+                  M.Functions[I.Callee].Name.c_str(), Args.c_str());
+  }
+  case Opcode::Br:
+    return format("br .%s", F.Blocks[I.TrueBB].Name.c_str());
+  case Opcode::CondBr:
+    return format("condbr %s %s, %s, .%s, .%s", cmpPredName(I.PredK),
+                  Src(0).c_str(), Src(1).c_str(),
+                  F.Blocks[I.TrueBB].Name.c_str(),
+                  F.Blocks[I.FalseBB].Name.c_str());
+  case Opcode::Ret:
+    return I.Srcs.empty() ? std::string("ret")
+                          : format("ret %s", Src(0).c_str());
+  case Opcode::In:
+    return format("%s = in %lld", vregStr(F, I.Dst).c_str(),
+                  static_cast<long long>(I.Imm));
+  case Opcode::Out:
+    return format("out %lld, %s", static_cast<long long>(I.Imm),
+                  Src(0).c_str());
+  case Opcode::Halt:
+    return "halt";
+  }
+  return "<bad instr>";
+}
+
+} // namespace
+
+std::string Module::print() const {
+  std::string Out;
+  for (const GlobalVar &G : Globals) {
+    Out += format("global @%s[%d]", G.Name.c_str(), G.SizeWords);
+    if (!G.Init.empty()) {
+      Out += " = {";
+      for (size_t I = 0; I < G.Init.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += format("%d", G.Init[I]);
+      }
+      Out += "}";
+    }
+    Out += "\n";
+  }
+  for (const Function &F : Functions) {
+    std::string Params;
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      if (I)
+        Params += ", ";
+      Params += vregStr(F, F.Params[I]);
+    }
+    Out += format("\nfunc @%s(%s) {\n", F.Name.c_str(), Params.c_str());
+    for (const FrameObject &FO : F.FrameObjects)
+      Out += format("  frame $%s[%d]\n", FO.Name.c_str(), FO.SizeWords);
+    for (const BasicBlock &BB : F.Blocks) {
+      Out += format(".%s:\n", BB.Name.c_str());
+      for (const Instr &I : BB.Instrs)
+        Out += "  " + instrStr(*this, F, I) + "\n";
+    }
+    Out += "}\n";
+  }
+  return Out;
+}

@@ -1,0 +1,128 @@
+//===- lp/LP.h - linear and 0/1 integer programming ------------------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver substrate behind UCC-RA (the paper uses LP_solve [2]): a
+/// dense two-phase primal simplex with bounded variables, and a
+/// branch-and-bound 0/1 ILP solver on top of it. Simplex pivots are counted
+/// so that Figs. 13-15 (constraints / iterations / time-per-iteration as
+/// functions of problem size) can be measured, and the ILP accepts an
+/// integral *hint* solution — how the preferred-register tags speed up the
+/// solver in section 5.6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_LP_LP_H
+#define UCC_LP_LP_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ucc {
+
+/// One linear constraint: sum(Coef_k * x_{Var_k}) <Sense> RHS.
+struct LPConstraint {
+  enum class Sense { LE, EQ, GE };
+  std::vector<std::pair<int, double>> Terms;
+  Sense S = Sense::LE;
+  double RHS = 0.0;
+};
+
+/// A linear program: minimize Obj'x subject to constraints and bounds.
+struct LPProblem {
+  int NumVars = 0;
+  std::vector<double> Obj;   ///< size NumVars
+  std::vector<double> Lower; ///< size NumVars
+  std::vector<double> Upper; ///< size NumVars
+  std::vector<LPConstraint> Constraints;
+
+  /// Adds a variable, returns its index.
+  int addVar(double Cost, double Lo, double Hi) {
+    Obj.push_back(Cost);
+    Lower.push_back(Lo);
+    Upper.push_back(Hi);
+    return NumVars++;
+  }
+
+  /// Adds a 0/1 variable.
+  int addBinaryVar(double Cost) { return addVar(Cost, 0.0, 1.0); }
+
+  void addConstraint(LPConstraint C) {
+    Constraints.push_back(std::move(C));
+  }
+
+  void addLE(std::vector<std::pair<int, double>> Terms, double RHS) {
+    addConstraint({std::move(Terms), LPConstraint::Sense::LE, RHS});
+  }
+  void addGE(std::vector<std::pair<int, double>> Terms, double RHS) {
+    addConstraint({std::move(Terms), LPConstraint::Sense::GE, RHS});
+  }
+  void addEQ(std::vector<std::pair<int, double>> Terms, double RHS) {
+    addConstraint({std::move(Terms), LPConstraint::Sense::EQ, RHS});
+  }
+};
+
+/// Solver outcome.
+enum class SolveStatus {
+  Optimal,    ///< proven optimal
+  Feasible,   ///< integral solution found, search truncated by a limit
+  Infeasible, ///< no feasible point
+  Limit       ///< limit hit before any feasible point
+};
+
+/// LP (relaxation) result.
+struct LPResult {
+  SolveStatus Status = SolveStatus::Infeasible;
+  std::vector<double> X;
+  double Objective = 0.0;
+  int64_t Pivots = 0; ///< simplex iterations performed
+};
+
+/// Solves \p P with the two-phase bounded-variable simplex.
+LPResult solveLP(const LPProblem &P,
+                 int64_t MaxPivots = 2'000'000);
+
+/// Branch-and-bound options.
+struct ILPOptions {
+  int64_t MaxPivots = 20'000'000;
+  int MaxNodes = 200'000;
+  double TimeLimitSec = 60.0;
+  /// Optional integral starting solution (e.g. from preferred-register
+  /// tags). Seeds the incumbent so the search prunes earlier.
+  const std::vector<double> *Hint = nullptr;
+};
+
+/// ILP result.
+struct ILPResult {
+  SolveStatus Status = SolveStatus::Infeasible;
+  std::vector<double> X;
+  double Objective = 0.0;
+  int64_t Pivots = 0; ///< total simplex iterations across all nodes
+  int Nodes = 0;      ///< branch-and-bound nodes explored
+};
+
+/// Solves \p P with the variables in \p IntVars restricted to integers.
+ILPResult solveILP(const LPProblem &P, const std::vector<int> &IntVars,
+                   const ILPOptions &Opts = {});
+
+/// Checks that \p X satisfies every constraint and bound of \p P within
+/// \p Tol (test and validation helper).
+bool isFeasible(const LPProblem &P, const std::vector<double> &X,
+                double Tol = 1e-6);
+
+/// Objective value of \p X under \p P.
+double objectiveValue(const LPProblem &P, const std::vector<double> &X);
+
+/// Exhaustively enumerates all assignments of the (binary) \p IntVars and
+/// returns the best feasible one. Exponential — ablation/test use only,
+/// and the backend for the "exact nonlinear objective" comparison (A1/A3).
+ILPResult solveBinaryByEnumeration(const LPProblem &P,
+                                   const std::vector<int> &IntVars);
+
+} // namespace ucc
+
+#endif // UCC_LP_LP_H

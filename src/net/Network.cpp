@@ -1,0 +1,139 @@
+//===- net/Network.cpp --------------------------------------------------------==//
+
+#include "net/Network.h"
+
+#include "support/RNG.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace ucc;
+
+Topology Topology::line(int N) {
+  assert(N > 0 && "line topology needs at least one node");
+  Topology T;
+  T.NumNodes = N;
+  T.Neighbors.assign(static_cast<size_t>(N), {});
+  for (int K = 0; K + 1 < N; ++K) {
+    T.Neighbors[static_cast<size_t>(K)].push_back(K + 1);
+    T.Neighbors[static_cast<size_t>(K + 1)].push_back(K);
+  }
+  return T;
+}
+
+Topology Topology::grid(int W, int H) {
+  assert(W > 0 && H > 0 && "grid topology needs positive dimensions");
+  Topology T;
+  T.NumNodes = W * H;
+  T.Neighbors.assign(static_cast<size_t>(T.NumNodes), {});
+  auto Id = [&](int X, int Y) { return Y * W + X; };
+  for (int Y = 0; Y < H; ++Y) {
+    for (int X = 0; X < W; ++X) {
+      if (X + 1 < W) {
+        T.Neighbors[static_cast<size_t>(Id(X, Y))].push_back(Id(X + 1, Y));
+        T.Neighbors[static_cast<size_t>(Id(X + 1, Y))].push_back(Id(X, Y));
+      }
+      if (Y + 1 < H) {
+        T.Neighbors[static_cast<size_t>(Id(X, Y))].push_back(Id(X, Y + 1));
+        T.Neighbors[static_cast<size_t>(Id(X, Y + 1))].push_back(Id(X, Y));
+      }
+    }
+  }
+  return T;
+}
+
+Topology Topology::star(int N) {
+  assert(N > 0 && "star topology needs at least one node");
+  Topology T;
+  T.NumNodes = N;
+  T.Neighbors.assign(static_cast<size_t>(N), {});
+  for (int K = 1; K < N; ++K) {
+    T.Neighbors[0].push_back(K);
+    T.Neighbors[static_cast<size_t>(K)].push_back(0);
+  }
+  return T;
+}
+
+std::vector<int> Topology::hopDistances() const {
+  std::vector<int> Dist(static_cast<size_t>(NumNodes), -1);
+  if (NumNodes == 0)
+    return Dist;
+  std::deque<int> Queue = {0};
+  Dist[0] = 0;
+  while (!Queue.empty()) {
+    int At = Queue.front();
+    Queue.pop_front();
+    for (int N : Neighbors[static_cast<size_t>(At)]) {
+      if (Dist[static_cast<size_t>(N)] >= 0)
+        continue;
+      Dist[static_cast<size_t>(N)] = Dist[static_cast<size_t>(At)] + 1;
+      Queue.push_back(N);
+    }
+  }
+  return Dist;
+}
+
+DisseminationResult ucc::disseminate(const Topology &T, size_t ScriptBytes,
+                                     const PacketFormat &Fmt,
+                                     const Mica2Power &Power,
+                                     const RadioChannel &Channel) {
+  DisseminationResult R;
+  R.Packets = Fmt.packetsFor(ScriptBytes);
+  R.BytesOnAir = Fmt.bytesOnAir(ScriptBytes);
+  R.PerNodeJoules.assign(static_cast<size_t>(T.NumNodes), 0.0);
+
+  std::vector<int> Dist = T.hopDistances();
+  for (int D : Dist)
+    R.MaxHops = std::max(R.MaxHops, D);
+
+  double PacketBits =
+      R.Packets > 0
+          ? static_cast<double>(R.BytesOnAir) * 8.0 / R.Packets
+          : 0.0;
+  double TxPerPacketJ = PacketBits * Power.radioTxEnergyPerBit();
+  double RxPerPacketJ = PacketBits * Power.radioRxEnergyPerBit();
+
+  RNG Rng(Channel.Seed);
+  // Attempts needed to get one packet across the lossy link.
+  auto attemptsForPacket = [&]() {
+    int Attempts = 1;
+    while (Attempts < Channel.MaxAttempts &&
+           Rng.unitReal() < Channel.LossRate)
+      ++Attempts;
+    if (Attempts >= Channel.MaxAttempts &&
+        Rng.unitReal() < Channel.LossRate)
+      ++R.FailedPackets; // gave up; the group must be refetched later
+    return Attempts;
+  };
+
+  // A node transmits when some neighbor is farther from the sink than it
+  // is (it covers that neighbor in the flood); every non-sink node
+  // receives the script exactly once (duplicate suppression). Lost packets
+  // cost the sender a retransmission each.
+  for (int Node = 0; Node < T.NumNodes; ++Node) {
+    if (Dist[static_cast<size_t>(Node)] < 0)
+      continue; // disconnected: never reached
+    bool Forwards = false;
+    for (int N : T.Neighbors[static_cast<size_t>(Node)])
+      Forwards |= Dist[static_cast<size_t>(N)] >
+                  Dist[static_cast<size_t>(Node)];
+    double J = 0.0;
+    if (Node != 0) {
+      J += RxPerPacketJ * R.Packets;
+      R.TotalRxJoules += RxPerPacketJ * R.Packets;
+    }
+    if (Forwards) {
+      int Attempts = 0;
+      for (int P = 0; P < R.Packets; ++P)
+        Attempts += attemptsForPacket();
+      R.Retransmissions += Attempts - R.Packets;
+      double Tx = TxPerPacketJ * Attempts;
+      J += Tx;
+      ++R.Transmitters;
+      R.TotalTxJoules += Tx;
+    }
+    R.PerNodeJoules[static_cast<size_t>(Node)] = J;
+  }
+  return R;
+}

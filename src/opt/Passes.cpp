@@ -1,0 +1,368 @@
+//===- opt/Passes.cpp ---------------------------------------------------------==//
+
+#include "opt/Passes.h"
+
+#include "analysis/Dataflow.h"
+#include "analysis/IRAnalysis.h"
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+using namespace ucc;
+
+//===----------------------------------------------------------------------===//
+// Constant folding
+//===----------------------------------------------------------------------===//
+
+bool ucc::foldConstants(Function &F) {
+  bool Changed = false;
+  for (BasicBlock &BB : F.Blocks) {
+    // vreg -> known constant value at the current program point.
+    std::unordered_map<int, int16_t> Known;
+    for (Instr &I : BB.Instrs) {
+      auto lookup = [&](VReg R) -> std::optional<int16_t> {
+        auto It = Known.find(R);
+        if (It == Known.end())
+          return std::nullopt;
+        return It->second;
+      };
+
+      switch (I.Op) {
+      case Opcode::Bin: {
+        auto A = lookup(I.Srcs[0]);
+        auto B = lookup(I.Srcs[1]);
+        if (A && B) {
+          int16_t V = evalBin(I.BinK, *A, *B);
+          I.Op = Opcode::Const;
+          I.Imm = V;
+          I.Srcs.clear();
+          Changed = true;
+        }
+        break;
+      }
+      case Opcode::Un: {
+        auto A = lookup(I.Srcs[0]);
+        if (A) {
+          I.Op = Opcode::Const;
+          I.Imm = evalUn(I.UnK, *A);
+          I.Srcs.clear();
+          Changed = true;
+        }
+        break;
+      }
+      // Note: Mov of a known constant is deliberately *not* rewritten into
+      // a Const here — CSE canonicalizes duplicate constants into copies,
+      // and folding them back would oscillate. Copy propagation and DCE
+      // clean copies up instead; the Known map below still tracks the
+      // value through the move.
+      case Opcode::CondBr: {
+        auto A = lookup(I.Srcs[0]);
+        auto B = lookup(I.Srcs[1]);
+        if (A && B) {
+          bool Taken = evalCmp(I.PredK, *A, *B);
+          I.Op = Opcode::Br;
+          I.TrueBB = Taken ? I.TrueBB : I.FalseBB;
+          I.FalseBB = -1;
+          I.Srcs.clear();
+          Changed = true;
+        }
+        break;
+      }
+      default:
+        break;
+      }
+
+      // Update the known-constants map after the (possibly rewritten)
+      // instruction.
+      if (I.hasDst()) {
+        if (I.Op == Opcode::Const)
+          Known[I.Dst] = static_cast<int16_t>(I.Imm);
+        else if (I.Op == Opcode::Mov) {
+          auto A = lookup(I.Srcs[0]);
+          if (A)
+            Known[I.Dst] = *A;
+          else
+            Known.erase(I.Dst);
+        } else {
+          Known.erase(I.Dst);
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Copy propagation
+//===----------------------------------------------------------------------===//
+
+bool ucc::propagateCopies(Function &F) {
+  bool Changed = false;
+  for (BasicBlock &BB : F.Blocks) {
+    // Active copies: Dst -> Src of a `Dst = mov Src` still valid here.
+    std::unordered_map<int, int> Copy;
+    auto invalidate = [&](VReg R) {
+      Copy.erase(R);
+      for (auto It = Copy.begin(); It != Copy.end();) {
+        if (It->second == R)
+          It = Copy.erase(It);
+        else
+          ++It;
+      }
+    };
+
+    for (Instr &I : BB.Instrs) {
+      for (VReg &S : I.Srcs) {
+        auto It = Copy.find(S);
+        if (It != Copy.end()) {
+          S = It->second;
+          Changed = true;
+        }
+      }
+      if (I.hasDst()) {
+        invalidate(I.Dst);
+        if (I.Op == Opcode::Mov && I.Srcs[0] != I.Dst)
+          Copy[I.Dst] = I.Srcs[0];
+      }
+      // Calls can't modify vregs of this function; nothing else to kill.
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Local CSE
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Key identifying a pure computation for CSE.
+struct ExprKey {
+  Opcode Op;
+  int SubKind; // BinKind or UnKind
+  int64_t Imm;
+  int Src0, Src1;
+
+  bool operator<(const ExprKey &RHS) const {
+    auto Tie = [](const ExprKey &K) {
+      return std::tie(K.Op, K.SubKind, K.Imm, K.Src0, K.Src1);
+    };
+    return Tie(*this) < Tie(RHS);
+  }
+};
+
+} // namespace
+
+bool ucc::eliminateCommonSubexprs(Function &F) {
+  bool Changed = false;
+  for (BasicBlock &BB : F.Blocks) {
+    std::map<ExprKey, int> Available; // expr -> vreg holding it
+    auto killDefsOf = [&](VReg R) {
+      for (auto It = Available.begin(); It != Available.end();) {
+        const ExprKey &K = It->first;
+        if (K.Src0 == R || K.Src1 == R || It->second == R)
+          It = Available.erase(It);
+        else
+          ++It;
+      }
+    };
+
+    for (Instr &I : BB.Instrs) {
+      std::optional<ExprKey> Key;
+      switch (I.Op) {
+      case Opcode::Const:
+        Key = ExprKey{Opcode::Const, 0, I.Imm, -1, -1};
+        break;
+      case Opcode::Bin:
+        Key = ExprKey{Opcode::Bin, static_cast<int>(I.BinK), 0, I.Srcs[0],
+                      I.Srcs[1]};
+        break;
+      case Opcode::Un:
+        Key = ExprKey{Opcode::Un, static_cast<int>(I.UnK), 0, I.Srcs[0], -1};
+        break;
+      default:
+        break;
+      }
+
+      if (Key) {
+        auto It = Available.find(*Key);
+        if (It != Available.end() && It->second != I.Dst) {
+          // Replace the computation with a copy from the existing value.
+          VReg Src = It->second;
+          killDefsOf(I.Dst);
+          I.Op = Opcode::Mov;
+          I.Srcs = {Src};
+          I.Imm = 0;
+          Changed = true;
+          continue;
+        }
+        killDefsOf(I.Dst);
+        Available[*Key] = I.Dst;
+        continue;
+      }
+      if (I.hasDst())
+        killDefsOf(I.Dst);
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Dead-code elimination
+//===----------------------------------------------------------------------===//
+
+static bool isPure(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::Const:
+  case Opcode::Mov:
+  case Opcode::Bin:
+  case Opcode::Un:
+  case Opcode::LoadG:
+  case Opcode::LoadF:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool ucc::eliminateDeadCode(Function &F) {
+  bool Changed = false;
+  bool LocalChanged = true;
+  while (LocalChanged) {
+    LocalChanged = false;
+    FlowGraph G = buildFlowGraph(F);
+    Liveness L = computeLiveness(G);
+    for (size_t B = 0; B < F.Blocks.size(); ++B) {
+      BasicBlock &BB = F.Blocks[B];
+      std::vector<BitVector> LiveAfter =
+          L.liveAfterPerInstr(G, static_cast<int>(B));
+      std::vector<Instr> Kept;
+      Kept.reserve(BB.Instrs.size());
+      for (size_t K = 0; K < BB.Instrs.size(); ++K) {
+        Instr &I = BB.Instrs[K];
+        if (isPure(I) && I.hasDst() &&
+            !LiveAfter[K].test(static_cast<size_t>(I.Dst))) {
+          LocalChanged = true;
+          Changed = true;
+          continue;
+        }
+        Kept.push_back(std::move(I));
+      }
+      BB.Instrs = std::move(Kept);
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// CFG simplification
+//===----------------------------------------------------------------------===//
+
+bool ucc::simplifyCFG(Function &F) {
+  bool Changed = false;
+
+  // 1. Thread branches through trivial forwarding blocks (a single `br`).
+  auto forwardTarget = [&](int B) -> int {
+    const BasicBlock &BB = F.Blocks[static_cast<size_t>(B)];
+    if (BB.Instrs.size() == 1 && BB.Instrs[0].Op == Opcode::Br &&
+        BB.Instrs[0].TrueBB != B)
+      return BB.Instrs[0].TrueBB;
+    return -1;
+  };
+
+  for (BasicBlock &BB : F.Blocks) {
+    if (BB.Instrs.empty())
+      continue;
+    Instr &T = BB.Instrs.back();
+    auto thread = [&](int &Target) {
+      // Follow forwarding chains with a step bound to survive cycles.
+      for (int Steps = 0; Steps < 8; ++Steps) {
+        int Next = forwardTarget(Target);
+        if (Next < 0)
+          break;
+        Target = Next;
+        Changed = true;
+      }
+    };
+    if (T.Op == Opcode::Br)
+      thread(T.TrueBB);
+    if (T.Op == Opcode::CondBr) {
+      thread(T.TrueBB);
+      thread(T.FalseBB);
+      if (T.TrueBB == T.FalseBB) {
+        T.Op = Opcode::Br;
+        T.Srcs.clear();
+        T.FalseBB = -1;
+        Changed = true;
+      }
+    }
+  }
+
+  // 2. Remove unreachable blocks, remapping indices.
+  size_t N = F.Blocks.size();
+  std::vector<bool> Reachable(N, false);
+  std::vector<int> Stack = {0};
+  Reachable[0] = true;
+  while (!Stack.empty()) {
+    int B = Stack.back();
+    Stack.pop_back();
+    for (int S : F.Blocks[static_cast<size_t>(B)].successors()) {
+      if (!Reachable[static_cast<size_t>(S)]) {
+        Reachable[static_cast<size_t>(S)] = true;
+        Stack.push_back(S);
+      }
+    }
+  }
+
+  bool AnyUnreachable = false;
+  for (size_t B = 0; B < N; ++B)
+    AnyUnreachable |= !Reachable[B];
+  if (!AnyUnreachable)
+    return Changed;
+
+  std::vector<int> NewIndex(N, -1);
+  std::vector<BasicBlock> NewBlocks;
+  for (size_t B = 0; B < N; ++B) {
+    if (!Reachable[B])
+      continue;
+    NewIndex[B] = static_cast<int>(NewBlocks.size());
+    NewBlocks.push_back(std::move(F.Blocks[B]));
+  }
+  for (BasicBlock &BB : NewBlocks) {
+    for (Instr &I : BB.Instrs) {
+      if (I.TrueBB >= 0)
+        I.TrueBB = NewIndex[static_cast<size_t>(I.TrueBB)];
+      if (I.FalseBB >= 0)
+        I.FalseBB = NewIndex[static_cast<size_t>(I.FalseBB)];
+    }
+  }
+  F.Blocks = std::move(NewBlocks);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline driver
+//===----------------------------------------------------------------------===//
+
+bool ucc::optimizeModule(Module &M, OptLevel Level) {
+  if (Level == OptLevel::O0)
+    return false;
+  bool EverChanged = false;
+  for (Function &F : M.Functions) {
+    // Bounded fixpoint: each pass is monotone (shrinks or simplifies the
+    // function), so a handful of rounds always suffices in practice.
+    for (int Round = 0; Round < 8; ++Round) {
+      bool Changed = false;
+      Changed |= simplifyCFG(F);
+      Changed |= foldConstants(F);
+      Changed |= propagateCopies(F);
+      Changed |= eliminateCommonSubexprs(F);
+      Changed |= eliminateDeadCode(F);
+      EverChanged |= Changed;
+      if (!Changed)
+        break;
+    }
+  }
+  return EverChanged;
+}

@@ -1,0 +1,128 @@
+//===- regalloc/LinearScan.cpp ------------------------------------------------==//
+
+#include "regalloc/LinearScan.h"
+
+#include "regalloc/LiveIntervals.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+using namespace ucc;
+
+void ucc::applyAssignment(MachineFunction &MF,
+                          const std::vector<int> &Assignment) {
+  for (MBlock &BB : MF.Blocks) {
+    for (MInstr &I : BB.Instrs) {
+      auto subst = [&](int &Reg, int &Orig) {
+        if (Reg < 0 || isPhysReg(Reg))
+          return;
+        Orig = Reg;
+        int Phys = Assignment[static_cast<size_t>(Reg)];
+        assert(Phys >= 0 && Phys < NumPhysRegs &&
+               "virtual register left unassigned");
+        Reg = Phys;
+      };
+      subst(I.A, I.VA);
+      subst(I.B, I.VB);
+      subst(I.C, I.VC);
+    }
+  }
+}
+
+RAStats ucc::allocateLinearScan(MachineFunction &MF) {
+  RAStats Stats;
+  Stats.HomedAcrossCalls = memoryHomeAcrossCalls(MF);
+
+  for (int Round = 0; Round < 32; ++Round) {
+    ++Stats.Rounds;
+    IntervalAnalysis IA = analyzeIntervals(MF);
+
+    // Collect valid vreg intervals, sorted by (start, reg) for determinism.
+    std::vector<LiveInterval> Order;
+    for (const LiveInterval &IV : IA.VRegIntervals)
+      if (IV.valid())
+        Order.push_back(IV);
+    std::sort(Order.begin(), Order.end(),
+              [](const LiveInterval &L, const LiveInterval &R) {
+                return std::tie(L.Start, L.Reg) < std::tie(R.Start, R.Reg);
+              });
+
+    std::vector<int> Assignment(static_cast<size_t>(MF.NextVReg), -1);
+    std::vector<LiveInterval> Active; // intervals currently holding a reg
+    std::vector<int> Spilled;
+    // Next-fit register selection: rotate through the file instead of
+    // always reusing the lowest index. Common in linear-scan allocators
+    // (spreads pressure); it also makes the baseline order-sensitive the
+    // way the paper observes for gcc — an inserted live range rotates
+    // every later assignment (section 5.3's "propagated" changes).
+    int Cursor = 0;
+
+    auto regOfActive = [&](const LiveInterval &IV) {
+      return Assignment[static_cast<size_t>(IV.Reg)];
+    };
+
+    for (const LiveInterval &IV : Order) {
+      // Expire intervals that ended before this one starts.
+      Active.erase(std::remove_if(Active.begin(), Active.end(),
+                                  [&](const LiveInterval &A) {
+                                    return A.End < IV.Start;
+                                  }),
+                   Active.end());
+
+      // Candidate registers: free among active and quiet in PhysBusy.
+      bool TakenByActive[NumPhysRegs] = {};
+      for (const LiveInterval &A : Active)
+        TakenByActive[regOfActive(A)] = true;
+
+      int Chosen = -1;
+      for (int Step = 0; Step < NumPhysRegs; ++Step) {
+        int R = (Cursor + Step) % NumPhysRegs;
+        if (TakenByActive[R])
+          continue;
+        if (IA.physBusyInRange(R, IV.Start, IV.End))
+          continue;
+        Chosen = R;
+        Cursor = (R + 1) % NumPhysRegs;
+        break;
+      }
+
+      if (Chosen >= 0) {
+        Assignment[static_cast<size_t>(IV.Reg)] = Chosen;
+        Active.push_back(IV);
+        continue;
+      }
+
+      // No free register: spill the active interval with the furthest end
+      // whose register this interval may legally take; otherwise spill the
+      // incoming interval itself.
+      int VictimIdx = -1;
+      for (size_t K = 0; K < Active.size(); ++K) {
+        if (IA.physBusyInRange(regOfActive(Active[K]), IV.Start, IV.End))
+          continue;
+        if (VictimIdx < 0 || Active[K].End > Active[VictimIdx].End)
+          VictimIdx = static_cast<int>(K);
+      }
+      if (VictimIdx >= 0 && Active[static_cast<size_t>(VictimIdx)].End >
+                                IV.End) {
+        const LiveInterval &Victim = Active[static_cast<size_t>(VictimIdx)];
+        Assignment[static_cast<size_t>(IV.Reg)] = regOfActive(Victim);
+        Spilled.push_back(Victim.Reg);
+        Assignment[static_cast<size_t>(Victim.Reg)] = -1;
+        Active.erase(Active.begin() + VictimIdx);
+        Active.push_back(IV);
+      } else {
+        Spilled.push_back(IV.Reg);
+      }
+    }
+
+    if (Spilled.empty()) {
+      applyAssignment(MF, Assignment);
+      return Stats;
+    }
+    Stats.SpilledVRegs += static_cast<int>(Spilled.size());
+    rewriteSpills(MF, Spilled);
+  }
+  assert(false && "linear scan failed to converge");
+  return Stats;
+}

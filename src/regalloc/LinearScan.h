@@ -1,0 +1,41 @@
+//===- regalloc/LinearScan.h - baseline update-oblivious allocator --------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline, update-*oblivious* register allocator ("GCC-RA" in the
+/// paper's evaluation): a classic linear scan over layout-order intervals.
+/// It knows nothing about previous compilations, so any shift in virtual-
+/// register numbering after a source change reshuffles assignments — which
+/// is exactly the behavior UCC-RA is measured against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_REGALLOC_LINEARSCAN_H
+#define UCC_REGALLOC_LINEARSCAN_H
+
+#include "codegen/MachineIR.h"
+
+namespace ucc {
+
+/// Statistics reported by a register-allocation run.
+struct RAStats {
+  int HomedAcrossCalls = 0; ///< vregs given frame homes by the pre-pass
+  int SpilledVRegs = 0;     ///< vregs spilled for pressure
+  int Rounds = 0;           ///< allocate/rewrite iterations
+};
+
+/// Allocates \p MF in place: after the call every register operand is
+/// physical and each operand's originating virtual register is recorded in
+/// MInstr::VA/VB/VC. Asserts that allocation converges.
+RAStats allocateLinearScan(MachineFunction &MF);
+
+/// Substitutes \p Assignment (vreg id -> physical register) into \p MF,
+/// recording operand provenance. Shared by both allocators.
+void applyAssignment(MachineFunction &MF, const std::vector<int> &Assignment);
+
+} // namespace ucc
+
+#endif // UCC_REGALLOC_LINEARSCAN_H

@@ -1,0 +1,197 @@
+//===- regalloc/LiveIntervals.cpp ---------------------------------------------==//
+
+#include "regalloc/LiveIntervals.h"
+
+#include "analysis/Dataflow.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace ucc;
+
+bool IntervalAnalysis::physBusyInRange(int Reg, int Start, int End) const {
+  assert(isPhysReg(Reg) && "expected a physical register");
+  const BitVector &Busy = PhysBusy[static_cast<size_t>(Reg)];
+  int Hi = std::min(End, static_cast<int>(Busy.size()) - 1);
+  for (int P = std::max(0, Start); P <= Hi; ++P)
+    if (Busy.test(static_cast<size_t>(P)))
+      return true;
+  return false;
+}
+
+IntervalAnalysis ucc::analyzeIntervals(const MachineFunction &MF) {
+  IntervalAnalysis IA;
+  FlowGraph G = buildMachineFlowGraph(MF);
+  Liveness L = computeLiveness(G);
+
+  int NumPositions = MF.instrCount();
+  IA.NumPositions = NumPositions;
+  IA.LiveAfter.assign(static_cast<size_t>(NumPositions),
+                      BitVector(static_cast<size_t>(MF.NextVReg)));
+  int NumVRegs = MF.NextVReg - FirstVReg;
+  IA.VRegIntervals.assign(static_cast<size_t>(std::max(0, NumVRegs)),
+                          LiveInterval{});
+  IA.PhysBusy.assign(static_cast<size_t>(FirstVReg),
+                     BitVector(static_cast<size_t>(NumPositions)));
+
+  auto extend = [&](int Reg, int Pos) {
+    if (isPhysReg(Reg)) {
+      IA.PhysBusy[static_cast<size_t>(Reg)].set(static_cast<size_t>(Pos));
+      return;
+    }
+    LiveInterval &IV =
+        IA.VRegIntervals[static_cast<size_t>(Reg - FirstVReg)];
+    IV.Reg = Reg;
+    if (!IV.valid()) {
+      IV.Start = IV.End = Pos;
+      return;
+    }
+    IV.Start = std::min(IV.Start, Pos);
+    IV.End = std::max(IV.End, Pos);
+  };
+
+  int Pos = 0;
+  for (size_t B = 0; B < MF.Blocks.size(); ++B) {
+    std::vector<BitVector> After = L.liveAfterPerInstr(G, static_cast<int>(B));
+    for (size_t K = 0; K < MF.Blocks[B].Instrs.size(); ++K, ++Pos) {
+      const MInstr &I = MF.Blocks[B].Instrs[K];
+      for (int D : minstrDefs(I))
+        extend(D, Pos);
+      for (int U : minstrUses(I))
+        extend(U, Pos);
+      IA.LiveAfter[static_cast<size_t>(Pos)] = After[K];
+      // Everything live after this position must also cover position+1 (if
+      // any); covering Pos itself keeps the conservative single-interval
+      // shape correct for loops as well, because liveAfter at the loop's
+      // last position includes values live around the back edge.
+      After[K].forEach([&](size_t Value) {
+        extend(static_cast<int>(Value), Pos);
+        if (Pos + 1 < NumPositions)
+          extend(static_cast<int>(Value), Pos + 1);
+      });
+    }
+  }
+  assert(Pos == NumPositions && "position accounting mismatch");
+  return IA;
+}
+
+namespace {
+
+/// Inserts loads/stores so that each register in \p Victims lives in a frame
+/// slot. Shared by memory-homing and spilling.
+int rewriteToFrameSlots(MachineFunction &MF, const std::vector<int> &Victims,
+                        const char *SlotPrefix) {
+  if (Victims.empty())
+    return 0;
+
+  std::vector<int> SlotOf(static_cast<size_t>(MF.NextVReg), -1);
+  for (int V : Victims) {
+    assert(isVirtReg(V) && "can only home virtual registers");
+    // Prefer the source variable's name: it survives edits to other parts
+    // of the function, so the differ can match the slot across versions.
+    const std::string &SrcName = MF.vregName(V);
+    std::string SlotName =
+        SrcName.empty() ? format("%s%d", SlotPrefix, V - FirstVReg)
+                        : format("%s%s", SlotPrefix, SrcName.c_str());
+    SlotOf[static_cast<size_t>(V)] =
+        MF.makeFrameObject(SlotName, 1, /*IsSpill=*/true);
+  }
+
+  int Inserted = 0;
+  for (MBlock &BB : MF.Blocks) {
+    std::vector<MInstr> NewInstrs;
+    NewInstrs.reserve(BB.Instrs.size());
+    for (MInstr I : BB.Instrs) {
+      // Loads for used victims (each use gets its own short-lived temp).
+      // Registers created by this very rewrite have ids beyond SlotOf and
+      // are never victims.
+      auto fixUse = [&](int &Reg) {
+        if (Reg < 0 || !isVirtReg(Reg) ||
+            static_cast<size_t>(Reg) >= SlotOf.size() ||
+            SlotOf[static_cast<size_t>(Reg)] < 0)
+          return;
+        MInstr Load;
+        Load.Op = MOp::LDF;
+        Load.A = MF.makeVReg();
+        Load.FrameIdx = SlotOf[static_cast<size_t>(Reg)];
+        Load.IRIndex = I.IRIndex;
+        NewInstrs.push_back(Load);
+        Reg = Load.A;
+        ++Inserted;
+      };
+
+      std::vector<int> Uses = minstrUses(I);
+      auto isUsed = [&](int Reg) {
+        for (int U : Uses)
+          if (U == Reg)
+            return true;
+        return false;
+      };
+      if (I.B >= 0 && isUsed(I.B))
+        fixUse(I.B);
+      if (I.C >= 0 && isUsed(I.C))
+        fixUse(I.C);
+      // A is a use for stores/CMP/OUT; minstrUses already told us.
+      if (I.A >= 0 && isUsed(I.A))
+        fixUse(I.A);
+
+      // Store after a def of a victim.
+      std::vector<int> Defs = minstrDefs(I);
+      bool DefsVictim = false;
+      for (int D : Defs)
+        if (isVirtReg(D) && static_cast<size_t>(D) < SlotOf.size() &&
+            SlotOf[static_cast<size_t>(D)] >= 0)
+          DefsVictim = true;
+
+      if (!DefsVictim) {
+        NewInstrs.push_back(I);
+        continue;
+      }
+      int Victim = I.A; // only A can be a virtual def
+      int Temp = MF.makeVReg();
+      I.A = Temp;
+      NewInstrs.push_back(I);
+      MInstr Store;
+      Store.Op = MOp::STF;
+      Store.A = Temp;
+      Store.FrameIdx = SlotOf[static_cast<size_t>(Victim)];
+      Store.IRIndex = I.IRIndex;
+      NewInstrs.push_back(Store);
+      ++Inserted;
+    }
+    BB.Instrs = std::move(NewInstrs);
+  }
+  return Inserted;
+}
+
+} // namespace
+
+int ucc::memoryHomeAcrossCalls(MachineFunction &MF) {
+  IntervalAnalysis IA = analyzeIntervals(MF);
+
+  // Victims: virtual registers live immediately after a CALL.
+  std::vector<bool> IsVictim(static_cast<size_t>(MF.NextVReg), false);
+  int Pos = 0;
+  for (const MBlock &BB : MF.Blocks) {
+    for (const MInstr &I : BB.Instrs) {
+      if (mopIsCall(I.Op)) {
+        IA.LiveAfter[static_cast<size_t>(Pos)].forEach([&](size_t V) {
+          if (isVirtReg(static_cast<int>(V)))
+            IsVictim[V] = true;
+        });
+      }
+      ++Pos;
+    }
+  }
+
+  std::vector<int> Victims;
+  for (size_t V = 0; V < IsVictim.size(); ++V)
+    if (IsVictim[V])
+      Victims.push_back(static_cast<int>(V));
+  rewriteToFrameSlots(MF, Victims, "home.");
+  return static_cast<int>(Victims.size());
+}
+
+int ucc::rewriteSpills(MachineFunction &MF, const std::vector<int> &Spilled) {
+  return rewriteToFrameSlots(MF, Spilled, "spill.");
+}

@@ -1,0 +1,72 @@
+//===- regalloc/LiveIntervals.h - intervals and call-clobber homing -------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for both register allocators:
+///
+///  * linear live intervals over the block-layout instruction order;
+///  * per-position physical-register occupancy (fixed intervals from the
+///    argument/return conventions and the CALL clobber);
+///  * the memory-homing pre-pass that gives every virtual register live
+///    across a call a frame home, so that afterwards no allocatable value
+///    crosses a call (the all-caller-saved discipline in DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_REGALLOC_LIVEINTERVALS_H
+#define UCC_REGALLOC_LIVEINTERVALS_H
+
+#include "codegen/MachineIR.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace ucc {
+
+/// A conservative contiguous live interval [Start, End] in linear
+/// instruction positions. Start == -1 means the register never occurs.
+struct LiveInterval {
+  int Reg = -1;
+  int Start = -1;
+  int End = -1;
+
+  bool valid() const { return Start >= 0; }
+  bool overlaps(const LiveInterval &RHS) const {
+    return valid() && RHS.valid() && Start <= RHS.End && RHS.Start <= End;
+  }
+};
+
+/// Interval analysis over one machine function.
+struct IntervalAnalysis {
+  int NumPositions = 0;
+  /// Intervals for virtual registers, indexed by (reg - FirstVReg).
+  std::vector<LiveInterval> VRegIntervals;
+  /// PhysBusy[r] bit p set when physical register r is defined, used or
+  /// live at linear position p.
+  std::vector<BitVector> PhysBusy;
+  /// Values live immediately after each linear position.
+  std::vector<BitVector> LiveAfter;
+
+  /// True when PhysBusy[\p Reg] has any set bit in [\p Start, \p End].
+  bool physBusyInRange(int Reg, int Start, int End) const;
+};
+
+/// Computes intervals, occupancy and live-after sets for \p MF.
+IntervalAnalysis analyzeIntervals(const MachineFunction &MF);
+
+/// Rewrites every virtual register that is live across a CALL to live in a
+/// dedicated frame slot: defs gain a store, uses gain a load through fresh
+/// short-lived temporaries. Returns the number of rewritten registers.
+int memoryHomeAcrossCalls(MachineFunction &MF);
+
+/// Rewrites \p MF so that each virtual register in \p Spilled lives in a
+/// fresh spill slot (load before use, store after def). Returns the number
+/// of inserted memory instructions.
+int rewriteSpills(MachineFunction &MF, const std::vector<int> &Spilled);
+
+} // namespace ucc
+
+#endif // UCC_REGALLOC_LIVEINTERVALS_H

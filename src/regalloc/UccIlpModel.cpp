@@ -1,0 +1,642 @@
+//===- regalloc/UccIlpModel.cpp ----------------------------------------------==//
+
+#include "regalloc/UccIlpModel.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ucc;
+
+namespace {
+
+/// Index space for the model's binary variables. Points P run 0..S, where
+/// point P corresponds to "after statement P-1" (P = 0 is window entry).
+class ModelIndex {
+public:
+  ModelIndex(const WindowSpec &Spec) : Spec(Spec) {
+    S = static_cast<int>(Spec.Instrs.size());
+    V = Spec.NumVars;
+    R = Spec.NumRegs;
+
+    // Window liveness (backward).
+    LiveAtPoint.assign(static_cast<size_t>(V),
+                       std::vector<bool>(static_cast<size_t>(S + 1), false));
+    std::vector<bool> Live(static_cast<size_t>(V), false);
+    for (int Var = 0; Var < V; ++Var)
+      Live[static_cast<size_t>(Var)] =
+          Spec.LiveOut[static_cast<size_t>(Var)] ||
+          Spec.ExitReg[static_cast<size_t>(Var)] >= 0;
+    for (int Var = 0; Var < V; ++Var)
+      LiveAtPoint[static_cast<size_t>(Var)][static_cast<size_t>(S)] =
+          Live[static_cast<size_t>(Var)];
+    for (int Stmt = S - 1; Stmt >= 0; --Stmt) {
+      const WindowInstr &I = Spec.Instrs[static_cast<size_t>(Stmt)];
+      if (I.Def >= 0)
+        Live[static_cast<size_t>(I.Def)] = false;
+      for (int U : I.Uses)
+        Live[static_cast<size_t>(U)] = true;
+      for (int Var = 0; Var < V; ++Var)
+        LiveAtPoint[static_cast<size_t>(Var)][static_cast<size_t>(Stmt)] =
+            Live[static_cast<size_t>(Var)];
+    }
+  }
+
+  /// A variable is "active" at a point when it is live there or a def just
+  /// landed there (a dead def still occupies a register for an instant).
+  bool active(int Var, int Point) const {
+    if (LiveAtPoint[static_cast<size_t>(Var)][static_cast<size_t>(Point)])
+      return true;
+    return Point > 0 &&
+           Spec.Instrs[static_cast<size_t>(Point - 1)].Def == Var;
+  }
+
+  bool liveAt(int Var, int Point) const {
+    return LiveAtPoint[static_cast<size_t>(Var)][static_cast<size_t>(Point)];
+  }
+
+  /// Builds all variable indices into \p P.
+  void allocate(LPProblem &P) {
+    auto grid3 = [&](std::vector<int> &Store) {
+      Store.assign(static_cast<size_t>(V) * static_cast<size_t>(S + 1) *
+                       static_cast<size_t>(R),
+                   -1);
+    };
+    grid3(LocIdx);
+    grid3(MovIdx);
+    grid3(LdIdx);
+    MemIdx.assign(static_cast<size_t>(V) * static_cast<size_t>(S + 1), -1);
+    StIdx.assign(static_cast<size_t>(V) * static_cast<size_t>(S + 1), -1);
+    UseIdx.clear();
+
+    for (int Var = 0; Var < V; ++Var) {
+      for (int Point = 0; Point <= S; ++Point) {
+        if (!active(Var, Point))
+          continue;
+        for (int Reg = 0; Reg < R; ++Reg)
+          at3(LocIdx, Var, Point, Reg) = P.addBinaryVar(0.0);
+        if (Point > 0) // memory copies persist only while live
+          at2(MemIdx, Var, Point) = P.addBinaryVar(0.0);
+      }
+    }
+    for (int Stmt = 0; Stmt < S; ++Stmt) {
+      const WindowInstr &I = Spec.Instrs[static_cast<size_t>(Stmt)];
+      double MoveCost = Spec.Etrans + Spec.Cnt * Spec.Eexe * I.Freq;
+      double SpillCost = Spec.Etrans + 2.0 * Spec.Cnt * Spec.Eexe * I.Freq;
+      for (int Var = 0; Var < V; ++Var) {
+        if (!liveAt(Var, Stmt))
+          continue; // nothing to move/load before Stmt
+        for (int Reg = 0; Reg < R; ++Reg) {
+          at3(MovIdx, Var, Stmt, Reg) = P.addBinaryVar(MoveCost);
+          at3(LdIdx, Var, Stmt, Reg) = P.addBinaryVar(SpillCost);
+        }
+      }
+      // Stores happen after the statement (point Stmt + 1).
+      for (int Var = 0; Var < V; ++Var)
+        if (active(Var, Stmt + 1))
+          at2(StIdx, Var, Stmt + 1) = P.addBinaryVar(SpillCost);
+      // Use-operand registers.
+      std::vector<std::vector<int>> Slots;
+      for (size_t K = 0; K < I.Uses.size(); ++K) {
+        std::vector<int> Regs(static_cast<size_t>(R), -1);
+        for (int Reg = 0; Reg < R; ++Reg)
+          Regs[static_cast<size_t>(Reg)] = P.addBinaryVar(0.0);
+        Slots.push_back(std::move(Regs));
+      }
+      UseIdx.push_back(std::move(Slots));
+    }
+  }
+
+  int &at3(std::vector<int> &Store, int Var, int Point, int Reg) {
+    return Store[(static_cast<size_t>(Var) * static_cast<size_t>(S + 1) +
+                  static_cast<size_t>(Point)) *
+                     static_cast<size_t>(R) +
+                 static_cast<size_t>(Reg)];
+  }
+  int at3c(const std::vector<int> &Store, int Var, int Point,
+           int Reg) const {
+    return Store[(static_cast<size_t>(Var) * static_cast<size_t>(S + 1) +
+                  static_cast<size_t>(Point)) *
+                     static_cast<size_t>(R) +
+                 static_cast<size_t>(Reg)];
+  }
+  int &at2(std::vector<int> &Store, int Var, int Point) {
+    return Store[static_cast<size_t>(Var) * static_cast<size_t>(S + 1) +
+                 static_cast<size_t>(Point)];
+  }
+  int at2c(const std::vector<int> &Store, int Var, int Point) const {
+    return Store[static_cast<size_t>(Var) * static_cast<size_t>(S + 1) +
+                 static_cast<size_t>(Point)];
+  }
+
+  int loc(int Var, int Point, int Reg) const {
+    return at3c(LocIdx, Var, Point, Reg);
+  }
+  int mov(int Var, int Stmt, int Reg) const {
+    return at3c(MovIdx, Var, Stmt, Reg);
+  }
+  int ld(int Var, int Stmt, int Reg) const {
+    return at3c(LdIdx, Var, Stmt, Reg);
+  }
+  int mem(int Var, int Point) const { return at2c(MemIdx, Var, Point); }
+  int st(int Var, int Point) const { return at2c(StIdx, Var, Point); }
+  int use(int Stmt, int Slot, int Reg) const {
+    return UseIdx[static_cast<size_t>(Stmt)][static_cast<size_t>(Slot)]
+                 [static_cast<size_t>(Reg)];
+  }
+
+  const WindowSpec &Spec;
+  int S = 0, V = 0, R = 0;
+  std::vector<std::vector<bool>> LiveAtPoint;
+
+  std::vector<int> LocIdx, MovIdx, LdIdx, MemIdx, StIdx;
+  std::vector<std::vector<std::vector<int>>> UseIdx;
+};
+
+/// Builds the full problem. Returns the objective constant skipped by the
+/// "reward matched preferences" terms so reported objectives are absolute.
+double buildProblem(const WindowSpec &Spec, ModelIndex &Ix, LPProblem &P) {
+  Ix.allocate(P);
+  int S = Ix.S, V = Ix.V, R = Ix.R;
+  double Offset = 0.0;
+
+  auto term = [&](int VarIdx, double Coef) {
+    return std::pair<int, double>{VarIdx, Coef};
+  };
+
+  // --- Entry conditions.
+  for (int Var = 0; Var < V; ++Var) {
+    if (!Ix.active(Var, 0))
+      continue;
+    int Req = Spec.EntryReg[static_cast<size_t>(Var)];
+    if (Req >= 0) {
+      // Pinned: in the required register and nowhere else (a value cannot
+      // start out replicated for free).
+      for (int Reg = 0; Reg < R; ++Reg)
+        P.addEQ({term(Ix.loc(Var, 0, Reg), 1.0)}, Reg == Req ? 1.0 : 0.0);
+    } else {
+      std::vector<std::pair<int, double>> One;
+      for (int Reg = 0; Reg < R; ++Reg)
+        One.push_back(term(Ix.loc(Var, 0, Reg), 1.0));
+      P.addEQ(One, 1.0);
+    }
+  }
+
+  // --- Per-statement structure.
+  for (int Stmt = 0; Stmt < S; ++Stmt) {
+    const WindowInstr &I = Spec.Instrs[static_cast<size_t>(Stmt)];
+
+    // Defs land in exactly one register (paper eq. 1).
+    if (I.Def >= 0) {
+      std::vector<std::pair<int, double>> Sum;
+      for (int Reg = 0; Reg < R; ++Reg)
+        Sum.push_back(term(Ix.loc(I.Def, Stmt + 1, Reg), 1.0));
+      P.addEQ(Sum, 1.0);
+    }
+
+    // Continuity for everything else that survives the statement
+    // (paper eq. 3): after = before | mov-in | load.
+    for (int Var = 0; Var < V; ++Var) {
+      if (Var == I.Def || !Ix.active(Var, Stmt + 1) ||
+          !Ix.liveAt(Var, Stmt))
+        continue;
+      for (int Reg = 0; Reg < R; ++Reg)
+        P.addLE({term(Ix.loc(Var, Stmt + 1, Reg), 1.0),
+                 term(Ix.loc(Var, Stmt, Reg), -1.0),
+                 term(Ix.mov(Var, Stmt, Reg), -1.0),
+                 term(Ix.ld(Var, Stmt, Reg), -1.0)},
+                0.0);
+      // Presence: a live value must be somewhere (register or memory).
+      std::vector<std::pair<int, double>> Somewhere;
+      for (int Reg = 0; Reg < R; ++Reg)
+        Somewhere.push_back(term(Ix.loc(Var, Stmt + 1, Reg), 1.0));
+      Somewhere.push_back(term(Ix.mem(Var, Stmt + 1), 1.0));
+      P.addGE(Somewhere, 1.0);
+    }
+
+    for (int Var = 0; Var < V; ++Var) {
+      if (!Ix.liveAt(Var, Stmt))
+        continue;
+      // Mov needs a source register (paper eq. 2).
+      std::vector<std::pair<int, double>> MovSum;
+      for (int Reg = 0; Reg < R; ++Reg)
+        MovSum.push_back(term(Ix.mov(Var, Stmt, Reg), 1.0));
+      for (int Reg = 0; Reg < R; ++Reg)
+        MovSum.push_back(term(Ix.loc(Var, Stmt, Reg), -1.0));
+      P.addLE(MovSum, 0.0);
+      // Loads need the value in memory (paper eq. 7).
+      if (Ix.mem(Var, Stmt) >= 0) {
+        for (int Reg = 0; Reg < R; ++Reg)
+          P.addLE({term(Ix.ld(Var, Stmt, Reg), 1.0),
+                   term(Ix.mem(Var, Stmt), -1.0)},
+                  0.0);
+      } else {
+        for (int Reg = 0; Reg < R; ++Reg)
+          P.addEQ({term(Ix.ld(Var, Stmt, Reg), 1.0)}, 0.0);
+      }
+    }
+
+    // Memory continuity (paper eq. 4): mem after = mem before | store.
+    for (int Var = 0; Var < V; ++Var) {
+      int MemAfter = Ix.mem(Var, Stmt + 1);
+      if (MemAfter < 0)
+        continue;
+      std::vector<std::pair<int, double>> Terms = {term(MemAfter, 1.0)};
+      if (Ix.mem(Var, Stmt) >= 0)
+        Terms.push_back(term(Ix.mem(Var, Stmt), -1.0));
+      if (Ix.st(Var, Stmt + 1) >= 0)
+        Terms.push_back(term(Ix.st(Var, Stmt + 1), -1.0));
+      P.addLE(Terms, 0.0);
+      // A store reads the value from a register (paper eq. 4).
+      if (Ix.st(Var, Stmt + 1) >= 0) {
+        std::vector<std::pair<int, double>> StTerms = {
+            term(Ix.st(Var, Stmt + 1), 1.0)};
+        for (int Reg = 0; Reg < R; ++Reg)
+          StTerms.push_back(term(Ix.loc(Var, Stmt + 1, Reg), -1.0));
+        P.addLE(StTerms, 0.0);
+      }
+    }
+
+    // Uses read from a register (paper eqs. 5-6).
+    for (size_t Slot = 0; Slot < I.Uses.size(); ++Slot) {
+      int Var = I.Uses[Slot];
+      std::vector<std::pair<int, double>> One;
+      for (int Reg = 0; Reg < R; ++Reg)
+        One.push_back(term(Ix.use(Stmt, static_cast<int>(Slot), Reg), 1.0));
+      P.addEQ(One, 1.0);
+      for (int Reg = 0; Reg < R; ++Reg)
+        P.addLE({term(Ix.use(Stmt, static_cast<int>(Slot), Reg), 1.0),
+                 term(Ix.loc(Var, Stmt, Reg), -1.0),
+                 term(Ix.mov(Var, Stmt, Reg), -1.0),
+                 term(Ix.ld(Var, Stmt, Reg), -1.0)},
+                0.0);
+    }
+
+    // Register exclusivity at the pre-statement moment (paper eq. 8),
+    // honoring the busy mask. A value whose def was immediately dead (the
+    // variable is redefined before any use) still has a forced def
+    // register, but that register frees as soon as the defining statement
+    // retires: it conflicts with values held *across* the gap, yet movs
+    // and loads arriving for this statement may reuse it.
+    int DeadDefVar = -1;
+    if (Stmt > 0) {
+      int Prev = Spec.Instrs[static_cast<size_t>(Stmt - 1)].Def;
+      if (Prev >= 0 && !Ix.liveAt(Prev, Stmt))
+        DeadDefVar = Prev;
+    }
+    for (int Reg = 0; Reg < R; ++Reg) {
+      bool Busy = (I.BusyMask >> Reg) & 1;
+      // Family 1: live values plus arrivals.
+      std::vector<std::pair<int, double>> Sum;
+      for (int Var = 0; Var < V; ++Var) {
+        if (Var != DeadDefVar && Ix.loc(Var, Stmt, Reg) >= 0)
+          Sum.push_back(term(Ix.loc(Var, Stmt, Reg), 1.0));
+        if (Ix.liveAt(Var, Stmt)) {
+          Sum.push_back(term(Ix.mov(Var, Stmt, Reg), 1.0));
+          Sum.push_back(term(Ix.ld(Var, Stmt, Reg), 1.0));
+        }
+      }
+      if (!Sum.empty())
+        P.addLE(Sum, Busy ? 0.0 : 1.0);
+      // Family 2: the dead def's landing register conflicts with values
+      // held across the defining statement (but not with arrivals).
+      if (DeadDefVar >= 0) {
+        std::vector<std::pair<int, double>> Held = {
+            term(Ix.loc(DeadDefVar, Stmt, Reg), 1.0)};
+        for (int Var = 0; Var < V; ++Var)
+          if (Var != DeadDefVar && Ix.loc(Var, Stmt, Reg) >= 0)
+            Held.push_back(term(Ix.loc(Var, Stmt, Reg), 1.0));
+        P.addLE(Held, Busy ? 0.0 : 1.0);
+      }
+    }
+
+    // Objective: preference rewards on unchanged statements (eqs. 12/15,
+    // linearized with Theta).
+    if (!I.Changed) {
+      double Reward = Spec.Theta * Spec.Etrans;
+      for (size_t Slot = 0; Slot < I.Uses.size(); ++Slot) {
+        int Pref = I.UsePref[Slot];
+        if (Pref < 0)
+          continue;
+        Offset += Reward;
+        P.Obj[static_cast<size_t>(
+            Ix.use(Stmt, static_cast<int>(Slot), Pref))] -= Reward;
+      }
+      if (I.Def >= 0 && I.DefPref >= 0) {
+        Offset += Reward;
+        P.Obj[static_cast<size_t>(Ix.loc(I.Def, Stmt + 1, I.DefPref))] -=
+            Reward;
+      }
+    }
+  }
+
+  // Final-point exclusivity.
+  for (int Reg = 0; Reg < R; ++Reg) {
+    std::vector<std::pair<int, double>> Sum;
+    for (int Var = 0; Var < V; ++Var)
+      if (Ix.loc(Var, S, Reg) >= 0)
+        Sum.push_back(term(Ix.loc(Var, S, Reg), 1.0));
+    if (!Sum.empty())
+      P.addLE(Sum, 1.0);
+  }
+
+  // Exit requirements.
+  for (int Var = 0; Var < V; ++Var) {
+    int Req = Spec.ExitReg[static_cast<size_t>(Var)];
+    if (Req >= 0)
+      P.addEQ({term(Ix.loc(Var, S, Req), 1.0)}, 1.0);
+    else if (Spec.LiveOut[static_cast<size_t>(Var)]) {
+      std::vector<std::pair<int, double>> Somewhere;
+      for (int Reg = 0; Reg < R; ++Reg)
+        Somewhere.push_back(term(Ix.loc(Var, S, Reg), 1.0));
+      if (Ix.mem(Var, S) >= 0)
+        Somewhere.push_back(term(Ix.mem(Var, S), 1.0));
+      P.addGE(Somewhere, 1.0);
+    }
+  }
+
+  // Consecutive-pair constraint (paper eq. 9).
+  for (const auto &[Low, High] : Spec.Pairs) {
+    for (int Point = 0; Point <= S; ++Point) {
+      if (!Ix.active(Low, Point) || !Ix.active(High, Point))
+        continue;
+      for (int Reg = 0; Reg + 1 < R; ++Reg)
+        P.addEQ({term(Ix.loc(Low, Point, Reg), 1.0),
+                 term(Ix.loc(High, Point, Reg + 1), -1.0)},
+                0.0);
+      P.addEQ({term(Ix.loc(Low, Point, R - 1), 1.0)}, 0.0);
+    }
+  }
+  return Offset;
+}
+
+/// Builds the "sit in your preferred register the whole time" hint.
+std::vector<double> buildPrefHint(const WindowSpec &Spec,
+                                  const ModelIndex &Ix, const LPProblem &P) {
+  int S = Ix.S, V = Ix.V;
+  std::vector<int> HintReg(static_cast<size_t>(V), -1);
+  for (int Var = 0; Var < V; ++Var) {
+    if (Spec.EntryReg[static_cast<size_t>(Var)] >= 0)
+      HintReg[static_cast<size_t>(Var)] =
+          Spec.EntryReg[static_cast<size_t>(Var)];
+  }
+  for (int Stmt = 0; Stmt < S; ++Stmt) {
+    const WindowInstr &I = Spec.Instrs[static_cast<size_t>(Stmt)];
+    for (size_t Slot = 0; Slot < I.Uses.size(); ++Slot)
+      if (HintReg[static_cast<size_t>(I.Uses[Slot])] < 0)
+        HintReg[static_cast<size_t>(I.Uses[Slot])] = I.UsePref[Slot];
+    if (I.Def >= 0 && HintReg[static_cast<size_t>(I.Def)] < 0)
+      HintReg[static_cast<size_t>(I.Def)] = I.DefPref;
+  }
+  // Remaining vars: first register not used by another hint.
+  for (int Var = 0; Var < V; ++Var) {
+    if (HintReg[static_cast<size_t>(Var)] >= 0)
+      continue;
+    for (int Reg = 0; Reg < Ix.R; ++Reg) {
+      bool Taken = false;
+      for (int Other = 0; Other < V; ++Other)
+        Taken |= HintReg[static_cast<size_t>(Other)] == Reg;
+      if (!Taken) {
+        HintReg[static_cast<size_t>(Var)] = Reg;
+        break;
+      }
+    }
+    if (HintReg[static_cast<size_t>(Var)] < 0)
+      HintReg[static_cast<size_t>(Var)] = 0;
+  }
+
+  std::vector<double> X(static_cast<size_t>(P.NumVars), 0.0);
+  for (int Var = 0; Var < V; ++Var) {
+    int Reg = HintReg[static_cast<size_t>(Var)];
+    for (int Point = 0; Point <= S; ++Point)
+      if (Ix.loc(Var, Point, Reg) >= 0)
+        X[static_cast<size_t>(Ix.loc(Var, Point, Reg))] = 1.0;
+  }
+  for (int Stmt = 0; Stmt < S; ++Stmt) {
+    const WindowInstr &I = Spec.Instrs[static_cast<size_t>(Stmt)];
+    for (size_t Slot = 0; Slot < I.Uses.size(); ++Slot) {
+      int Reg = HintReg[static_cast<size_t>(I.Uses[Slot])];
+      X[static_cast<size_t>(
+          Ix.use(Stmt, static_cast<int>(Slot), Reg))] = 1.0;
+    }
+  }
+  return X;
+}
+
+/// Decodes a raw solution vector into a WindowSolution.
+void decode(const WindowSpec &Spec, const ModelIndex &Ix,
+            const std::vector<double> &X, WindowSolution &Out) {
+  int S = Ix.S, V = Ix.V, R = Ix.R;
+  auto isOne = [&](int Idx) {
+    return Idx >= 0 && X[static_cast<size_t>(Idx)] > 0.5;
+  };
+
+  Out.RegAfter.assign(static_cast<size_t>(S + 1),
+                      std::vector<int>(static_cast<size_t>(V), -1));
+  for (int Point = 0; Point <= S; ++Point)
+    for (int Var = 0; Var < V; ++Var)
+      for (int Reg = 0; Reg < R; ++Reg)
+        if (isOne(Ix.loc(Var, Point, Reg)))
+          Out.RegAfter[static_cast<size_t>(Point)]
+                      [static_cast<size_t>(Var)] = Reg;
+
+  Out.DefReg.assign(static_cast<size_t>(S), -1);
+  for (int Stmt = 0; Stmt < S; ++Stmt) {
+    const WindowInstr &I = Spec.Instrs[static_cast<size_t>(Stmt)];
+    std::vector<int> Slots;
+    for (size_t Slot = 0; Slot < I.Uses.size(); ++Slot) {
+      int Chosen = -1;
+      for (int Reg = 0; Reg < R; ++Reg)
+        if (isOne(Ix.use(Stmt, static_cast<int>(Slot), Reg)))
+          Chosen = Reg;
+      Slots.push_back(Chosen);
+      if (!I.Changed && I.UsePref[Slot] >= 0) {
+        if (Chosen == I.UsePref[Slot])
+          ++Out.PrefHonored;
+        else
+          ++Out.PrefBroken;
+      }
+    }
+    Out.UseRegs.push_back(std::move(Slots));
+    if (I.Def >= 0) {
+      Out.DefReg[static_cast<size_t>(Stmt)] =
+          Out.RegAfter[static_cast<size_t>(Stmt + 1)]
+                      [static_cast<size_t>(I.Def)];
+      if (!I.Changed && I.DefPref >= 0) {
+        if (Out.DefReg[static_cast<size_t>(Stmt)] == I.DefPref)
+          ++Out.PrefHonored;
+        else
+          ++Out.PrefBroken;
+      }
+    }
+    for (int Var = 0; Var < V; ++Var) {
+      if (!Ix.liveAt(Var, Stmt))
+        continue;
+      for (int Reg = 0; Reg < R; ++Reg) {
+        if (isOne(Ix.mov(Var, Stmt, Reg))) {
+          ++Out.InsertedMovs;
+          Out.Movs.push_back(WindowSolution::MovOp{
+              Stmt, Var,
+              Out.RegAfter[static_cast<size_t>(Stmt)]
+                          [static_cast<size_t>(Var)],
+              Reg});
+        }
+        if (isOne(Ix.ld(Var, Stmt, Reg))) {
+          ++Out.SpillLoads;
+          Out.Spills.push_back(
+              WindowSolution::SpillOp{Stmt, Var, Reg, /*IsLoad=*/true});
+        }
+      }
+    }
+    for (int Var = 0; Var < V; ++Var) {
+      if (isOne(Ix.st(Var, Stmt + 1))) {
+        ++Out.SpillStores;
+        Out.Spills.push_back(WindowSolution::SpillOp{
+            Stmt + 1, Var,
+            Out.RegAfter[static_cast<size_t>(Stmt + 1)]
+                        [static_cast<size_t>(Var)],
+            /*IsLoad=*/false});
+      }
+    }
+  }
+}
+
+} // namespace
+
+WindowModelStats ucc::windowModelStats(const WindowSpec &Spec) {
+  ModelIndex Ix(Spec);
+  LPProblem P;
+  buildProblem(Spec, Ix, P);
+  WindowModelStats Stats;
+  Stats.NumBinaries = P.NumVars;
+  Stats.NumConstraints = static_cast<int>(P.Constraints.size());
+  return Stats;
+}
+
+WindowSolution ucc::solveWindow(const WindowSpec &Spec,
+                                const ILPOptions &Opts, bool UsePrefHint) {
+  ModelIndex Ix(Spec);
+  LPProblem P;
+  double Offset = buildProblem(Spec, Ix, P);
+
+  std::vector<int> IntVars(static_cast<size_t>(P.NumVars));
+  for (int K = 0; K < P.NumVars; ++K)
+    IntVars[static_cast<size_t>(K)] = K;
+
+  ILPOptions Local = Opts;
+  std::vector<double> Hint;
+  if (UsePrefHint) {
+    Hint = buildPrefHint(Spec, Ix, P);
+    if (isFeasible(P, Hint))
+      Local.Hint = &Hint;
+  }
+
+  ILPResult R = solveILP(P, IntVars, Local);
+  WindowSolution Out;
+  Out.Status = R.Status;
+  Out.Pivots = R.Pivots;
+  Out.Nodes = R.Nodes;
+  Out.NumBinaries = P.NumVars;
+  Out.NumConstraints = static_cast<int>(P.Constraints.size());
+  if (R.Status == SolveStatus::Optimal || R.Status == SolveStatus::Feasible) {
+    Out.Objective = R.Objective + Offset;
+    decode(Spec, Ix, R.X, Out);
+  }
+  return Out;
+}
+
+WindowSolution ucc::solveWindowExact(const WindowSpec &Spec) {
+  ModelIndex Ix(Spec);
+  int S = Ix.S, V = Ix.V, R = Ix.R;
+  assert(V <= 7 && std::pow(R, V) <= 3e6 &&
+         "exact enumeration is for tiny windows");
+
+  WindowSolution Best;
+  Best.Status = SolveStatus::Infeasible;
+
+  std::vector<int> Assign(static_cast<size_t>(V), 0);
+  uint64_t Total = 1;
+  for (int K = 0; K < V; ++K)
+    Total *= static_cast<uint64_t>(R);
+
+  for (uint64_t Code = 0; Code < Total; ++Code) {
+    uint64_t Rest = Code;
+    for (int Var = 0; Var < V; ++Var) {
+      Assign[static_cast<size_t>(Var)] = static_cast<int>(
+          Rest % static_cast<uint64_t>(R));
+      Rest /= static_cast<uint64_t>(R);
+    }
+
+    // Validity: entry/exit requirements, pairs, busy masks, exclusivity
+    // wherever two variables are simultaneously active.
+    bool Ok = true;
+    for (int Var = 0; Var < V && Ok; ++Var) {
+      int Reg = Assign[static_cast<size_t>(Var)];
+      int Entry = Spec.EntryReg[static_cast<size_t>(Var)];
+      int Exit = Spec.ExitReg[static_cast<size_t>(Var)];
+      Ok &= Entry < 0 || Entry == Reg;
+      Ok &= Exit < 0 || Exit == Reg;
+    }
+    for (const auto &[Low, High] : Spec.Pairs)
+      Ok &= Assign[static_cast<size_t>(High)] ==
+            Assign[static_cast<size_t>(Low)] + 1;
+    for (int Point = 0; Point <= S && Ok; ++Point) {
+      for (int VarA = 0; VarA < V && Ok; ++VarA) {
+        if (!Ix.active(VarA, Point))
+          continue;
+        if (Point < S) {
+          uint16_t Busy =
+              Spec.Instrs[static_cast<size_t>(Point)].BusyMask;
+          Ok &= ((Busy >> Assign[static_cast<size_t>(VarA)]) & 1) == 0;
+        }
+        for (int VarB = VarA + 1; VarB < V && Ok; ++VarB) {
+          if (!Ix.active(VarB, Point))
+            continue;
+          Ok &= Assign[static_cast<size_t>(VarA)] !=
+                Assign[static_cast<size_t>(VarB)];
+        }
+      }
+    }
+    if (!Ok)
+      continue;
+
+    // The *nonlinear* objective of eq. 12: one E_trans per unchanged
+    // statement whose operands are not all in their preferred registers.
+    double Obj = 0.0;
+    for (int Stmt = 0; Stmt < S; ++Stmt) {
+      const WindowInstr &I = Spec.Instrs[static_cast<size_t>(Stmt)];
+      if (I.Changed)
+        continue;
+      bool AllMatch = true;
+      bool AnyPref = false;
+      for (size_t Slot = 0; Slot < I.Uses.size(); ++Slot) {
+        if (I.UsePref[Slot] < 0)
+          continue;
+        AnyPref = true;
+        AllMatch &= Assign[static_cast<size_t>(I.Uses[Slot])] ==
+                    I.UsePref[Slot];
+      }
+      if (I.Def >= 0 && I.DefPref >= 0) {
+        AnyPref = true;
+        AllMatch &= Assign[static_cast<size_t>(I.Def)] == I.DefPref;
+      }
+      if (AnyPref && !AllMatch)
+        Obj += Spec.Etrans;
+    }
+
+    if (Best.Status == SolveStatus::Infeasible || Obj < Best.Objective) {
+      Best.Status = SolveStatus::Optimal;
+      Best.Objective = Obj;
+      Best.RegAfter.assign(
+          static_cast<size_t>(S + 1),
+          std::vector<int>(static_cast<size_t>(V), -1));
+      for (int Point = 0; Point <= S; ++Point)
+        for (int Var = 0; Var < V; ++Var)
+          if (Ix.active(Var, Point))
+            Best.RegAfter[static_cast<size_t>(Point)]
+                         [static_cast<size_t>(Var)] =
+                Assign[static_cast<size_t>(Var)];
+    }
+    ++Best.Nodes;
+  }
+  return Best;
+}

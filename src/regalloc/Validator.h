@@ -1,0 +1,33 @@
+//===- regalloc/Validator.h - allocation correctness checking -------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dataflow validation of a register-allocated machine function: walks the
+/// CFG tracking which virtual register each physical register currently
+/// holds (via the MInstr::VA/VB/VC provenance the allocators record) and
+/// reports any use that reads a register holding the wrong value. Both
+/// allocators are property-tested against this, and the UCC allocator runs
+/// it after live-range splits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_REGALLOC_VALIDATOR_H
+#define UCC_REGALLOC_VALIDATOR_H
+
+#include "codegen/MachineIR.h"
+
+#include <string>
+#include <vector>
+
+namespace ucc {
+
+/// Validates a fully allocated \p MF. Returns human-readable problem
+/// descriptions; empty means no inconsistency was found.
+std::vector<std::string> validateAllocation(const MachineFunction &MF);
+
+} // namespace ucc
+
+#endif // UCC_REGALLOC_VALIDATOR_H

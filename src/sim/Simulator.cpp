@@ -1,0 +1,387 @@
+//===- sim/Simulator.cpp ------------------------------------------------------==//
+
+#include "sim/Simulator.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <array>
+
+using namespace ucc;
+
+namespace {
+
+struct CallFrame {
+  uint32_t ReturnPC;
+  int ReturnFn;
+  size_t SavedFP;
+};
+
+class SimImpl {
+public:
+  SimImpl(const BinaryImage &Img, const SimOptions &Opts)
+      : Img(Img), Opts(Opts) {}
+
+  RunResult run() {
+    if (Opts.CollectProfile)
+      R.InstrCounts.assign(Img.Code.size(), 0);
+    Data.assign(Img.DataInit.begin(), Img.DataInit.end());
+    Regs.fill(0);
+
+    if (Img.EntryFunc < 0 ||
+        Img.EntryFunc >= static_cast<int>(Img.Functions.size()))
+      return trap("image has no entry function");
+    CurFn = Img.EntryFunc;
+    PC = Img.Functions[static_cast<size_t>(CurFn)].Start;
+
+    while (R.Steps < Opts.MaxSteps) {
+      if (!pcInCurrentFunction())
+        return trap(format("pc %u fell out of function '%s'", PC,
+                           curSpan().Name.c_str()));
+      if (Opts.CollectProfile)
+        ++R.InstrCounts[PC];
+      ++R.Steps;
+      if (!step())
+        return R; // halted or trapped inside step()
+    }
+    return trap("step budget exhausted (likely an infinite loop)");
+  }
+
+private:
+  const FunctionSpan &curSpan() const {
+    return Img.Functions[static_cast<size_t>(CurFn)];
+  }
+
+  bool pcInCurrentFunction() const {
+    const FunctionSpan &S = curSpan();
+    return PC >= S.Start && PC < S.Start + S.Count;
+  }
+
+  RunResult trap(const std::string &Why) {
+    R.Trapped = true;
+    R.TrapReason = Why;
+    return R;
+  }
+
+  int16_t &reg(uint8_t Idx) { return Regs[Idx]; }
+
+  bool dataAt(uint32_t Addr, int16_t *&Out) {
+    if (Addr >= Data.size()) {
+      trap(format("data access at %u outside segment of %zu words", Addr,
+                  Data.size()));
+      return false;
+    }
+    Out = &Data[Addr];
+    return true;
+  }
+
+  bool frameAt(uint32_t Off, int16_t *&Out) {
+    size_t Addr = FP + Off;
+    if (Addr >= FrameMem.size()) {
+      trap(format("frame access at +%u outside frame", Off));
+      return false;
+    }
+    Out = &FrameMem[Addr];
+    return true;
+  }
+
+  void branchTo(uint16_t RelTarget) {
+    PC = curSpan().Start + RelTarget;
+  }
+
+  bool doReturn() {
+    FrameMem.resize(FP);
+    if (CallStack.empty()) {
+      // Returning from the entry function ends the program.
+      R.Halted = true;
+      return false;
+    }
+    CallFrame F = CallStack.back();
+    CallStack.pop_back();
+    PC = F.ReturnPC;
+    CurFn = F.ReturnFn;
+    FP = F.SavedFP;
+    return true;
+  }
+
+  int16_t readPort(uint16_t Port) {
+    switch (Port) {
+    case PortTimer:
+      return static_cast<int16_t>(TimerTicks++);
+    case PortSensor: {
+      if (SensorPos < Opts.SensorInput.size())
+        return Opts.SensorInput[SensorPos++];
+      return 0;
+    }
+    default:
+      return 0;
+    }
+  }
+
+  void writePort(uint16_t Port, int16_t Value) {
+    switch (Port) {
+    case PortLed:
+      R.LedTrace.push_back(Value);
+      break;
+    case PortRadioData:
+      RadioStaging.push_back(Value);
+      break;
+    case PortRadioSend: {
+      size_t N = static_cast<size_t>(
+          std::max<int>(0, static_cast<int>(Value)));
+      N = std::min(N, RadioStaging.size());
+      std::vector<int16_t> Packet(RadioStaging.end() - N,
+                                  RadioStaging.end());
+      RadioStaging.resize(RadioStaging.size() - N);
+      R.Packets.push_back(std::move(Packet));
+      break;
+    }
+    case PortDebug:
+      R.DebugTrace.push_back(Value);
+      break;
+    default:
+      break;
+    }
+  }
+
+  /// Executes one instruction. Returns false when the run is over
+  /// (HALT/trap/entry-function return).
+  bool step() {
+    EncodedInstr E = EncodedInstr::unpack(Img.Code[PC]);
+    uint32_t Next = PC + 1;
+    R.Cycles += mopCycles(E.Op);
+
+    switch (E.Op) {
+    case MOp::NOP:
+      break;
+    case MOp::HALT:
+      R.Halted = true;
+      return false;
+    case MOp::LDI:
+      reg(E.A) = static_cast<int16_t>(E.Imm);
+      break;
+    case MOp::MOV:
+      reg(E.A) = reg(E.B);
+      break;
+    case MOp::ADD:
+    case MOp::SUB:
+    case MOp::MUL:
+    case MOp::DIV:
+    case MOp::REM:
+    case MOp::AND:
+    case MOp::OR:
+    case MOp::XOR:
+    case MOp::SHL:
+    case MOp::SHR: {
+      int16_t B = reg(E.B), C = reg(E.regC());
+      int32_t V = 0;
+      switch (E.Op) {
+      case MOp::ADD:
+        V = B + C;
+        break;
+      case MOp::SUB:
+        V = B - C;
+        break;
+      case MOp::MUL:
+        V = B * C;
+        break;
+      case MOp::DIV:
+        V = C == 0 ? 0 : B / C;
+        break;
+      case MOp::REM:
+        V = C == 0 ? 0 : B % C;
+        break;
+      case MOp::AND:
+        V = B & C;
+        break;
+      case MOp::OR:
+        V = B | C;
+        break;
+      case MOp::XOR:
+        V = B ^ C;
+        break;
+      case MOp::SHL:
+        V = B << (C & 15);
+        break;
+      case MOp::SHR:
+        V = B >> (C & 15);
+        break;
+      default:
+        break;
+      }
+      reg(E.A) = static_cast<int16_t>(V);
+      break;
+    }
+    case MOp::NEG:
+      reg(E.A) = static_cast<int16_t>(-reg(E.B));
+      break;
+    case MOp::NOTR:
+      reg(E.A) = static_cast<int16_t>(~reg(E.B));
+      break;
+    case MOp::CMP:
+      CmpA = reg(E.A);
+      CmpB = reg(E.B);
+      break;
+    case MOp::BEQ:
+    case MOp::BNE:
+    case MOp::BLT:
+    case MOp::BGE:
+    case MOp::BGT:
+    case MOp::BLE: {
+      bool Taken = false;
+      switch (E.Op) {
+      case MOp::BEQ:
+        Taken = CmpA == CmpB;
+        break;
+      case MOp::BNE:
+        Taken = CmpA != CmpB;
+        break;
+      case MOp::BLT:
+        Taken = CmpA < CmpB;
+        break;
+      case MOp::BGE:
+        Taken = CmpA >= CmpB;
+        break;
+      case MOp::BGT:
+        Taken = CmpA > CmpB;
+        break;
+      case MOp::BLE:
+        Taken = CmpA <= CmpB;
+        break;
+      default:
+        break;
+      }
+      if (Taken) {
+        R.Cycles += 1; // taken branches cost one extra cycle
+        branchTo(E.Imm);
+        return !R.Trapped;
+      }
+      break;
+    }
+    case MOp::JMP:
+      branchTo(E.Imm);
+      return !R.Trapped;
+    case MOp::CALL: {
+      if (E.Imm >= Img.Functions.size()) {
+        trap(format("call to invalid function index %u", E.Imm));
+        return false;
+      }
+      if (CallStack.size() >= MaxCallDepth) {
+        trap("call stack overflow");
+        return false;
+      }
+      CallStack.push_back(CallFrame{Next, CurFn, FP});
+      CurFn = static_cast<int>(E.Imm);
+      PC = curSpan().Start;
+      return true;
+    }
+    case MOp::RET:
+      return doReturn();
+    case MOp::LDG: {
+      int16_t *P = nullptr;
+      if (!dataAt(E.Imm, P))
+        return false;
+      reg(E.A) = *P;
+      break;
+    }
+    case MOp::STG: {
+      int16_t *P = nullptr;
+      if (!dataAt(E.Imm, P))
+        return false;
+      *P = reg(E.A);
+      break;
+    }
+    case MOp::LDGX: {
+      int16_t *P = nullptr;
+      if (!dataAt(static_cast<uint32_t>(E.Imm) +
+                      static_cast<uint16_t>(reg(E.B)),
+                  P))
+        return false;
+      reg(E.A) = *P;
+      break;
+    }
+    case MOp::STGX: {
+      int16_t *P = nullptr;
+      if (!dataAt(static_cast<uint32_t>(E.Imm) +
+                      static_cast<uint16_t>(reg(E.B)),
+                  P))
+        return false;
+      *P = reg(E.A);
+      break;
+    }
+    case MOp::LDF: {
+      int16_t *P = nullptr;
+      if (!frameAt(E.Imm, P))
+        return false;
+      reg(E.A) = *P;
+      break;
+    }
+    case MOp::STF: {
+      int16_t *P = nullptr;
+      if (!frameAt(E.Imm, P))
+        return false;
+      *P = reg(E.A);
+      break;
+    }
+    case MOp::LDFX: {
+      int16_t *P = nullptr;
+      if (!frameAt(static_cast<uint32_t>(E.Imm) +
+                       static_cast<uint16_t>(reg(E.B)),
+                   P))
+        return false;
+      reg(E.A) = *P;
+      break;
+    }
+    case MOp::STFX: {
+      int16_t *P = nullptr;
+      if (!frameAt(static_cast<uint32_t>(E.Imm) +
+                       static_cast<uint16_t>(reg(E.B)),
+                   P))
+        return false;
+      *P = reg(E.A);
+      break;
+    }
+    case MOp::IN:
+      reg(E.A) = readPort(E.Imm);
+      break;
+    case MOp::OUT:
+      writePort(E.Imm, reg(E.A));
+      break;
+    case MOp::ENTER:
+      FP = FrameMem.size();
+      FrameMem.resize(FP + E.Imm, 0);
+      break;
+    case MOp::NumOpcodes:
+      trap(format("illegal opcode at pc %u", PC));
+      return false;
+    }
+
+    PC = Next;
+    return true;
+  }
+
+  static constexpr size_t MaxCallDepth = 256;
+
+  const BinaryImage &Img;
+  const SimOptions &Opts;
+  RunResult R;
+
+  std::array<int16_t, 16> Regs{};
+  std::vector<int16_t> Data;
+  std::vector<int16_t> FrameMem;
+  std::vector<CallFrame> CallStack;
+  size_t FP = 0;
+  uint32_t PC = 0;
+  int CurFn = 0;
+  int16_t CmpA = 0, CmpB = 0;
+
+  uint16_t TimerTicks = 0;
+  size_t SensorPos = 0;
+  std::vector<int16_t> RadioStaging;
+};
+
+} // namespace
+
+RunResult ucc::runImage(const BinaryImage &Img, const SimOptions &Opts) {
+  return SimImpl(Img, Opts).run();
+}

@@ -1,0 +1,69 @@
+//===- sim/Simulator.h - instruction-level SAVR simulator -----------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction-level simulator for SAVR binary images with cycle counting —
+/// the reproduction's stand-in for Avrora (section 5.1). It supplies the
+/// paper's `Diff_cycle` metric (execution-cycle delta across an update,
+/// section 5.4), per-instruction execution profiles, and the semantic
+/// ground truth for verifying that a patched image behaves identically to a
+/// freshly compiled one.
+///
+/// I/O model: writes to PortLed / PortDebug are traced; the radio is a
+/// staging buffer (write words to PortRadioData, then write the word count
+/// to PortRadioSend to emit a packet); reads from PortTimer return an
+/// incrementing tick; reads from PortSensor return scripted samples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_SIM_SIMULATOR_H
+#define UCC_SIM_SIMULATOR_H
+
+#include "codegen/BinaryImage.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ucc {
+
+/// Everything observable about one program run.
+struct RunResult {
+  bool Halted = false;   ///< reached HALT (or main returned)
+  bool Trapped = false;  ///< violated the machine contract
+  std::string TrapReason;
+  uint64_t Steps = 0;
+  uint64_t Cycles = 0;
+
+  std::vector<int16_t> LedTrace;             ///< every PortLed write
+  std::vector<std::vector<int16_t>> Packets; ///< radio packets sent
+  std::vector<int16_t> DebugTrace;           ///< every PortDebug write
+
+  /// Execution count per absolute instruction index (profile).
+  std::vector<uint64_t> InstrCounts;
+
+  /// True when two runs are observationally identical (used to validate
+  /// that patched binaries behave like freshly compiled ones).
+  bool sameObservableBehavior(const RunResult &RHS) const {
+    return Halted == RHS.Halted && Trapped == RHS.Trapped &&
+           LedTrace == RHS.LedTrace && Packets == RHS.Packets &&
+           DebugTrace == RHS.DebugTrace;
+  }
+};
+
+/// Simulator configuration.
+struct SimOptions {
+  uint64_t MaxSteps = 10 * 1000 * 1000;
+  std::vector<int16_t> SensorInput; ///< PortSensor samples (0 when exhausted)
+  bool CollectProfile = false;
+};
+
+/// Runs \p Img from its entry function until HALT, trap, or step budget.
+RunResult runImage(const BinaryImage &Img, const SimOptions &Opts = {});
+
+} // namespace ucc
+
+#endif // UCC_SIM_SIMULATOR_H

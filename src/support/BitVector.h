@@ -1,0 +1,117 @@
+//===- support/BitVector.h - dynamic bit set ------------------------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity dynamic bitset used by the dataflow analyses and the
+/// register allocators. Word-parallel union/intersection keep the liveness
+/// fixpoint cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_SUPPORT_BITVECTOR_H
+#define UCC_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ucc {
+
+/// Dynamic bitset with word-parallel set operations.
+class BitVector {
+public:
+  BitVector() = default;
+
+  explicit BitVector(size_t NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  size_t size() const { return NumBits; }
+
+  bool test(size_t Idx) const {
+    assert(Idx < NumBits && "bit index out of range");
+    return (Words[Idx / 64] >> (Idx % 64)) & 1;
+  }
+
+  void set(size_t Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / 64] |= uint64_t(1) << (Idx % 64);
+  }
+
+  void reset(size_t Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / 64] &= ~(uint64_t(1) << (Idx % 64));
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// this |= RHS. Returns true if any bit changed.
+  bool unionWith(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    bool Changed = false;
+    for (size_t I = 0; I < Words.size(); ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= RHS.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// this &= RHS.
+  void intersectWith(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= RHS.Words[I];
+  }
+
+  /// this &= ~RHS.
+  void subtract(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= ~RHS.Words[I];
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool operator==(const BitVector &RHS) const {
+    return NumBits == RHS.NumBits && Words == RHS.Words;
+  }
+
+  /// Invokes \p Fn for every set bit index, in increasing order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (size_t WI = 0; WI < Words.size(); ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        Fn(WI * 64 + Bit);
+        W &= W - 1;
+      }
+    }
+  }
+
+private:
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace ucc
+
+#endif // UCC_SUPPORT_BITVECTOR_H

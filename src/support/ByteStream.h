@@ -1,0 +1,139 @@
+//===- support/ByteStream.h - little-endian (de)serialization ------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ByteWriter/ByteReader implement the little-endian wire format used for
+/// binary images, edit scripts and compilation records. The reader is
+/// bounds-checked and latches an error instead of reading out of range, so
+/// corrupted inputs (e.g. a truncated edit script) are detected rather than
+/// crashing the "sensor".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_SUPPORT_BYTESTREAM_H
+#define UCC_SUPPORT_BYTESTREAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ucc {
+
+/// Appends little-endian scalars and length-prefixed strings to a buffer.
+class ByteWriter {
+public:
+  void writeU8(uint8_t V) { Bytes.push_back(V); }
+
+  void writeU16(uint16_t V) {
+    writeU8(static_cast<uint8_t>(V & 0xff));
+    writeU8(static_cast<uint8_t>(V >> 8));
+  }
+
+  void writeU32(uint32_t V) {
+    writeU16(static_cast<uint16_t>(V & 0xffff));
+    writeU16(static_cast<uint16_t>(V >> 16));
+  }
+
+  void writeU64(uint64_t V) {
+    writeU32(static_cast<uint32_t>(V & 0xffffffffu));
+    writeU32(static_cast<uint32_t>(V >> 32));
+  }
+
+  void writeI32(int32_t V) { writeU32(static_cast<uint32_t>(V)); }
+
+  /// Writes a u32 length followed by the raw bytes of \p S.
+  void writeString(const std::string &S) {
+    writeU32(static_cast<uint32_t>(S.size()));
+    Bytes.insert(Bytes.end(), S.begin(), S.end());
+  }
+
+  void writeBytes(const std::vector<uint8_t> &B) {
+    Bytes.insert(Bytes.end(), B.begin(), B.end());
+  }
+
+  const std::vector<uint8_t> &bytes() const { return Bytes; }
+  std::vector<uint8_t> take() { return std::move(Bytes); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Bounds-checked reader over a byte buffer.
+///
+/// After any out-of-range read the reader enters an error state; all further
+/// reads return zero values. Callers check hadError() once at the end.
+class ByteReader {
+public:
+  explicit ByteReader(const std::vector<uint8_t> &Buffer)
+      : Data(Buffer.data()), Size(Buffer.size()) {}
+
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  uint8_t readU8() {
+    if (!ensure(1))
+      return 0;
+    return Data[Pos++];
+  }
+
+  uint16_t readU16() {
+    uint16_t Lo = readU8();
+    uint16_t Hi = readU8();
+    return static_cast<uint16_t>(Lo | (Hi << 8));
+  }
+
+  uint32_t readU32() {
+    uint32_t Lo = readU16();
+    uint32_t Hi = readU16();
+    return Lo | (Hi << 16);
+  }
+
+  uint64_t readU64() {
+    uint64_t Lo = readU32();
+    uint64_t Hi = readU32();
+    return Lo | (Hi << 32);
+  }
+
+  int32_t readI32() { return static_cast<int32_t>(readU32()); }
+
+  std::string readString() {
+    uint32_t Len = readU32();
+    if (!ensure(Len))
+      return std::string();
+    std::string S(reinterpret_cast<const char *>(Data + Pos), Len);
+    Pos += Len;
+    return S;
+  }
+
+  std::vector<uint8_t> readBytes(size_t N) {
+    if (!ensure(N))
+      return {};
+    std::vector<uint8_t> Out(Data + Pos, Data + Pos + N);
+    Pos += N;
+    return Out;
+  }
+
+  size_t remaining() const { return Size - Pos; }
+  bool atEnd() const { return Pos == Size; }
+  bool hadError() const { return Error; }
+
+private:
+  bool ensure(size_t N) {
+    if (Error || Size - Pos < N) {
+      Error = true;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Error = false;
+};
+
+} // namespace ucc
+
+#endif // UCC_SUPPORT_BYTESTREAM_H

@@ -1,0 +1,31 @@
+//===- support/Diagnostics.cpp --------------------------------------------==//
+
+#include "support/Diagnostics.h"
+
+#include "support/Format.h"
+
+using namespace ucc;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid())
+      Out += format("%u:%u: %s: %s\n", D.Loc.Line, D.Loc.Col,
+                    kindName(D.Kind), D.Message.c_str());
+    else
+      Out += format("%s: %s\n", kindName(D.Kind), D.Message.c_str());
+  }
+  return Out;
+}

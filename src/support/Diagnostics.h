@@ -1,0 +1,80 @@
+//===- support/Diagnostics.h - source locations and diagnostics ----------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a diagnostic engine shared by the MiniC frontend and
+/// later pipeline stages. Errors are collected, never thrown: the library is
+/// exception-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_SUPPORT_DIAGNOSTICS_H
+#define UCC_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace ucc {
+
+/// A 1-based line/column position in a MiniC source buffer. Line 0 denotes
+/// an unknown location (e.g. diagnostics raised after parsing).
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool isValid() const { return Line != 0; }
+};
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics emitted by a pipeline stage.
+///
+/// A DiagnosticEngine is passed by reference through the frontend; callers
+/// check hasErrors() after each stage and render the collected diagnostics
+/// however they like (tests match on substrings, tools print them).
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: kind: message" lines.
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace ucc
+
+#endif // UCC_SUPPORT_DIAGNOSTICS_H

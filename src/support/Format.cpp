@@ -1,0 +1,29 @@
+//===- support/Format.cpp -------------------------------------------------==//
+
+#include "support/Format.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace ucc;
+
+std::string ucc::formatv(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  return Out;
+}
+
+std::string ucc::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Out = formatv(Fmt, Args);
+  va_end(Args);
+  return Out;
+}

@@ -1,0 +1,31 @@
+//===- support/Format.h - printf-style std::string formatting ------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small printf-style formatting helper producing std::string. The library
+/// never writes to std::cout/cerr itself (per the coding standard); all
+/// human-readable output is built as strings and printed by tools.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_SUPPORT_FORMAT_H
+#define UCC_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace ucc {
+
+/// Formats \p Fmt with printf semantics into a std::string.
+std::string format(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list flavor of format().
+std::string formatv(const char *Fmt, va_list Args);
+
+} // namespace ucc
+
+#endif // UCC_SUPPORT_FORMAT_H

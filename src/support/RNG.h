@@ -1,0 +1,77 @@
+//===- support/RNG.h - deterministic pseudo-random numbers ---------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic xorshift128+ generator used by property tests,
+/// synthetic-chunk generators and the network simulator. Determinism
+/// matters: every experiment must be exactly reproducible from its seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_SUPPORT_RNG_H
+#define UCC_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ucc {
+
+/// Deterministic xorshift128+ PRNG.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ULL) {
+    // Split the seed through two rounds of splitmix64 so that small seeds
+    // still produce well-mixed initial state.
+    State0 = splitmix(Seed);
+    State1 = splitmix(State0);
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t S1 = State0;
+    const uint64_t S0 = State1;
+    State0 = S0;
+    S1 ^= S1 << 23;
+    State1 = S1 ^ S0 ^ (S1 >> 18) ^ (S0 >> 5);
+    return State1 + S0;
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be non-zero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "below() requires a non-zero bound");
+    return next() % Bound;
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() requires Lo <= Hi");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// Returns a uniform double in [0, 1).
+  double unitReal() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  static uint64_t splitmix(uint64_t X) {
+    X += 0x9e3779b97f4a7c15ULL;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+    return X ^ (X >> 31);
+  }
+
+  uint64_t State0;
+  uint64_t State1;
+};
+
+} // namespace ucc
+
+#endif // UCC_SUPPORT_RNG_H

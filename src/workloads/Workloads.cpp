@@ -1,0 +1,769 @@
+//===- workloads/Workloads.cpp ------------------------------------------------==//
+
+#include "workloads/Workloads.h"
+
+#include <cassert>
+
+using namespace ucc;
+
+//===----------------------------------------------------------------------===//
+// Benchmark sources
+//===----------------------------------------------------------------------===//
+//
+// All four TinyOS-style applications share a runtime prelude (task queue,
+// sample conditioning, small math helpers) the way real TinyOS apps share
+// the OS code — the paper's case-13 observation that "applications in the
+// same TinyOS environment follow a generic structure" relies on exactly
+// this. The handlers are deliberately register-rich: several simultaneously
+// live locals give the allocators real decisions to preserve or lose.
+
+namespace {
+
+const char *RuntimePrelude = R"(
+// --- TinyOS-style runtime (shared by all applications) ---
+int task_queue[8];
+int task_head;
+int task_count;
+int sys_ticks;
+int led_shadow;
+int prev_sample;
+int history[8];
+int hist_pos;
+
+int clamp8(int v) {
+  return v & 0xff;
+}
+
+int mix(int a, int b) {
+  int t = (a << 3) ^ b;
+  t = t + ((b >> 2) & 0x3ff);
+  t = t ^ (a >> 1);
+  return t & 0x7fff;
+}
+
+int checksum16(int a, int b) {
+  int s = a + b;
+  int folded = (s & 0xff) + ((s >> 8) & 0xff);
+  return folded & 0xff;
+}
+
+void post_task(int id) {
+  if (task_count < 8) {
+    int slot = (task_head + task_count) & 7;
+    task_queue[slot] = id;
+    task_count = task_count + 1;
+  }
+}
+
+int next_task() {
+  int id = 0;
+  if (task_count > 0) {
+    id = task_queue[task_head];
+    task_head = (task_head + 1) & 7;
+    task_count = task_count - 1;
+  }
+  return id;
+}
+
+int smooth_sample(int raw) {
+  int cur = clamp8(raw);
+  int sm = (prev_sample * 3 + cur) >> 2;
+  history[hist_pos] = sm;
+  hist_pos = (hist_pos + 1) & 7;
+  prev_sample = sm;
+  return sm;
+}
+
+int history_energy() {
+  int acc = 0;
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    int h = history[i];
+    acc = acc + ((h * h) >> 4);
+  }
+  return acc & 0x7fff;
+}
+)";
+
+const char *MainLoop = R"(
+void main() {
+  int ticks = 0;
+  while (ticks < 64) {
+    sys_ticks = __in(3);
+    post_task(1);
+    run_next_task(next_task());
+    ticks = ticks + 1;
+  }
+  __halt();
+}
+)";
+
+/// Blink: the timer handler toggles the red LED; the surrounding sample
+/// conditioning keeps several values live across the toggle.
+const char *BlinkBody = R"(
+// --- Blink ---
+int led_state;
+
+void timer_handle_fire() {
+  int raw = __in(4);
+  int sm = smooth_sample(raw);
+  int level = mix(sm, sys_ticks);
+  int code = checksum16(level, sm);
+  int guard = level & 15;
+  led_state = led_state ^ 1;
+  int shown = led_state;
+  if (guard > 7) {
+    shown = shown | (code & 6);
+  }
+  __out(0, shown & 7);
+}
+
+void run_next_task(int id) {
+  if (id == 1) {
+    timer_handle_fire();
+  }
+}
+)";
+
+/// CntToLeds: a counter displayed on the LEDs (low three bits).
+const char *CntToLedsBody = R"(
+// --- CntToLeds ---
+int counter;
+int audit_word;
+
+void display(int value) {
+  int masked = value & 7;
+  if (masked != led_shadow) {
+    led_shadow = masked;
+  }
+  __out(0, masked);
+}
+
+void timer_fire() {
+  int raw = __in(4);
+  int sm = smooth_sample(raw);
+  int level = mix(sm, counter);
+  int audit = checksum16(level, counter);
+  audit_word = audit;
+  counter = counter + 1;
+  display(counter);
+  int energy = history_energy();
+  if ((energy & 31) == 0) {
+    audit_word = checksum16(audit_word, energy);
+  }
+}
+
+void run_next_task(int id) {
+  if (id == 1) {
+    timer_fire();
+  }
+}
+)";
+
+/// CntToRfm: the counter goes out as an IntMsg-style AM packet.
+const char *CntToRfmBody = R"(
+// --- CntToRfm ---
+int counter;
+int audit_word;
+int am_type = 4;
+int seq_no;
+
+void send_packet(int value) {
+  int header = mix(am_type, seq_no) & 0xff;
+  int crc = checksum16(value, header);
+  __out(1, am_type);
+  __out(1, value);
+  __out(1, crc);
+  __out(2, 3);
+  seq_no = seq_no + 1;
+}
+
+void timer_fire() {
+  int raw = __in(4);
+  int sm = smooth_sample(raw);
+  int level = mix(sm, counter);
+  int audit = checksum16(level, counter);
+  audit_word = audit;
+  counter = counter + 1;
+  send_packet(counter);
+  int energy = history_energy();
+  if ((energy & 31) == 0) {
+    audit_word = checksum16(audit_word, energy);
+  }
+}
+
+void run_next_task(int id) {
+  if (id == 1) {
+    timer_fire();
+  }
+}
+)";
+
+/// CntToLedsAndRfm: the union of the two counter applications.
+const char *CntToLedsAndRfmBody = R"(
+// --- CntToLedsAndRfm ---
+int counter;
+int audit_word;
+int am_type = 4;
+int seq_no;
+
+void display(int value) {
+  int masked = value & 7;
+  if (masked != led_shadow) {
+    led_shadow = masked;
+  }
+  __out(0, masked);
+}
+
+void send_packet(int value) {
+  int header = mix(am_type, seq_no) & 0xff;
+  int crc = checksum16(value, header);
+  __out(1, am_type);
+  __out(1, value);
+  __out(1, crc);
+  __out(2, 3);
+  seq_no = seq_no + 1;
+}
+
+void timer_fire() {
+  int raw = __in(4);
+  int sm = smooth_sample(raw);
+  int level = mix(sm, counter);
+  int audit = checksum16(level, counter);
+  audit_word = audit;
+  counter = counter + 1;
+  display(counter);
+  send_packet(counter);
+  int energy = history_energy();
+  if ((energy & 31) == 0) {
+    audit_word = checksum16(audit_word, energy);
+  }
+}
+
+void run_next_task(int id) {
+  if (id == 1) {
+    timer_fire();
+  }
+}
+)";
+
+std::string composeApp(const char *Body) {
+  return std::string(RuntimePrelude) + Body + MainLoop;
+}
+
+/// AES-128 encryption (crypto library benchmark). The S-box is computed
+/// from the GF(2^8) inverse + affine map, the key schedule and all ten
+/// rounds run for real; the test suite checks the FIPS-197 vector.
+const char *AesSrc = R"(
+// AES-128 block encryption of one 16-byte block.
+int sbox[256];
+int rcon[11] = {0, 1, 2, 4, 8, 16, 32, 64, 128, 27, 54};
+int key[16] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+int pt[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+              0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+int state[16];
+int rk[176];
+
+int xtime(int a) {
+  return ((a << 1) ^ (((a >> 7) & 1) * 0x1b)) & 0xff;
+}
+
+int gmul(int a, int b) {
+  int p = 0;
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    if (b & 1) {
+      p = p ^ a;
+    }
+    a = xtime(a);
+    b = b >> 1;
+  }
+  return p & 0xff;
+}
+
+int rotl8(int x, int n) {
+  return ((x << n) | (x >> (8 - n))) & 0xff;
+}
+
+void init_sbox() {
+  int x;
+  for (x = 0; x < 256; x = x + 1) {
+    int inv = 0;
+    if (x != 0) {
+      int acc = 1;
+      int base = x;
+      int e = 254;
+      while (e > 0) {
+        if (e & 1) {
+          acc = gmul(acc, base);
+        }
+        base = gmul(base, base);
+        e = e >> 1;
+      }
+      inv = acc;
+    }
+    sbox[x] = (inv ^ rotl8(inv, 1) ^ rotl8(inv, 2) ^ rotl8(inv, 3)
+                   ^ rotl8(inv, 4) ^ 0x63) & 0xff;
+  }
+}
+
+void expand_key() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    rk[i] = key[i];
+  }
+  for (i = 4; i < 44; i = i + 1) {
+    int t0 = rk[(i - 1) * 4];
+    int t1 = rk[(i - 1) * 4 + 1];
+    int t2 = rk[(i - 1) * 4 + 2];
+    int t3 = rk[(i - 1) * 4 + 3];
+    if (i % 4 == 0) {
+      int tmp = t0;
+      t0 = sbox[t1] ^ rcon[i / 4];
+      t1 = sbox[t2];
+      t2 = sbox[t3];
+      t3 = sbox[tmp];
+    }
+    rk[i * 4] = (rk[(i - 4) * 4] ^ t0) & 0xff;
+    rk[i * 4 + 1] = (rk[(i - 4) * 4 + 1] ^ t1) & 0xff;
+    rk[i * 4 + 2] = (rk[(i - 4) * 4 + 2] ^ t2) & 0xff;
+    rk[i * 4 + 3] = (rk[(i - 4) * 4 + 3] ^ t3) & 0xff;
+  }
+}
+
+void add_round_key(int round) {
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    state[i] = (state[i] ^ rk[round * 16 + i]) & 0xff;
+  }
+}
+
+void sub_bytes() {
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    state[i] = sbox[state[i]];
+  }
+}
+
+void shift_rows() {
+  int t;
+  t = state[1];
+  state[1] = state[5];
+  state[5] = state[9];
+  state[9] = state[13];
+  state[13] = t;
+  t = state[2];
+  state[2] = state[10];
+  state[10] = t;
+  t = state[6];
+  state[6] = state[14];
+  state[14] = t;
+  t = state[15];
+  state[15] = state[11];
+  state[11] = state[7];
+  state[7] = state[3];
+  state[3] = t;
+}
+
+void mix_columns() {
+  int c;
+  for (c = 0; c < 4; c = c + 1) {
+    int a0 = state[c * 4];
+    int a1 = state[c * 4 + 1];
+    int a2 = state[c * 4 + 2];
+    int a3 = state[c * 4 + 3];
+    state[c * 4] = (gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3) & 0xff;
+    state[c * 4 + 1] = (a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3) & 0xff;
+    state[c * 4 + 2] = (a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3)) & 0xff;
+    state[c * 4 + 3] = (gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2)) & 0xff;
+  }
+}
+
+void encrypt() {
+  int round;
+  add_round_key(0);
+  for (round = 1; round < 10; round = round + 1) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+}
+
+void main() {
+  int i;
+  init_sbox();
+  expand_key();
+  for (i = 0; i < 16; i = i + 1) {
+    state[i] = pt[i];
+  }
+  encrypt();
+  for (i = 0; i < 16; i = i + 1) {
+    __out(15, state[i]);
+  }
+  __halt();
+}
+)";
+
+} // namespace
+
+const std::vector<Workload> &ucc::workloads() {
+  static const std::vector<Workload> Suite = {
+      {"Blink",
+       "Starts a 1Hz timer and toggles the red LED every time it fires.",
+       composeApp(BlinkBody)},
+      {"CntToLeds",
+       "Maintains a counter on a 4Hz timer and displays the lowest three "
+       "bits of the counter value on the LEDs.",
+       composeApp(CntToLedsBody)},
+      {"CntToRfm",
+       "Maintains a counter on a 4Hz timer and sends out the value of the "
+       "counter in an IntMsg AM packet on each increment.",
+       composeApp(CntToRfmBody)},
+      {"CntToLedsAndRfm",
+       "Maintains a counter on a 4Hz timer; combines the tasks performed "
+       "by CntToRfm and CntToLeds.",
+       composeApp(CntToLedsAndRfmBody)},
+      {"AES",
+       "Encrypts a given 128-bit input buffer using the AES algorithm "
+       "(encryption path).",
+       AesSrc},
+  };
+  return Suite;
+}
+
+const std::string &ucc::workloadSource(const std::string &Name) {
+  for (const Workload &W : workloads())
+    if (W.Name == Name)
+      return W.Source;
+  assert(false && "unknown workload");
+  static const std::string Empty;
+  return Empty;
+}
+
+const char *ucc::updateLevelName(UpdateLevel Level) {
+  switch (Level) {
+  case UpdateLevel::Small:
+    return "Small";
+  case UpdateLevel::Medium:
+    return "Medium";
+  case UpdateLevel::Large:
+    return "Large";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Update cases (Fig. 9)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Replaces the first occurrence of \p From in \p Text with \p To.
+/// Asserts the needle exists — catching silently-broken cases in tests.
+std::string replaced(std::string Text, const std::string &From,
+                     const std::string &To) {
+  size_t At = Text.find(From);
+  assert(At != std::string::npos && "update-case needle missing");
+  Text.replace(At, From.size(), To);
+  return Text;
+}
+
+std::vector<UpdateCase> buildUpdateCases() {
+  const std::string Blink = workloadSource("Blink");
+  const std::string CntToLeds = workloadSource("CntToLeds");
+  const std::string CntToRfm = workloadSource("CntToRfm");
+  const std::string CntToLedsAndRfm = workloadSource("CntToLedsAndRfm");
+
+  std::vector<UpdateCase> Cases;
+
+  // 1 (Small): CntToLeds — change the color of the blink (LED mask).
+  Cases.push_back({1, UpdateLevel::Small, "CntToLeds",
+                   "change the color of blink (LED selection mask)",
+                   CntToLeds,
+                   replaced(CntToLeds, "int masked = value & 7;",
+                            "int masked = value & 3;")});
+
+  // 2 (Small): CntToLeds — constant change in the shared smoothing filter.
+  Cases.push_back(
+      {2, UpdateLevel::Small, "CntToLeds",
+       "constant change: retune the sample-smoothing filter",
+       CntToLeds,
+       replaced(CntToLeds, "int sm = (prev_sample * 3 + cur) >> 2;",
+                "int sm = (prev_sample * 7 + cur) >> 3;")});
+
+  // 3 (Small): CntToRfm — constant change in the packet header mask.
+  Cases.push_back(
+      {3, UpdateLevel::Small, "CntToRfm",
+       "constant change: narrower packet header mask",
+       CntToRfm,
+       replaced(CntToRfm, "int header = mix(am_type, seq_no) & 0xff;",
+                "int header = mix(am_type, seq_no) & 0x7f;")});
+
+  // 4 (Small): Blink — variable change (toggle a different LED bit).
+  Cases.push_back({4, UpdateLevel::Small, "Blink",
+                   "variable change: toggle the green LED instead",
+                   Blink,
+                   replaced(Blink, "led_state = led_state ^ 1;",
+                            "led_state = led_state ^ 2;")});
+
+  // 5 (Small): CntToLeds — instruction change (increment step).
+  Cases.push_back({5, UpdateLevel::Small, "CntToLeds",
+                   "instruction change: count by two",
+                   CntToLeds,
+                   replaced(CntToLeds, "counter = counter + 1;\n  display",
+                            "counter = counter + 2;\n  display")});
+
+  // 6 (Small): CntToRfm — parameter change (send_packet gains an arg).
+  Cases.push_back(
+      {6, UpdateLevel::Small, "CntToRfm",
+       "parameter change: send_packet takes an urgency flag",
+       CntToRfm,
+       replaced(replaced(CntToRfm,
+                         "void send_packet(int value) {\n"
+                         "  int header = mix(am_type, seq_no) & 0xff;",
+                         "void send_packet(int value, int urgent) {\n"
+                         "  int header = mix(am_type + urgent, seq_no) & 0xff;"),
+                "send_packet(counter);",
+                "send_packet(counter, counter & 1);")});
+
+  // 7 (Small): Blink — control-flow change in the dispatcher.
+  Cases.push_back({7, UpdateLevel::Small, "Blink",
+                   "control-flow change: dispatch only on odd ticks",
+                   Blink,
+                   replaced(Blink,
+                            "void run_next_task(int id) {\n"
+                            "  if (id == 1) {\n"
+                            "    timer_handle_fire();\n"
+                            "  }\n"
+                            "}",
+                            "void run_next_task(int id) {\n"
+                            "  if (id == 1 && (sys_ticks & 1)) {\n"
+                            "    timer_handle_fire();\n"
+                            "  }\n"
+                            "}")});
+
+  // 8 (Medium): CntToLeds — new global consulted early in timer_fire; the
+  // edit lands at the top of a register-rich function, the situation where
+  // an update-oblivious allocator reshuffles everything after it.
+  Cases.push_back(
+      {8, UpdateLevel::Medium, "CntToLeds",
+       "insert a global and a guard branch early in timer_fire",
+       CntToLeds,
+       replaced(replaced(CntToLeds, "int counter;\nint audit_word;",
+                         "int counter;\nint audit_word;\nint mute_input;"),
+                "void timer_fire() {\n"
+                "  int raw = __in(4);",
+                "void timer_fire() {\n"
+                "  int raw = __in(4);\n"
+                "  if (mute_input != 0) {\n"
+                "    raw = 0;\n"
+                "  }")});
+
+  // 9 (Medium): CntToRfm — extend the send path with a second checksum.
+  Cases.push_back(
+      {9, UpdateLevel::Medium, "CntToRfm",
+       "extend send_packet with a second checksum word",
+       CntToRfm,
+       replaced(CntToRfm,
+                "  __out(1, am_type);\n"
+                "  __out(1, value);\n"
+                "  __out(1, crc);\n"
+                "  __out(2, 3);",
+                "  int crc2 = checksum16(crc, seq_no);\n"
+                "  __out(1, am_type);\n"
+                "  __out(1, value);\n"
+                "  __out(1, crc);\n"
+                "  __out(1, crc2);\n"
+                "  __out(2, 4);")});
+
+  // 10 (Medium): Blink — insert a global variable and use it in a new
+  // if/then branch in run_next_task (the paper's own description).
+  Cases.push_back({10, UpdateLevel::Medium, "Blink",
+                   "insert a global and use it in a new if/then branch in "
+                   "run_next_task",
+                   Blink,
+                   replaced(replaced(Blink, "int led_state;",
+                                     "int led_state;\nint suppressed;"),
+                            "void run_next_task(int id) {\n"
+                            "  if (id == 1) {\n"
+                            "    timer_handle_fire();\n"
+                            "  }\n"
+                            "}",
+                            "void run_next_task(int id) {\n"
+                            "  if (suppressed != 0) {\n"
+                            "    return;\n"
+                            "  }\n"
+                            "  if (id == 1) {\n"
+                            "    timer_handle_fire();\n"
+                            "  }\n"
+                            "}")});
+
+  // 11 (Medium): Blink — add an else branch for an if statement in the
+  // timer handler (the paper's own description).
+  Cases.push_back(
+      {11, UpdateLevel::Medium, "Blink",
+       "add an else branch for an if statement in timer_handle_fire",
+       Blink,
+       replaced(Blink,
+                "  if (guard > 7) {\n"
+                "    shown = shown | (code & 6);\n"
+                "  }",
+                "  if (guard > 7) {\n"
+                "    shown = shown | (code & 6);\n"
+                "  } else {\n"
+                "    shown = shown & 1;\n"
+                "  }")});
+
+  // 12 (Large): change the application from CntToRfm to CntToLedsAndRfm.
+  Cases.push_back({12, UpdateLevel::Large, "CntToRfm",
+                   "change the application from CntToRfm to CntToLedsAndRfm",
+                   CntToRfm, CntToLedsAndRfm});
+
+  // 13 (Large): change the application from CntToLeds to CntToRfm.
+  Cases.push_back({13, UpdateLevel::Large, "CntToLeds",
+                   "change the application from CntToLeds to CntToRfm",
+                   CntToLeds, CntToRfm});
+
+  return Cases;
+}
+
+std::vector<UpdateCase> buildDataLayoutCases() {
+  const std::string CntToLeds = workloadSource("CntToLeds");
+  const std::string CntToRfm = workloadSource("CntToRfm");
+
+  std::vector<UpdateCase> Cases;
+
+  // D1: CntToRfm — insert several global variables.
+  Cases.push_back({101, UpdateLevel::Medium, "CntToRfm",
+                   "insert several global variables",
+                   CntToRfm,
+                   replaced(CntToRfm, "int am_type = 4;",
+                            "int am_type = 4;\n"
+                            "int retries;\n"
+                            "int last_sent;\n"
+                            "int dropped;")});
+
+  // D2: CntToLeds — shuffle the order of globals and change their names.
+  {
+    std::string Shuffled =
+        replaced(CntToLeds, "int counter;\nint audit_word;",
+                 "int diag_word;\nint event_count;");
+    auto renameAll = [](std::string Text, const std::string &From,
+                        const std::string &To) {
+      size_t At = 0;
+      while ((At = Text.find(From, At)) != std::string::npos) {
+        Text.replace(At, From.size(), To);
+        At += To.size();
+      }
+      return Text;
+    };
+    Shuffled = renameAll(Shuffled, "audit_word", "diag_word");
+    Shuffled = renameAll(Shuffled, "counter", "event_count");
+    Cases.push_back({102, UpdateLevel::Medium, "CntToLeds",
+                     "shuffle the order of globals and change their names",
+                     CntToLeds, Shuffled});
+  }
+
+  return Cases;
+}
+
+} // namespace
+
+const std::vector<UpdateCase> &ucc::updateCases() {
+  static const std::vector<UpdateCase> Cases = buildUpdateCases();
+  return Cases;
+}
+
+const std::vector<UpdateCase> &ucc::dataLayoutCases() {
+  static const std::vector<UpdateCase> Cases = buildDataLayoutCases();
+  return Cases;
+}
+
+//===----------------------------------------------------------------------===//
+// The Fig. 4 scenario
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A report routine with enough short-lived values that the baseline
+/// allocator's cursor wraps and `b` reuses `a`'s register (their live
+/// ranges are disjoint in the old version, exactly as in Fig. 4(a)).
+const char *Fig4Old = R"(
+int sink;
+void report(int s) {
+  int a = s * 3;
+  sink = sink + (a ^ 9);
+  sink = sink + (a + 5);
+  int f0 = s + 20;
+  sink = sink + f0;
+  int f1 = s + 21;
+  sink = sink + f1;
+  int f2 = s + 22;
+  sink = sink + f2;
+  int f3 = s + 23;
+  sink = sink + f3;
+  int f4 = s + 24;
+  sink = sink + f4;
+  int b = s + 7;
+  sink = sink + b;
+  sink = sink + (b & 7);
+  sink = sink + (b ^ 1);
+  __out(15, sink);
+}
+void main() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    report(__in(4));
+  }
+  __halt();
+}
+)";
+
+/// The update hoists b's definition to the top of the routine, extending
+/// its live range across a's (Fig. 4(b)): b's unchanged uses still prefer
+/// a's register, which only frees up after a dies — the split-and-mov
+/// opportunity of Fig. 4(c).
+const char *Fig4New = R"(
+int sink;
+void report(int s) {
+  int a = s * 3;
+  int b = s + 7;
+  sink = sink + (a ^ 9);
+  sink = sink + (a + 5);
+  int f0 = s + 20;
+  sink = sink + f0;
+  int f1 = s + 21;
+  sink = sink + f1;
+  int f2 = s + 22;
+  sink = sink + f2;
+  int f3 = s + 23;
+  sink = sink + f3;
+  int f4 = s + 24;
+  sink = sink + f4;
+  sink = sink + b;
+  sink = sink + (b & 7);
+  sink = sink + (b ^ 1);
+  __out(15, sink);
+}
+void main() {
+  int i;
+  for (i = 0; i < 8; i = i + 1) {
+    report(__in(4));
+  }
+  __halt();
+}
+)";
+
+} // namespace
+
+const UpdateCase &ucc::liveRangeExtensionCase() {
+  static const UpdateCase Case = {
+      14, UpdateLevel::Small, "SenseReport",
+      "extend a live range across another variable's (Fig. 4 scenario)",
+      Fig4Old, Fig4New};
+  return Case;
+}

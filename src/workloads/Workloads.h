@@ -1,0 +1,75 @@
+//===- workloads/Workloads.h - benchmark programs and update cases --------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC re-implementations of the paper's benchmark suite (Fig. 8):
+/// Blink, CntToLeds, CntToRfm, CntToLedsAndRfm from the TinyOS release and
+/// AES-128 encryption from the crypto library (computed for real and
+/// validated against FIPS-197 in the tests), plus the thirteen update cases
+/// of Fig. 9 and the two data-layout cases of Fig. 16.
+///
+/// TinyOS timers become bounded event loops reading the timer port; LED and
+/// radio writes map to the simulator's ports. The *structure* the paper
+/// relies on is preserved: a scheduler-style dispatch function
+/// (run_next_task), timer-fired handlers, and distinct data-processing vs
+/// data-transmission code paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_WORKLOADS_WORKLOADS_H
+#define UCC_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace ucc {
+
+/// One benchmark program (paper Fig. 8).
+struct Workload {
+  std::string Name;
+  std::string Details;
+  std::string Source;
+};
+
+/// The benchmark suite.
+const std::vector<Workload> &workloads();
+
+/// Fetches a benchmark source by name ("Blink", "CntToLeds", "CntToRfm",
+/// "CntToLedsAndRfm", "AES"). Asserts the name exists.
+const std::string &workloadSource(const std::string &Name);
+
+/// Update severity (paper section 5.2).
+enum class UpdateLevel { Small, Medium, Large };
+
+/// One code-update test case (paper Fig. 9).
+struct UpdateCase {
+  int Id = 0;
+  UpdateLevel Level = UpdateLevel::Small;
+  std::string Benchmark;
+  std::string Description;
+  std::string OldSource;
+  std::string NewSource;
+};
+
+/// The thirteen register-allocation update cases (Fig. 9).
+const std::vector<UpdateCase> &updateCases();
+
+/// The two data-layout update cases D1/D2 (Fig. 16).
+const std::vector<UpdateCase> &dataLayoutCases();
+
+/// The paper's Fig. 4 scenario as a concrete update: an edit extends a
+/// variable's live range into a region where its old register is occupied,
+/// so UCC-RA must choose between retransmitting the variable's unchanged
+/// uses and inserting a `mov` — the choice the energy model arbitrates
+/// (and reverses at high Cnt).
+const UpdateCase &liveRangeExtensionCase();
+
+/// Printable name for an update level.
+const char *updateLevelName(UpdateLevel Level);
+
+} // namespace ucc
+
+#endif // UCC_WORKLOADS_WORKLOADS_H

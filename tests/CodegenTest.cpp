@@ -1,0 +1,200 @@
+//===- tests/CodegenTest.cpp - instruction selection and encoding ---------===//
+
+#include "codegen/BinaryImage.h"
+#include "codegen/ISel.h"
+#include "dataalloc/DataAlloc.h"
+#include "frontend/IRGen.h"
+#include "regalloc/LinearScan.h"
+
+#include <gtest/gtest.h>
+
+using namespace ucc;
+
+namespace {
+
+MachineModule selectFor(const std::string &Source) {
+  DiagnosticEngine Diag;
+  Module M = compileToIR(Source, Diag);
+  EXPECT_FALSE(Diag.hasErrors()) << Diag.str();
+  return selectModule(M);
+}
+
+TEST(ISelTest, MirrorsBlockStructure) {
+  DiagnosticEngine Diag;
+  Module M = compileToIR(R"(
+    void main() {
+      int x = __in(4);
+      if (x > 0) { __out(15, 1); } else { __out(15, 2); }
+      __halt();
+    }
+  )",
+                         Diag);
+  ASSERT_FALSE(Diag.hasErrors());
+  MachineFunction MF = selectFunction(M, M.Functions[0]);
+  ASSERT_EQ(MF.Blocks.size(), M.Functions[0].Blocks.size());
+  for (size_t B = 0; B < MF.Blocks.size(); ++B)
+    EXPECT_EQ(MF.Blocks[B].Succs, M.Functions[0].Blocks[B].successors());
+}
+
+TEST(ISelTest, PrologueMovesArgumentsOut) {
+  MachineModule MM = selectFor(R"(
+    int three(int a, int b, int c) { return a + b + c; }
+    void main() { __out(15, three(1, 2, 3)); __halt(); }
+  )");
+  const MachineFunction &Fn = MM.Functions[0];
+  ASSERT_GE(Fn.Blocks[0].Instrs.size(), 4u);
+  EXPECT_EQ(Fn.Blocks[0].Instrs[0].Op, MOp::ENTER);
+  for (int K = 0; K < 3; ++K) {
+    const MInstr &Mov = Fn.Blocks[0].Instrs[static_cast<size_t>(K + 1)];
+    EXPECT_EQ(Mov.Op, MOp::MOV);
+    EXPECT_EQ(Mov.B, K) << "argument " << K << " arrives in r" << K;
+    EXPECT_TRUE(isVirtReg(Mov.A));
+  }
+}
+
+TEST(ISelTest, CallSequenceStagesArgumentsAndResult) {
+  MachineModule MM = selectFor(R"(
+    int id(int x) { return x; }
+    void main() { __out(15, id(9)); __halt(); }
+  )");
+  const MachineFunction &Main = MM.Functions[1];
+  // Find the CALL and check its neighborhood.
+  bool Found = false;
+  for (const MBlock &BB : Main.Blocks) {
+    for (size_t K = 0; K < BB.Instrs.size(); ++K) {
+      if (BB.Instrs[K].Op != MOp::CALL)
+        continue;
+      Found = true;
+      ASSERT_GE(K, 1u);
+      EXPECT_EQ(BB.Instrs[K - 1].Op, MOp::MOV);
+      EXPECT_EQ(BB.Instrs[K - 1].A, 0) << "argument staged into r0";
+      ASSERT_LT(K + 1, BB.Instrs.size());
+      EXPECT_EQ(BB.Instrs[K + 1].Op, MOp::MOV);
+      EXPECT_EQ(BB.Instrs[K + 1].B, RetReg) << "result copied from r0";
+    }
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Encoding, FallthroughJumpsAreElided) {
+  // if/else produces jumps to the join block; the arm laid out directly
+  // before the join must fall through.
+  DiagnosticEngine Diag;
+  Module M = compileToIR(R"(
+    void main() {
+      int x = __in(4);
+      int y = 0;
+      if (x > 0) { y = 1; } else { y = 2; }
+      __out(15, y);
+      __halt();
+    }
+  )",
+                         Diag);
+  ASSERT_FALSE(Diag.hasErrors());
+  MachineModule MM = selectModule(M);
+  for (MachineFunction &MF : MM.Functions)
+    allocateLinearScan(MF);
+
+  int JumpsInMachine = 0;
+  for (const MBlock &BB : MM.Functions[0].Blocks)
+    for (const MInstr &I : BB.Instrs)
+      JumpsInMachine += I.Op == MOp::JMP;
+
+  DataLayoutMap DL = layoutGlobalsBaseline(M);
+  FrameLayout Frame = layoutFrame(MM.Functions[0]);
+  std::vector<uint32_t> Words = encodeFunction(MM.Functions[0], DL, Frame);
+  int JumpsEncoded = 0;
+  for (uint32_t W : Words)
+    JumpsEncoded += EncodedInstr::unpack(W).Op == MOp::JMP;
+  EXPECT_LT(JumpsEncoded, JumpsInMachine)
+      << "at least one jump must become a fallthrough";
+}
+
+TEST(Encoding, BranchTargetsAreFunctionRelative) {
+  DiagnosticEngine Diag;
+  Module M = compileToIR(R"(
+    void pad() { __out(15, 0); }
+    void main() {
+      int i;
+      for (i = 0; i < 3; i = i + 1) { __out(0, i); }
+      __halt();
+    }
+  )",
+                         Diag);
+  ASSERT_FALSE(Diag.hasErrors());
+  MachineModule MM = selectModule(M);
+  for (MachineFunction &MF : MM.Functions)
+    allocateLinearScan(MF);
+  DataLayoutMap DL = layoutGlobalsBaseline(M);
+  std::vector<FrameLayout> Frames;
+  for (const MachineFunction &MF : MM.Functions)
+    Frames.push_back(layoutFrame(MF));
+  BinaryImage Img = encodeModule(MM, M, DL, Frames);
+
+  int MainIdx = Img.findFunction("main");
+  ASSERT_GE(MainIdx, 0);
+  const FunctionSpan &Main = Img.Functions[static_cast<size_t>(MainIdx)];
+  for (uint32_t K = 0; K < Main.Count; ++K) {
+    EncodedInstr E = EncodedInstr::unpack(Img.Code[Main.Start + K]);
+    if (E.Op == MOp::JMP || isCondBranch(E.Op)) {
+      EXPECT_LT(E.Imm, Main.Count)
+          << "branch target must stay inside the function";
+    }
+  }
+}
+
+TEST(Encoding, IRIndexSidecarAlignsWithWords) {
+  DiagnosticEngine Diag;
+  Module M = compileToIR("void main() { __out(15, 3); __halt(); }", Diag);
+  ASSERT_FALSE(Diag.hasErrors());
+  MachineModule MM = selectModule(M);
+  for (MachineFunction &MF : MM.Functions)
+    allocateLinearScan(MF);
+  DataLayoutMap DL = layoutGlobalsBaseline(M);
+  std::vector<FrameLayout> Frames = {layoutFrame(MM.Functions[0])};
+  std::vector<std::vector<int>> IRIdx;
+  BinaryImage Img = encodeModule(MM, M, DL, Frames, &IRIdx);
+  ASSERT_EQ(IRIdx.size(), 1u);
+  EXPECT_EQ(IRIdx[0].size(), Img.Code.size());
+}
+
+TEST(MachineIRTest, FrameObjectNamesAreUniquified) {
+  MachineFunction MF;
+  int A = MF.makeFrameObject("buf", 4, false);
+  int B = MF.makeFrameObject("buf", 2, false);
+  int C = MF.makeFrameObject("buf", 1, true);
+  EXPECT_EQ(MF.FrameObjects[static_cast<size_t>(A)].Name, "buf");
+  EXPECT_EQ(MF.FrameObjects[static_cast<size_t>(B)].Name, "buf.2");
+  EXPECT_EQ(MF.FrameObjects[static_cast<size_t>(C)].Name, "buf.3");
+}
+
+TEST(MachineIRTest, DefUseRolesPerOpcode) {
+  MInstr Add;
+  Add.Op = MOp::ADD;
+  Add.A = 1;
+  Add.B = 2;
+  Add.C = 3;
+  EXPECT_EQ(minstrDefs(Add), (std::vector<int>{1}));
+  EXPECT_EQ(minstrUses(Add), (std::vector<int>{2, 3}));
+
+  MInstr Store;
+  Store.Op = MOp::STGX;
+  Store.A = 4;
+  Store.B = 5;
+  Store.GlobalIdx = 0;
+  EXPECT_TRUE(minstrDefs(Store).empty());
+  EXPECT_EQ(minstrUses(Store), (std::vector<int>{4, 5}));
+
+  MInstr Call;
+  Call.Op = MOp::CALL;
+  Call.Callee = 0;
+  std::vector<int> Defs = minstrDefs(Call);
+  EXPECT_EQ(static_cast<int>(Defs.size()), NumPhysRegs)
+      << "calls clobber every allocatable register";
+
+  MInstr Ret;
+  Ret.Op = MOp::RET;
+  EXPECT_EQ(minstrUses(Ret), (std::vector<int>{RetReg}));
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- tests/DataAllocTest.cpp - data-allocation strategies ---------------===//
+
+#include "dataalloc/DataAlloc.h"
+
+#include <gtest/gtest.h>
+
+using namespace ucc;
+
+namespace {
+
+RegionVar var(const char *Name, int Size = 1, int Usage = 1) {
+  return RegionVar{Name, Size, Usage};
+}
+
+TEST(BaselineDA, DeterministicForSameNames) {
+  std::vector<RegionVar> Vars = {var("alpha"), var("beta"), var("gamma")};
+  RegionLayout A = allocateRegionBaseline(Vars);
+  RegionLayout B = allocateRegionBaseline(Vars);
+  EXPECT_EQ(A.Offsets, B.Offsets);
+  EXPECT_EQ(A.Words, 3);
+}
+
+TEST(BaselineDA, RenamingMovesVariables) {
+  // Section 5.7: gcc hashes variables by name, so renames relocate data.
+  // Any specific rename may happen to keep its bucket; across a handful of
+  // plausible renames at least one must move something.
+  RegionLayout Before =
+      allocateRegionBaseline({var("counter"), var("limit"), var("flags")});
+  const char *Renames[] = {"event_count", "evt_counter", "n_events",
+                           "tally", "ticks_seen"};
+  bool AnyMoved = false;
+  for (const char *NewName : Renames) {
+    RegionLayout After =
+        allocateRegionBaseline({var(NewName), var("limit"), var("flags")});
+    AnyMoved |= Before.Offsets.at("limit") != After.Offsets.at("limit") ||
+                Before.Offsets.at("flags") != After.Offsets.at("flags") ||
+                Before.Offsets.at("counter") != After.Offsets.at(NewName);
+  }
+  EXPECT_TRUE(AnyMoved);
+}
+
+OldRegionLayout oldLayoutOf(const RegionLayout &L,
+                            const std::vector<RegionVar> &Vars) {
+  OldRegionLayout Old;
+  Old.Words = L.Words;
+  for (const RegionVar &V : Vars)
+    Old.Entries.push_back(
+        OldRegionLayout::Entry{V.Name, L.Offsets.at(V.Name), V.SizeWords});
+  return Old;
+}
+
+TEST(UccDA, SurvivorsKeepTheirOffsets) {
+  std::vector<RegionVar> OldVars = {var("a"), var("b", 4), var("c")};
+  RegionLayout OldL = allocateRegionBaseline(OldVars);
+
+  RegionSpec Spec;
+  Spec.Vars = {var("c"), var("a"), var("b", 4), var("fresh")};
+  Spec.Old = oldLayoutOf(OldL, OldVars);
+  auto Layouts = allocateRegionsUpdateConscious({Spec}, UccDaOptions());
+
+  EXPECT_EQ(Layouts[0].Offsets.at("a"), OldL.Offsets.at("a"));
+  EXPECT_EQ(Layouts[0].Offsets.at("b"), OldL.Offsets.at("b"));
+  EXPECT_EQ(Layouts[0].Offsets.at("c"), OldL.Offsets.at("c"));
+}
+
+TEST(UccDA, NewVariableFillsTheHole) {
+  // Old layout: a@0, b@1, c@2. Delete a, add d: d must take offset 0.
+  OldRegionLayout Old;
+  Old.Words = 3;
+  Old.Entries = {{"a", 0, 1}, {"b", 1, 1}, {"c", 2, 1}};
+
+  RegionSpec Spec;
+  Spec.Vars = {var("b"), var("c"), var("d")};
+  Spec.Old = Old;
+  auto Layouts = allocateRegionsUpdateConscious({Spec}, UccDaOptions());
+  EXPECT_EQ(Layouts[0].Offsets.at("d"), 0);
+  EXPECT_EQ(Layouts[0].Offsets.at("b"), 1);
+  EXPECT_EQ(Layouts[0].Offsets.at("c"), 2);
+  EXPECT_EQ(Layouts[0].Words, 3);
+  EXPECT_EQ(Layouts[0].HoleWords, 0);
+}
+
+TEST(UccDA, RenameIsDeletePlusInsertIntoSameSlot) {
+  // Section 5.7's closing observation.
+  OldRegionLayout Old;
+  Old.Words = 2;
+  Old.Entries = {{"counter", 0, 1}, {"limit", 1, 1}};
+
+  RegionSpec Spec;
+  Spec.Vars = {var("event_count"), var("limit")};
+  Spec.Old = Old;
+  auto Layouts = allocateRegionsUpdateConscious({Spec}, UccDaOptions());
+  EXPECT_EQ(Layouts[0].Offsets.at("event_count"), 0);
+  EXPECT_EQ(Layouts[0].Offsets.at("limit"), 1);
+}
+
+TEST(UccDA, OversizedVariableCannotReuseSmallHole) {
+  OldRegionLayout Old;
+  Old.Words = 3;
+  Old.Entries = {{"a", 0, 1}, {"b", 1, 2}};
+
+  RegionSpec Spec;
+  Spec.Vars = {var("b", 2), var("wide", 3)}; // 'a' deleted: 1-word hole
+  Spec.Old = Old;
+  auto Layouts = allocateRegionsUpdateConscious({Spec}, UccDaOptions());
+  EXPECT_EQ(Layouts[0].Offsets.at("b"), 1);
+  EXPECT_GE(Layouts[0].Offsets.at("wide"), 3); // appended, hole too small
+}
+
+TEST(UccDA, ThresholdZeroReclaimsByRelocatingLastVariable) {
+  // Deleting more than we add leaves Extra words; with SpaceT = 0 the
+  // allocator must relocate the last variable into the hole (eq. 16).
+  OldRegionLayout Old;
+  Old.Words = 4;
+  Old.Entries = {{"a", 0, 1}, {"b", 1, 1}, {"c", 2, 1}, {"d", 3, 1}};
+
+  RegionSpec Spec;
+  Spec.Vars = {var("b"), var("d")}; // a and c deleted
+  Spec.Old = Old;
+  UccDaOptions Tight;
+  Tight.SpaceT = 0;
+  auto Layouts = allocateRegionsUpdateConscious({Spec}, Tight);
+  EXPECT_EQ(Layouts[0].HoleWords, 0);
+  EXPECT_EQ(Layouts[0].Words, 2);
+  EXPECT_EQ(Layouts[0].RelocatedVars, 1);
+  EXPECT_EQ(Layouts[0].Offsets.at("d"), 0); // moved into a's hole
+  EXPECT_EQ(Layouts[0].Offsets.at("b"), 1);
+}
+
+TEST(UccDA, GenerousThresholdAvoidsRelocation) {
+  OldRegionLayout Old;
+  Old.Words = 4;
+  Old.Entries = {{"a", 0, 1}, {"b", 1, 1}, {"c", 2, 1}, {"d", 3, 1}};
+
+  RegionSpec Spec;
+  Spec.Vars = {var("b"), var("d")};
+  Spec.Old = Old;
+  UccDaOptions Loose;
+  Loose.SpaceT = 10;
+  auto Layouts = allocateRegionsUpdateConscious({Spec}, Loose);
+  EXPECT_EQ(Layouts[0].RelocatedVars, 0);
+  EXPECT_EQ(Layouts[0].Offsets.at("d"), 3); // untouched
+}
+
+TEST(UccDA, Equation17PicksHighestDepthPerUsage) {
+  // Two regions with holes; only one relocation is needed to satisfy
+  // SpaceT. Region 1 has Depth 8 and a rarely-used last variable: eq. 17
+  // says reclaim there first.
+  OldRegionLayout OldA;
+  OldA.Words = 3;
+  OldA.Entries = {{"a1", 0, 1}, {"a2", 1, 1}, {"a3", 2, 1}};
+  OldRegionLayout OldB = OldA;
+  OldB.Entries = {{"b1", 0, 1}, {"b2", 1, 1}, {"b3", 2, 1}};
+
+  RegionSpec RegionA;
+  RegionA.Vars = {var("a2", 1, /*Usage=*/50), var("a3", 1, /*Usage=*/50)};
+  RegionA.Old = OldA;
+  RegionA.Depth = 1;
+
+  RegionSpec RegionB;
+  RegionB.Vars = {var("b2", 1, /*Usage=*/2), var("b3", 1, /*Usage=*/2)};
+  RegionB.Old = OldB;
+  RegionB.Depth = 8;
+
+  UccDaOptions Opts;
+  // Initial waste is 1 (region A, Depth 1) + 8 (region B, Depth 8) = 9.
+  // With SpaceT = 8 exactly one relocation is needed, and eq. 17 says it
+  // happens in region B (Depth/Usage = 4 beats 0.02).
+  Opts.SpaceT = 8;
+  auto Layouts =
+      allocateRegionsUpdateConscious({RegionA, RegionB}, Opts);
+  EXPECT_EQ(Layouts[1].RelocatedVars, 1)
+      << "the deep, rarely-used region reclaims first (eq. 17)";
+  EXPECT_EQ(Layouts[0].RelocatedVars, 0);
+}
+
+TEST(UccDA, InitialCompilationPacksSequentially) {
+  RegionSpec Spec;
+  Spec.Vars = {var("x"), var("y", 2), var("z")};
+  auto Layouts = allocateRegionsUpdateConscious({Spec}, UccDaOptions());
+  EXPECT_EQ(Layouts[0].Offsets.at("x"), 0);
+  EXPECT_EQ(Layouts[0].Offsets.at("y"), 1);
+  EXPECT_EQ(Layouts[0].Offsets.at("z"), 3);
+  EXPECT_EQ(Layouts[0].Words, 4);
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+//===- tests/DiffTest.cpp - edit scripts and image diffing ----------------===//
+
+#include "diff/EditScript.h"
+#include "diff/ImageDiff.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace ucc;
+
+namespace {
+
+std::vector<uint32_t> randomWords(RNG &Rng, size_t N) {
+  std::vector<uint32_t> Words(N);
+  for (uint32_t &W : Words)
+    W = static_cast<uint32_t>(Rng.below(64)); // small alphabet: collisions
+  return Words;
+}
+
+/// Mutates a word sequence with random point edits, insertions, removals.
+std::vector<uint32_t> mutate(RNG &Rng, std::vector<uint32_t> Words,
+                             int Edits) {
+  for (int K = 0; K < Edits; ++K) {
+    uint64_t Kind = Rng.below(3);
+    if (Words.empty() || Kind == 0) {
+      Words.insert(Words.begin() +
+                       static_cast<long>(Rng.below(Words.size() + 1)),
+                   static_cast<uint32_t>(Rng.below(64)));
+    } else if (Kind == 1) {
+      Words[Rng.below(Words.size())] = static_cast<uint32_t>(Rng.below(64));
+    } else {
+      Words.erase(Words.begin() + static_cast<long>(Rng.below(Words.size())));
+    }
+  }
+  return Words;
+}
+
+TEST(EditScript, IdenticalSequencesAreOneCopy) {
+  std::vector<uint32_t> Words = {1, 2, 3, 4, 5};
+  EditScript S = makeEditScript(Words, Words);
+  ASSERT_EQ(S.Prims.size(), 1u);
+  EXPECT_EQ(S.Prims[0].Op, EditOp::Copy);
+  EXPECT_EQ(S.Prims[0].Count, 5u);
+  EXPECT_EQ(S.encodedBytes(), 1u);
+}
+
+TEST(EditScript, EmptyToFullIsOneInsert) {
+  std::vector<uint32_t> New = {7, 8, 9};
+  EditScript S = makeEditScript({}, New);
+  ASSERT_EQ(S.Prims.size(), 1u);
+  EXPECT_EQ(S.Prims[0].Op, EditOp::Insert);
+  EXPECT_EQ(S.encodedBytes(), 1u + 3u * 4u);
+}
+
+TEST(EditScript, SingleWordChangeIsOneReplace) {
+  std::vector<uint32_t> Old = {1, 2, 3, 4, 5};
+  std::vector<uint32_t> New = {1, 2, 9, 4, 5};
+  EditScript S = makeEditScript(Old, New);
+  // copy 2, replace 1, copy 2
+  EXPECT_EQ(S.encodedBytes(), 1u + (1u + 4u) + 1u);
+  std::vector<uint32_t> Out;
+  ASSERT_TRUE(applyEditScript(Old, S, Out));
+  EXPECT_EQ(Out, New);
+}
+
+TEST(EditScript, LongRunsSplitAt63) {
+  std::vector<uint32_t> Words(200, 42);
+  EditScript S = makeEditScript(Words, Words);
+  // 200 copies need ceil(200/63) = 4 primitive bytes.
+  EXPECT_EQ(S.encodedBytes(), 4u);
+  EXPECT_EQ(S.primitiveCount(), 4u);
+}
+
+TEST(EditScript, EncodeDecodeRoundTrip) {
+  RNG Rng(99);
+  std::vector<uint32_t> Old = randomWords(Rng, 120);
+  std::vector<uint32_t> New = mutate(Rng, Old, 25);
+  EditScript S = makeEditScript(Old, New);
+
+  std::vector<uint8_t> Bytes = S.encode();
+  EXPECT_EQ(Bytes.size(), S.encodedBytes());
+
+  EditScript Back;
+  ASSERT_TRUE(EditScript::decode(Bytes, Back));
+  std::vector<uint32_t> Out;
+  ASSERT_TRUE(applyEditScript(Old, Back, Out));
+  EXPECT_EQ(Out, New);
+}
+
+TEST(EditScript, RejectsTruncatedScript) {
+  EditScript S = makeEditScript({1, 2, 3}, {4, 5, 6});
+  std::vector<uint8_t> Bytes = S.encode();
+  Bytes.pop_back();
+  EditScript Back;
+  EXPECT_FALSE(EditScript::decode(Bytes, Back));
+}
+
+TEST(EditScript, RejectsScriptForWrongBase) {
+  std::vector<uint32_t> Old = {1, 2, 3, 4, 5, 6};
+  EditScript S = makeEditScript(Old, {1, 2, 9});
+  std::vector<uint32_t> WrongBase = {1, 2};
+  std::vector<uint32_t> Out;
+  EXPECT_FALSE(applyEditScript(WrongBase, S, Out))
+      << "script must notice the old image is shorter than expected";
+}
+
+/// The fundamental patcher property: apply(old, script(old, new)) == new.
+class ScriptRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScriptRoundTrip, PatchReproducesNew) {
+  RNG Rng(static_cast<uint64_t>(GetParam()) * 7 + 3);
+  size_t OldLen = Rng.below(300);
+  int Edits = static_cast<int>(Rng.below(60));
+  std::vector<uint32_t> Old = randomWords(Rng, OldLen);
+  std::vector<uint32_t> New = mutate(Rng, Old, Edits);
+
+  EditScript S = makeEditScript(Old, New);
+  std::vector<uint32_t> Out;
+  ASSERT_TRUE(applyEditScript(Old, S, Out));
+  EXPECT_EQ(Out, New);
+
+  // The script is never larger than "remove everything, insert everything".
+  size_t Naive = (Old.size() + 62) / 63 + (New.size() + 62) / 63 +
+                 New.size() * 4;
+  EXPECT_LE(S.encodedBytes(), Naive + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScriptRoundTrip, ::testing::Range(0, 30));
+
+TEST(Alignment, FindsLongestCommonRun) {
+  std::vector<uint32_t> Old = {9, 1, 2, 3, 4, 9, 9};
+  std::vector<uint32_t> New = {1, 2, 3, 4, 8};
+  auto Matches = alignWords(Old, New);
+  ASSERT_EQ(Matches.size(), 4u);
+  EXPECT_EQ(Matches[0].first, 1);
+  EXPECT_EQ(Matches[0].second, 0);
+}
+
+TEST(Alignment, MatchesAreStrictlyIncreasing) {
+  RNG Rng(5);
+  std::vector<uint32_t> Old = randomWords(Rng, 80);
+  std::vector<uint32_t> New = mutate(Rng, Old, 30);
+  auto Matches = alignWords(Old, New);
+  for (size_t K = 1; K < Matches.size(); ++K) {
+    EXPECT_LT(Matches[K - 1].first, Matches[K].first);
+    EXPECT_LT(Matches[K - 1].second, Matches[K].second);
+  }
+  for (const auto &[I, J] : Matches)
+    EXPECT_EQ(Old[static_cast<size_t>(I)], New[static_cast<size_t>(J)]);
+}
+
+TEST(ImageDiffs, CountsPerFunction) {
+  BinaryImage Old;
+  Old.Functions = {{"main", 0, 3}, {"helper", 3, 2}};
+  Old.Code = {10, 11, 12, 20, 21};
+  Old.EntryFunc = 0;
+
+  BinaryImage New;
+  New.Functions = {{"main", 0, 3}, {"fresh", 3, 2}};
+  New.Code = {10, 99, 12, 30, 31};
+  New.EntryFunc = 0;
+
+  ImageDiff D = diffImages(Old, New);
+  const FunctionDiff *Main = D.find("main");
+  ASSERT_NE(Main, nullptr);
+  EXPECT_EQ(Main->Matched, 2);
+  EXPECT_EQ(Main->diffInst(), 1);
+
+  const FunctionDiff *Fresh = D.find("fresh");
+  ASSERT_NE(Fresh, nullptr);
+  EXPECT_EQ(Fresh->OldCount, 0);
+  EXPECT_EQ(Fresh->diffInst(), 2);
+
+  const FunctionDiff *Helper = D.find("helper");
+  ASSERT_NE(Helper, nullptr);
+  EXPECT_EQ(Helper->NewCount, 0);
+  EXPECT_EQ(Helper->diffInst(), 0); // removals cost nothing on air
+
+  EXPECT_EQ(D.totalDiffInst(), 3);
+}
+
+TEST(ImageDiffs, UpdatePackageRoundTrip) {
+  BinaryImage Old;
+  Old.Functions = {{"main", 0, 4}};
+  Old.Code = {1, 2, 3, 4};
+  Old.DataInit = {7, 8};
+  Old.EntryFunc = 0;
+
+  BinaryImage New;
+  New.Functions = {{"main", 0, 5}, {"extra", 5, 2}};
+  New.Code = {1, 2, 9, 3, 4, 50, 51};
+  New.DataInit = {7, 8, 9};
+  New.EntryFunc = 0;
+
+  ImageUpdate U = makeImageUpdate(Old, New);
+  BinaryImage Patched;
+  ASSERT_TRUE(applyUpdate(Old, U, Patched));
+  EXPECT_EQ(Patched.Code, New.Code);
+  EXPECT_EQ(Patched.DataInit, New.DataInit);
+  ASSERT_EQ(Patched.Functions.size(), 2u);
+  EXPECT_EQ(Patched.Functions[1].Name, "extra");
+  EXPECT_EQ(Patched.Functions[1].Start, 5u);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+//===- tests/EnergyNetworkTest.cpp - energy model and dissemination -------===//
+
+#include "energy/EnergyModel.h"
+#include "net/Network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ucc;
+
+namespace {
+
+TEST(Energy, PerCycleFromFig3Currents) {
+  EnergyModel Model;
+  // 8.0 mA x 3 V / 7.3728 MHz.
+  EXPECT_NEAR(Model.energyPerCycle(), 8.0e-3 * 3.0 / 7.3728e6, 1e-15);
+}
+
+TEST(Energy, BitCostsThousandInstructions) {
+  EnergyModel Model;
+  EXPECT_NEAR(Model.energyPerBit() / Model.instrExecutionEnergy(), 1000.0,
+              1e-9);
+  // A 32-bit instruction word costs 32,000 ALU instructions to ship.
+  EXPECT_NEAR(Model.instrTransmissionEnergy() / Model.energyPerCycle(),
+              32000.0, 1e-6);
+}
+
+TEST(Energy, DiffEnergyEquation18) {
+  EnergyModel Model;
+  double DiffInst = 10, DiffCycle = 5, Cnt = 100;
+  EXPECT_NEAR(Model.diffEnergy(DiffInst, DiffCycle, Cnt),
+              DiffInst * Model.instrTransmissionEnergy() +
+                  DiffCycle * Model.energyPerCycle() * Cnt,
+              1e-18);
+}
+
+TEST(Energy, SavingsEquation19SignConventions) {
+  EnergyModel Model;
+  // UCC ships 5 fewer instructions but runs 1 cycle slower.
+  double Savings = Model.energySavings(10, 0, 5, 1, /*Cnt=*/1000);
+  EXPECT_GT(Savings, 0.0);
+  // At enormous Cnt the extra cycle dominates.
+  double HotSavings = Model.energySavings(10, 0, 5, 1, /*Cnt=*/1e9);
+  EXPECT_LT(HotSavings, 0.0);
+}
+
+TEST(Energy, BreakEvenMatchesSection21Arithmetic) {
+  EnergyModel Model;
+  // One instruction word = 32 bits x 1000 instructions/bit.
+  EXPECT_NEAR(Model.breakEvenExecutions(1.0, 1.0), 32000.0, 1e-6);
+  EXPECT_TRUE(std::isinf(Model.breakEvenExecutions(1.0, 0.0)));
+}
+
+TEST(Energy, PowerTableListsFig3Modes) {
+  std::string Table = EnergyModel::powerTable();
+  EXPECT_NE(Table.find("CPU active"), std::string::npos);
+  EXPECT_NE(Table.find("8.0 mA"), std::string::npos);
+  EXPECT_NE(Table.find("21.5 mA"), std::string::npos);
+  EXPECT_NE(Table.find("EEPROM write"), std::string::npos);
+}
+
+TEST(Network, LineTopologyDistances) {
+  Topology T = Topology::line(5);
+  std::vector<int> D = T.hopDistances();
+  EXPECT_EQ(D, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Network, GridTopologyDistances) {
+  Topology T = Topology::grid(3, 3);
+  std::vector<int> D = T.hopDistances();
+  EXPECT_EQ(D[0], 0);
+  EXPECT_EQ(D[8], 4); // opposite corner: 2 + 2 hops
+}
+
+TEST(Network, StarIsOneHop) {
+  Topology T = Topology::star(10);
+  std::vector<int> D = T.hopDistances();
+  for (int K = 1; K < 10; ++K)
+    EXPECT_EQ(D[static_cast<size_t>(K)], 1);
+}
+
+TEST(Network, PacketizationRoundsUp) {
+  PacketFormat Fmt;
+  Fmt.PayloadBytes = 24;
+  Fmt.HeaderBytes = 8;
+  EXPECT_EQ(Fmt.packetsFor(0), 0);
+  EXPECT_EQ(Fmt.packetsFor(1), 1);
+  EXPECT_EQ(Fmt.packetsFor(24), 1);
+  EXPECT_EQ(Fmt.packetsFor(25), 2);
+  EXPECT_EQ(Fmt.bytesOnAir(25), 25u + 2u * 8u);
+}
+
+TEST(Network, EveryNonSinkNodeReceivesOnce) {
+  Topology T = Topology::line(10);
+  DisseminationResult R = disseminate(T, 100);
+  // 9 receivers, and every node except the last must forward.
+  double RxPerNode = R.TotalRxJoules / 9.0;
+  for (int Node = 1; Node < 10; ++Node)
+    EXPECT_GE(R.PerNodeJoules[static_cast<size_t>(Node)],
+              RxPerNode * 0.999);
+  EXPECT_EQ(R.Transmitters, 9); // nodes 0..8 cover their next neighbor
+  EXPECT_EQ(R.MaxHops, 9);
+}
+
+TEST(Network, EnergyScalesWithScriptSize) {
+  Topology T = Topology::grid(8, 8);
+  DisseminationResult Small = disseminate(T, 50);
+  DisseminationResult Large = disseminate(T, 500);
+  EXPECT_GT(Large.totalJoules(), Small.totalJoules() * 5.0);
+}
+
+TEST(Network, StarCheaperThanLineForSameScript) {
+  DisseminationResult Line = disseminate(Topology::line(64), 200);
+  DisseminationResult Star = disseminate(Topology::star(64), 200);
+  // The star has one transmitter; the line has 63.
+  EXPECT_LT(Star.TotalTxJoules, Line.TotalTxJoules);
+}
+
+TEST(Network, PerfectChannelHasNoRetransmissions) {
+  DisseminationResult R = disseminate(Topology::line(20), 300);
+  EXPECT_EQ(R.Retransmissions, 0);
+  EXPECT_EQ(R.FailedPackets, 0);
+}
+
+TEST(Network, LossyChannelCostsRetransmissionEnergy) {
+  PacketFormat Fmt;
+  Mica2Power Power;
+  RadioChannel Clean;
+  RadioChannel Lossy;
+  Lossy.LossRate = 0.5;
+
+  DisseminationResult A =
+      disseminate(Topology::line(20), 300, Fmt, Power, Clean);
+  DisseminationResult B =
+      disseminate(Topology::line(20), 300, Fmt, Power, Lossy);
+  EXPECT_GT(B.Retransmissions, 0);
+  EXPECT_GT(B.TotalTxJoules, A.TotalTxJoules * 1.5)
+      << "50% loss should roughly double transmission energy";
+  EXPECT_DOUBLE_EQ(B.TotalRxJoules, A.TotalRxJoules)
+      << "receivers only decode the successful attempt";
+}
+
+TEST(Network, LossyChannelIsDeterministicPerSeed) {
+  RadioChannel Lossy;
+  Lossy.LossRate = 0.3;
+  DisseminationResult A = disseminate(Topology::grid(6, 6), 500,
+                                      PacketFormat(), Mica2Power(), Lossy);
+  DisseminationResult B = disseminate(Topology::grid(6, 6), 500,
+                                      PacketFormat(), Mica2Power(), Lossy);
+  EXPECT_EQ(A.Retransmissions, B.Retransmissions);
+  EXPECT_DOUBLE_EQ(A.totalJoules(), B.totalJoules());
+}
+
+TEST(Network, HopelessChannelReportsFailures) {
+  RadioChannel Awful;
+  Awful.LossRate = 1.0;
+  Awful.MaxAttempts = 4;
+  DisseminationResult R = disseminate(Topology::line(3), 100,
+                                      PacketFormat(), Mica2Power(), Awful);
+  EXPECT_GT(R.FailedPackets, 0);
+}
+
+TEST(Network, DisconnectedNodesSpendNothing) {
+  Topology T;
+  T.NumNodes = 3;
+  T.Neighbors = {{1}, {0}, {}}; // node 2 unreachable
+  DisseminationResult R = disseminate(T, 64);
+  EXPECT_EQ(R.PerNodeJoules[2], 0.0);
+}
+
+} // namespace

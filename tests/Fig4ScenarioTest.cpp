@@ -1,0 +1,96 @@
+//===- tests/Fig4ScenarioTest.cpp - the paper's Fig. 4 end to end ---------===//
+//
+// Drives the motivating example of section 3.1 through the full compiler:
+// an update extends variable b's live range into the region where its old
+// register is still held by a. UCC-RA must weigh retransmitting b's
+// unchanged uses against inserting a mov — and flip the decision when the
+// code is hot (large Cnt).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "sim/Simulator.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace ucc;
+
+namespace {
+
+struct Fig4Run {
+  CompileOutput V1;
+  CompileOutput V2;
+  int Movs = 0;
+};
+
+Fig4Run runScenario(double Cnt, bool EnableSplits = true) {
+  const UpdateCase &Case = liveRangeExtensionCase();
+  DiagnosticEngine Diag;
+  auto V1 = Compiler::compile(Case.OldSource, CompileOptions(), Diag);
+  EXPECT_TRUE(V1.has_value()) << Diag.str();
+
+  CompileOptions Opts;
+  Opts.RA = RegAllocKind::UpdateConscious;
+  Opts.DA = DataAllocKind::UpdateConscious;
+  Opts.Ucc.Cnt = Cnt;
+  Opts.Ucc.EnableSplits = EnableSplits;
+  auto V2 = Compiler::recompile(Case.NewSource, V1->Record, Opts, Diag);
+  EXPECT_TRUE(V2.has_value()) << Diag.str();
+
+  Fig4Run R{std::move(*V1), std::move(*V2), 0};
+  for (const UccAllocStats &S : R.V2.RegAllocStats)
+    R.Movs += S.InsertedMovs;
+  return R;
+}
+
+TEST(Fig4Scenario, ColdCodeGetsTheMov) {
+  Fig4Run R = runScenario(/*Cnt=*/1000.0);
+  EXPECT_GE(R.Movs, 1)
+      << "rarely-executed code should trade a runtime mov for script size";
+}
+
+TEST(Fig4Scenario, HotCodeSkipsTheMov) {
+  Fig4Run R = runScenario(/*Cnt=*/1e9);
+  EXPECT_EQ(R.Movs, 0)
+      << "hot code must not pay the mov on every execution";
+}
+
+TEST(Fig4Scenario, SplitReducesTheScript) {
+  Fig4Run With = runScenario(1000.0, /*EnableSplits=*/true);
+  Fig4Run Without = runScenario(1000.0, /*EnableSplits=*/false);
+  int DiffWith =
+      diffImages(With.V1.Image, With.V2.Image).totalDiffInst();
+  int DiffWithout =
+      diffImages(Without.V1.Image, Without.V2.Image).totalDiffInst();
+  EXPECT_LT(DiffWith, DiffWithout + With.Movs)
+      << "the mov must buy back at least its own transmission cost";
+}
+
+TEST(Fig4Scenario, UccStillBeatsBaseline) {
+  Fig4Run R = runScenario(1000.0);
+  DiagnosticEngine Diag;
+  auto VBase = Compiler::recompile(liveRangeExtensionCase().NewSource,
+                                   R.V1.Record, CompileOptions(), Diag);
+  ASSERT_TRUE(VBase.has_value());
+  EXPECT_LT(diffImages(R.V1.Image, R.V2.Image).totalDiffInst(),
+            diffImages(R.V1.Image, VBase->Image).totalDiffInst());
+}
+
+TEST(Fig4Scenario, PatchedBehaviorIdentical) {
+  Fig4Run R = runScenario(1000.0);
+  UpdatePackage Pkg = makeUpdate(R.V1, R.V2);
+  BinaryImage Patched;
+  ASSERT_TRUE(applyUpdate(R.V1.Image, Pkg.Update, Patched));
+
+  DiagnosticEngine Diag;
+  auto Fresh = Compiler::compile(liveRangeExtensionCase().NewSource,
+                                 CompileOptions(), Diag);
+  ASSERT_TRUE(Fresh.has_value());
+  RunResult A = runImage(Fresh->Image);
+  RunResult B = runImage(Patched);
+  ASSERT_FALSE(B.Trapped) << B.TrapReason;
+  EXPECT_TRUE(A.sameObservableBehavior(B));
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+//===- tests/FrontendTest.cpp - lexer/parser/irgen unit tests -------------===//
+
+#include "frontend/IRGen.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace ucc;
+
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  DiagnosticEngine Diag;
+  auto Toks = lex("int x = 42; // comment\nx = x + 0x1f;", Diag);
+  ASSERT_FALSE(Diag.hasErrors());
+  ASSERT_GE(Toks.size(), 5u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwInt);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[1].Text, "x");
+  EXPECT_EQ(Toks[2].Kind, TokKind::Assign);
+  EXPECT_EQ(Toks[3].Kind, TokKind::IntLit);
+  EXPECT_EQ(Toks[3].IntValue, 42);
+  EXPECT_EQ(Toks.back().Kind, TokKind::Eof);
+}
+
+TEST(Lexer, HexAndOperators) {
+  DiagnosticEngine Diag;
+  auto Toks = lex("0xff << 2 >> 1 && || == != <= >=", Diag);
+  ASSERT_FALSE(Diag.hasErrors());
+  EXPECT_EQ(Toks[0].IntValue, 255);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Shl);
+  EXPECT_EQ(Toks[3].Kind, TokKind::Shr);
+  EXPECT_EQ(Toks[5].Kind, TokKind::AmpAmp);
+  EXPECT_EQ(Toks[6].Kind, TokKind::PipePipe);
+  EXPECT_EQ(Toks[7].Kind, TokKind::EqEq);
+  EXPECT_EQ(Toks[8].Kind, TokKind::NotEq);
+  EXPECT_EQ(Toks[9].Kind, TokKind::Le);
+  EXPECT_EQ(Toks[10].Kind, TokKind::Ge);
+}
+
+TEST(Lexer, ReportsBadCharacter) {
+  DiagnosticEngine Diag;
+  lex("int $bad;", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(Lexer, ReportsOversizedLiteral) {
+  DiagnosticEngine Diag;
+  lex("int x = 70000;", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  DiagnosticEngine Diag;
+  lex("/* never closed", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(Parser, GlobalScalarAndArray) {
+  DiagnosticEngine Diag;
+  ProgramAST P = parseProgram("int a = 3; int tbl[4] = {1, 2, 3, 4};", Diag);
+  ASSERT_FALSE(Diag.hasErrors()) << Diag.str();
+  ASSERT_EQ(P.Globals.size(), 2u);
+  EXPECT_EQ(P.Globals[0].Name, "a");
+  EXPECT_EQ(P.Globals[0].ArraySize, 0);
+  ASSERT_EQ(P.Globals[0].Init.size(), 1u);
+  EXPECT_EQ(P.Globals[0].Init[0], 3);
+  EXPECT_EQ(P.Globals[1].ArraySize, 4);
+  ASSERT_EQ(P.Globals[1].Init.size(), 4u);
+}
+
+TEST(Parser, FunctionWithControlFlow) {
+  DiagnosticEngine Diag;
+  const char *Src = R"(
+    int gcd(int a, int b) {
+      while (b != 0) {
+        int t = b;
+        b = a % b;
+        a = t;
+      }
+      return a;
+    }
+  )";
+  ProgramAST P = parseProgram(Src, Diag);
+  ASSERT_FALSE(Diag.hasErrors()) << Diag.str();
+  ASSERT_EQ(P.Functions.size(), 1u);
+  EXPECT_EQ(P.Functions[0].Name, "gcd");
+  EXPECT_TRUE(P.Functions[0].ReturnsInt);
+  EXPECT_EQ(P.Functions[0].Params.size(), 2u);
+}
+
+TEST(Parser, ReportsSyntaxError) {
+  DiagnosticEngine Diag;
+  parseProgram("void f() { int x = ; }", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(Parser, TooManyParams) {
+  DiagnosticEngine Diag;
+  parseProgram("void f(int a, int b, int c, int d, int e) {}", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(IRGen, SimpleFunctionVerifies) {
+  DiagnosticEngine Diag;
+  Module M = compileToIR(R"(
+    int g = 5;
+    int add(int a, int b) { return a + b; }
+    void main() {
+      int x = add(g, 2);
+      __out(0, x);
+      __halt();
+    }
+  )",
+                         Diag);
+  ASSERT_FALSE(Diag.hasErrors()) << Diag.str();
+  auto Problems = verifyModule(M);
+  EXPECT_TRUE(Problems.empty()) << (Problems.empty() ? "" : Problems[0]);
+  EXPECT_EQ(M.Functions.size(), 2u);
+  EXPECT_EQ(M.EntryFunc, M.findFunction("main"));
+}
+
+TEST(IRGen, UndeclaredIdentifier) {
+  DiagnosticEngine Diag;
+  compileToIR("void main() { x = 1; }", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(IRGen, BreakOutsideLoop) {
+  DiagnosticEngine Diag;
+  compileToIR("void main() { break; }", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(IRGen, VoidFunctionAsValue) {
+  DiagnosticEngine Diag;
+  compileToIR("void f() {} void main() { int x = f(); }", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(IRGen, WrongArgCount) {
+  DiagnosticEngine Diag;
+  compileToIR("int f(int a) { return a; } void main() { f(1, 2); }", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(IRGen, ReturnValueFromVoid) {
+  DiagnosticEngine Diag;
+  compileToIR("void f() { return 3; } void main() {}", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(IRGen, ShortCircuitLowering) {
+  DiagnosticEngine Diag;
+  Module M = compileToIR(R"(
+    void main() {
+      int a = 1;
+      int b = 0;
+      if (a && (b || a)) {
+        __out(0, 1);
+      }
+      __halt();
+    }
+  )",
+                         Diag);
+  ASSERT_FALSE(Diag.hasErrors()) << Diag.str();
+  EXPECT_TRUE(moduleIsValid(M));
+  // Short-circuit lowering produces multiple blocks.
+  EXPECT_GT(M.Functions[0].Blocks.size(), 3u);
+}
+
+TEST(IRGen, LocalArrays) {
+  DiagnosticEngine Diag;
+  Module M = compileToIR(R"(
+    void main() {
+      int buf[8];
+      int i;
+      for (i = 0; i < 8; i = i + 1) {
+        buf[i] = i * i;
+      }
+      __out(0, buf[3]);
+      __halt();
+    }
+  )",
+                         Diag);
+  ASSERT_FALSE(Diag.hasErrors()) << Diag.str();
+  EXPECT_TRUE(moduleIsValid(M));
+  ASSERT_EQ(M.Functions[0].FrameObjects.size(), 1u);
+  EXPECT_EQ(M.Functions[0].FrameObjects[0].SizeWords, 8);
+}
+
+TEST(IRGen, PrintsReadableIR) {
+  DiagnosticEngine Diag;
+  Module M = compileToIR("int g; void main() { g = 7; __halt(); }", Diag);
+  ASSERT_FALSE(Diag.hasErrors());
+  std::string Text = M.print();
+  EXPECT_NE(Text.find("global @g[1]"), std::string::npos);
+  EXPECT_NE(Text.find("storeg @g"), std::string::npos);
+  EXPECT_NE(Text.find("halt"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,270 @@
+//===- tests/FuzzPipelineTest.cpp - randomized end-to-end updates ---------===//
+//
+// Generates random (always-terminating) MiniC programs, applies random
+// structured edits, and drives the complete update-conscious flow:
+//
+//   compile v1 -> record -> edit -> recompile (baseline and UCC) ->
+//   edit script -> sensor-side patch -> simulate.
+//
+// Invariants checked per seed:
+//   * the patched image is bit-identical to the freshly compiled one;
+//   * update-conscious code behaves exactly like update-oblivious code;
+//   * recompiling *unchanged* source reproduces the old binary;
+// and across all seeds, UCC's total Diff_inst must not exceed the
+// baseline's (it is allowed to tie on any individual case).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "sim/Simulator.h"
+#include "support/Format.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace ucc;
+
+namespace {
+
+/// Generates random programs as statement lists so that edits can be
+/// applied structurally (insert / delete / tweak a statement).
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t Seed) : Rng(Seed) {
+    NumGlobals = static_cast<int>(Rng.range(2, 4));
+    NumHelpers = static_cast<int>(Rng.range(1, 2));
+    for (int H = 0; H < NumHelpers; ++H)
+      Helpers.push_back(makeHelper(H));
+    int NumStmts = static_cast<int>(Rng.range(6, 14));
+    for (int S = 0; S < NumStmts; ++S)
+      MainStmts.push_back(makeStatement());
+  }
+
+  /// Renders the current program.
+  std::string render() const {
+    std::string Out;
+    for (int G = 0; G < NumGlobals; ++G)
+      Out += format("int g%d = %d;\n", G, G * 3 + 1);
+    for (const std::string &H : Helpers)
+      Out += H + "\n";
+    Out += "void main() {\n";
+    Out += "  int a = 1;\n  int b = 2;\n  int c = 3;\n";
+    for (const std::string &S : MainStmts)
+      Out += S;
+    for (int G = 0; G < NumGlobals; ++G)
+      Out += format("  __out(15, g%d);\n", G);
+    Out += "  __out(15, a + b + c);\n  __halt();\n}\n";
+    return Out;
+  }
+
+  /// Applies 1..3 random structured edits to main's statement list.
+  void mutate() {
+    int Edits = static_cast<int>(Rng.range(1, 3));
+    for (int K = 0; K < Edits; ++K) {
+      uint64_t Kind = Rng.below(3);
+      if (Kind == 0 || MainStmts.empty()) {
+        MainStmts.insert(MainStmts.begin() +
+                             static_cast<long>(
+                                 Rng.below(MainStmts.size() + 1)),
+                         makeStatement());
+      } else if (Kind == 1) {
+        MainStmts[Rng.below(MainStmts.size())] = makeStatement();
+      } else {
+        MainStmts.erase(MainStmts.begin() +
+                        static_cast<long>(Rng.below(MainStmts.size())));
+      }
+    }
+  }
+
+private:
+  std::string randomValue(int Depth = 0) {
+    switch (Rng.below(Depth >= 2 ? 3 : 5)) {
+    case 0:
+      return format("%d", static_cast<int>(Rng.range(0, 99)));
+    case 1:
+      return format("g%d", static_cast<int>(
+                               Rng.below(static_cast<uint64_t>(NumGlobals))));
+    case 2: {
+      const char *Locals[] = {"a", "b", "c"};
+      return Locals[Rng.below(3)];
+    }
+    case 3: {
+      const char *Ops[] = {"+", "-", "*", "&", "|", "^"};
+      return format("(%s %s %s)", randomValue(Depth + 1).c_str(),
+                    Ops[Rng.below(6)], randomValue(Depth + 1).c_str());
+    }
+    default:
+      return format("h%d(%s, %s)",
+                    static_cast<int>(
+                        Rng.below(static_cast<uint64_t>(NumHelpers))),
+                    randomValue(Depth + 1).c_str(),
+                    randomValue(Depth + 1).c_str());
+    }
+  }
+
+  std::string randomTarget() {
+    if (Rng.chance(1, 2))
+      return format("g%d", static_cast<int>(
+                               Rng.below(static_cast<uint64_t>(NumGlobals))));
+    const char *Locals[] = {"a", "b", "c"};
+    return Locals[Rng.below(3)];
+  }
+
+  std::string makeStatement() {
+    switch (Rng.below(4)) {
+    case 0:
+      return format("  %s = %s;\n", randomTarget().c_str(),
+                    randomValue().c_str());
+    case 1:
+      return format("  __out(15, %s);\n", randomValue().c_str());
+    case 2:
+      return format("  if ((%s & 3) != 0) {\n    %s = %s;\n  } else {\n"
+                    "    %s = %s;\n  }\n",
+                    randomValue().c_str(), randomTarget().c_str(),
+                    randomValue().c_str(), randomTarget().c_str(),
+                    randomValue().c_str());
+    default: {
+      int LoopVar = LoopCounter++;
+      return format("  {\n    int L%d;\n    for (L%d = 0; L%d < %d; "
+                    "L%d = L%d + 1) {\n      %s = %s + L%d;\n    }\n  }\n",
+                    LoopVar, LoopVar, LoopVar,
+                    static_cast<int>(Rng.range(2, 6)), LoopVar, LoopVar,
+                    randomTarget().c_str(), randomTarget().c_str(),
+                    LoopVar);
+    }
+    }
+  }
+
+  std::string makeHelper(int Idx) {
+    return format("int h%d(int p, int q) {\n"
+                  "  int t = (p %s %d) ^ q;\n"
+                  "  if (t < 0) {\n    t = 0 - t;\n  }\n"
+                  "  return t & 0xff;\n"
+                  "}\n",
+                  Idx, Rng.chance(1, 2) ? "+" : "*",
+                  static_cast<int>(Rng.range(1, 9)));
+  }
+
+  RNG Rng;
+  int NumGlobals = 0;
+  int NumHelpers = 0;
+  int LoopCounter = 0;
+  std::vector<std::string> Helpers;
+  std::vector<std::string> MainStmts;
+};
+
+CompileOutput fuzzCompile(const std::string &Source,
+                          const CompileOptions &Opts) {
+  DiagnosticEngine Diag;
+  auto Out = Compiler::compile(Source, Opts, Diag);
+  EXPECT_TRUE(Out.has_value()) << Diag.str() << "\nsource:\n" << Source;
+  return std::move(*Out);
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzPipeline, UpdateFlowInvariants) {
+  ProgramGen Gen(static_cast<uint64_t>(GetParam()) * 2654435761u + 17);
+  std::string SourceV1 = Gen.render();
+  Gen.mutate();
+  std::string SourceV2 = Gen.render();
+
+  CompileOutput V1 = fuzzCompile(SourceV1, CompileOptions());
+
+  // Invariant 0: both versions run to completion when freshly compiled.
+  RunResult RunV1 = runImage(V1.Image);
+  ASSERT_FALSE(RunV1.Trapped) << RunV1.TrapReason << "\n" << SourceV1;
+  ASSERT_TRUE(RunV1.Halted);
+
+  // Invariant 1: recompiling unchanged source reproduces the old binary.
+  CompileOptions Ucc;
+  Ucc.RA = RegAllocKind::UpdateConscious;
+  Ucc.DA = DataAllocKind::UpdateConscious;
+  DiagnosticEngine Diag;
+  auto Same = Compiler::recompile(SourceV1, V1.Record, Ucc, Diag);
+  ASSERT_TRUE(Same.has_value()) << Diag.str();
+  EXPECT_EQ(diffImages(V1.Image, Same->Image).totalDiffInst(), 0)
+      << SourceV1;
+
+  // The update.
+  auto V2Ucc = Compiler::recompile(SourceV2, V1.Record, Ucc, Diag);
+  ASSERT_TRUE(V2Ucc.has_value()) << Diag.str() << "\n" << SourceV2;
+  CompileOutput V2Fresh = fuzzCompile(SourceV2, CompileOptions());
+
+  // Invariant 2: update-conscious code behaves like oblivious code.
+  RunResult RunUcc = runImage(V2Ucc->Image);
+  RunResult RunFresh = runImage(V2Fresh.Image);
+  ASSERT_FALSE(RunUcc.Trapped) << RunUcc.TrapReason << "\n" << SourceV2;
+  EXPECT_TRUE(RunFresh.sameObservableBehavior(RunUcc)) << SourceV2;
+
+  // Invariant 3: the sensor-side patch reproduces the new image exactly.
+  UpdatePackage Pkg = makeUpdate(V1, *V2Ucc);
+  BinaryImage Patched;
+  ASSERT_TRUE(applyUpdate(V1.Image, Pkg.Update, Patched));
+  EXPECT_EQ(Patched.Code, V2Ucc->Image.Code);
+  EXPECT_EQ(Patched.DataInit, V2Ucc->Image.DataInit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline, ::testing::Range(0, 30));
+
+/// Same invariants with the ILP-backed Hybrid strategy in the loop.
+class FuzzHybrid : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzHybrid, HybridStrategyKeepsBehavior) {
+  ProgramGen Gen(static_cast<uint64_t>(GetParam()) * 1099511 + 3);
+  std::string SourceV1 = Gen.render();
+  Gen.mutate();
+  std::string SourceV2 = Gen.render();
+
+  CompileOutput V1 = fuzzCompile(SourceV1, CompileOptions());
+
+  CompileOptions Hybrid;
+  Hybrid.RA = RegAllocKind::UpdateConscious;
+  Hybrid.DA = DataAllocKind::UpdateConscious;
+  Hybrid.Ucc.Strategy = UccStrategy::Hybrid;
+  Hybrid.Ucc.IlpMaxBinaries = 1200;
+  Hybrid.Ucc.IlpTimeLimitSec = 5.0;
+
+  DiagnosticEngine Diag;
+  auto V2 = Compiler::recompile(SourceV2, V1.Record, Hybrid, Diag);
+  ASSERT_TRUE(V2.has_value()) << Diag.str() << "\n" << SourceV2;
+
+  CompileOutput Fresh = fuzzCompile(SourceV2, CompileOptions());
+  RunResult A = runImage(Fresh.Image);
+  RunResult B = runImage(V2->Image);
+  ASSERT_FALSE(B.Trapped) << B.TrapReason << "\n" << SourceV2;
+  EXPECT_TRUE(A.sameObservableBehavior(B)) << SourceV2;
+
+  UpdatePackage Pkg = makeUpdate(V1, *V2);
+  BinaryImage Patched;
+  ASSERT_TRUE(applyUpdate(V1.Image, Pkg.Update, Patched));
+  EXPECT_EQ(Patched.Code, V2->Image.Code);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzHybrid, ::testing::Range(0, 10));
+
+TEST(FuzzPipeline, UccNeverLosesToBaselineInAggregate) {
+  long TotalBase = 0, TotalUcc = 0;
+  for (int Seed = 100; Seed < 120; ++Seed) {
+    ProgramGen Gen(static_cast<uint64_t>(Seed) * 48271 + 1);
+    std::string SourceV1 = Gen.render();
+    Gen.mutate();
+    std::string SourceV2 = Gen.render();
+
+    CompileOutput V1 = fuzzCompile(SourceV1, CompileOptions());
+    DiagnosticEngine Diag;
+    CompileOptions Ucc;
+    Ucc.RA = RegAllocKind::UpdateConscious;
+    Ucc.DA = DataAllocKind::UpdateConscious;
+    auto VUcc = Compiler::recompile(SourceV2, V1.Record, Ucc, Diag);
+    auto VBase = Compiler::recompile(SourceV2, V1.Record,
+                                     CompileOptions(), Diag);
+    ASSERT_TRUE(VUcc.has_value() && VBase.has_value()) << Diag.str();
+    TotalBase += diffImages(V1.Image, VBase->Image).totalDiffInst();
+    TotalUcc += diffImages(V1.Image, VUcc->Image).totalDiffInst();
+  }
+  EXPECT_LE(TotalUcc, TotalBase)
+      << "update-conscious compilation lost ground on random updates";
+}
+
+} // namespace

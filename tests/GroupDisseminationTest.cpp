@@ -1,0 +1,129 @@
+//===- tests/GroupDisseminationTest.cpp - out-of-order groups (sec. 2.2) --===//
+
+#include "core/Compiler.h"
+#include "sim/Simulator.h"
+#include "support/RNG.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ucc;
+
+namespace {
+
+struct Scenario {
+  CompileOutput V1;
+  CompileOutput V2;
+  ImageUpdate Update;
+};
+
+Scenario makeScenario() {
+  const UpdateCase &Case = updateCases()[11]; // case 12: app swap
+  DiagnosticEngine Diag;
+  auto V1 = Compiler::compile(Case.OldSource, CompileOptions(), Diag);
+  EXPECT_TRUE(V1.has_value()) << Diag.str();
+  CompileOptions Opts;
+  Opts.RA = RegAllocKind::UpdateConscious;
+  Opts.DA = DataAllocKind::UpdateConscious;
+  auto V2 = Compiler::recompile(Case.NewSource, V1->Record, Opts, Diag);
+  EXPECT_TRUE(V2.has_value()) << Diag.str();
+  Scenario S{std::move(*V1), std::move(*V2), {}};
+  S.Update = makeImageUpdate(S.V1.Image, S.V2.Image);
+  return S;
+}
+
+TEST(GroupDissemination, InOrderDeliveryWorks) {
+  Scenario S = makeScenario();
+  std::vector<UpdateGroup> Groups = splitIntoGroups(S.Update);
+  EXPECT_EQ(Groups.size(), S.Update.Functions.size() + 1);
+
+  UpdateAssembler Assembler(S.V1.Image);
+  for (const UpdateGroup &G : Groups) {
+    EXPECT_TRUE(Assembler.accept(G));
+  }
+  ASSERT_TRUE(Assembler.complete());
+  BinaryImage Out;
+  ASSERT_TRUE(Assembler.materialize(Out));
+  EXPECT_EQ(Out.Code, S.V2.Image.Code);
+  EXPECT_EQ(Out.DataInit, S.V2.Image.DataInit);
+}
+
+TEST(GroupDissemination, AnyOrderProducesTheSameImage) {
+  Scenario S = makeScenario();
+  std::vector<UpdateGroup> Groups = splitIntoGroups(S.Update);
+
+  RNG Rng(77);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    std::vector<UpdateGroup> Shuffled = Groups;
+    for (size_t K = Shuffled.size(); K > 1; --K)
+      std::swap(Shuffled[K - 1], Shuffled[Rng.below(K)]);
+
+    UpdateAssembler Assembler(S.V1.Image);
+    for (size_t K = 0; K < Shuffled.size(); ++K) {
+      EXPECT_EQ(Assembler.complete(), false) << "complete too early";
+      EXPECT_TRUE(Assembler.accept(Shuffled[K]));
+    }
+    ASSERT_TRUE(Assembler.complete());
+    BinaryImage Out;
+    ASSERT_TRUE(Assembler.materialize(Out));
+    EXPECT_EQ(Out.Code, S.V2.Image.Code) << "trial " << Trial;
+  }
+}
+
+TEST(GroupDissemination, DuplicatesAreIdempotent) {
+  Scenario S = makeScenario();
+  std::vector<UpdateGroup> Groups = splitIntoGroups(S.Update);
+
+  UpdateAssembler Assembler(S.V1.Image);
+  for (const UpdateGroup &G : Groups) {
+    EXPECT_TRUE(Assembler.accept(G));
+    EXPECT_TRUE(Assembler.accept(G)); // retransmission
+  }
+  BinaryImage Out;
+  ASSERT_TRUE(Assembler.materialize(Out));
+  EXPECT_EQ(Out.Code, S.V2.Image.Code);
+}
+
+TEST(GroupDissemination, IncompleteUpdateRefusesToMaterialize) {
+  Scenario S = makeScenario();
+  std::vector<UpdateGroup> Groups = splitIntoGroups(S.Update);
+
+  UpdateAssembler Assembler(S.V1.Image);
+  for (size_t K = 0; K + 1 < Groups.size(); ++K)
+    Assembler.accept(Groups[K]); // last group lost in the air
+  EXPECT_FALSE(Assembler.complete());
+  BinaryImage Out;
+  EXPECT_FALSE(Assembler.materialize(Out));
+}
+
+TEST(GroupDissemination, RejectsGroupsFromAnotherUpdate) {
+  Scenario S = makeScenario();
+  std::vector<UpdateGroup> Groups = splitIntoGroups(S.Update);
+
+  UpdateAssembler Assembler(S.V1.Image);
+  ASSERT_TRUE(Assembler.accept(Groups[0]));
+  UpdateGroup Foreign = Groups[1];
+  Foreign.TotalGroups += 5; // from some other campaign
+  EXPECT_FALSE(Assembler.accept(Foreign));
+}
+
+TEST(GroupDissemination, PatchedNodeBehavesLikeFreshBuild) {
+  Scenario S = makeScenario();
+  std::vector<UpdateGroup> Groups = splitIntoGroups(S.Update);
+  std::reverse(Groups.begin(), Groups.end()); // fully reversed delivery
+
+  UpdateAssembler Assembler(S.V1.Image);
+  for (const UpdateGroup &G : Groups)
+    ASSERT_TRUE(Assembler.accept(G));
+  BinaryImage Out;
+  ASSERT_TRUE(Assembler.materialize(Out));
+
+  RunResult A = runImage(S.V2.Image);
+  RunResult B = runImage(Out);
+  ASSERT_FALSE(B.Trapped) << B.TrapReason;
+  EXPECT_TRUE(A.sameObservableBehavior(B));
+}
+
+} // namespace

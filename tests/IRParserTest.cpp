@@ -1,0 +1,144 @@
+//===- tests/IRParserTest.cpp - textual IR round-trips --------------------===//
+
+#include "frontend/IRGen.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "workloads/Workloads.h"
+
+// For behavioral equivalence of reparsed modules.
+#include "codegen/BinaryImage.h"
+#include "codegen/ISel.h"
+#include "dataalloc/DataAlloc.h"
+#include "opt/Passes.h"
+#include "regalloc/LinearScan.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ucc;
+
+namespace {
+
+Module mustParse(const std::string &Text) {
+  DiagnosticEngine Diag;
+  Module M = parseIR(Text, Diag);
+  EXPECT_FALSE(Diag.hasErrors()) << Diag.str() << "\ninput:\n" << Text;
+  return M;
+}
+
+TEST(IRParserTest, HandWrittenModule) {
+  Module M = mustParse(R"(
+global @counter[1] = {5}
+global @table[3] = {1, 2, 3}
+
+func @main() {
+.entry:
+  %x.0 = const 7
+  %1 = loadg @counter
+  %2 = add %x.0, %1
+  storeg @counter, %2
+  %3 = loadg @table[%x.0]
+  out 15, %2
+  halt
+}
+)");
+  EXPECT_TRUE(moduleIsValid(M));
+  ASSERT_EQ(M.Globals.size(), 2u);
+  EXPECT_EQ(M.Globals[1].SizeWords, 3);
+  ASSERT_EQ(M.Functions.size(), 1u);
+  EXPECT_EQ(M.EntryFunc, 0);
+  EXPECT_EQ(M.Functions[0].vregName(0), "x");
+}
+
+TEST(IRParserTest, ControlFlowAndCalls) {
+  Module M = mustParse(R"(
+func @helper(%a.0) {
+.entry:
+  %1 = const 2
+  %2 = mul %a.0, %1
+  ret %2
+}
+
+func @main() {
+.entry:
+  %0 = const 3
+  %1 = call @helper(%0)
+  %2 = const 5
+  condbr lt %1, %2, .small, .big
+.small:
+  out 15, %1
+  br .done
+.big:
+  out 15, %2
+  br .done
+.done:
+  halt
+}
+)");
+  EXPECT_TRUE(moduleIsValid(M));
+  ASSERT_EQ(M.Functions.size(), 2u);
+  EXPECT_EQ(M.Functions[1].Blocks.size(), 4u);
+}
+
+TEST(IRParserTest, ReportsUnknownSymbols) {
+  DiagnosticEngine Diag;
+  parseIR("func @main() {\n.entry:\n  %0 = loadg @nope\n  halt\n}\n", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+
+  Diag.clear();
+  parseIR("func @main() {\n.entry:\n  br .missing\n}\n", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+
+  Diag.clear();
+  parseIR("func @main() {\n.entry:\n  %0 = frobnicate %1\n}\n", Diag);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+/// The definitive property: print -> parse -> print is a fixpoint, for
+/// every workload, before and after optimization.
+class PrintParseRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrintParseRoundTrip, FixpointOnWorkloads) {
+  const Workload &W = workloads()[static_cast<size_t>(GetParam())];
+  DiagnosticEngine Diag;
+  Module M = compileToIR(W.Source, Diag);
+  ASSERT_FALSE(Diag.hasErrors()) << Diag.str();
+
+  for (int Optimized = 0; Optimized < 2; ++Optimized) {
+    if (Optimized)
+      optimizeModule(M);
+    std::string Printed = M.print();
+    Module Back = mustParse(Printed);
+    EXPECT_TRUE(moduleIsValid(Back)) << W.Name;
+    EXPECT_EQ(Back.print(), Printed) << W.Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, PrintParseRoundTrip,
+                         ::testing::Range(0, 5));
+
+TEST(IRParserTest, ReparsedModuleBehavesIdentically) {
+  DiagnosticEngine Diag;
+  Module M = compileToIR(workloadSource("CntToLeds"), Diag);
+  ASSERT_FALSE(Diag.hasErrors());
+  optimizeModule(M);
+  Module Back = mustParse(M.print());
+
+  auto imageFor = [](Module Mod) {
+    MachineModule MM = selectModule(Mod);
+    for (MachineFunction &MF : MM.Functions)
+      allocateLinearScan(MF);
+    DataLayoutMap DL = layoutGlobalsBaseline(Mod);
+    std::vector<FrameLayout> Frames;
+    for (const MachineFunction &MF : MM.Functions)
+      Frames.push_back(layoutFrame(MF));
+    return encodeModule(MM, Mod, DL, Frames);
+  };
+  RunResult A = runImage(imageFor(std::move(M)));
+  RunResult B = runImage(imageFor(std::move(Back)));
+  ASSERT_FALSE(A.Trapped) << A.TrapReason;
+  ASSERT_FALSE(B.Trapped) << B.TrapReason;
+  EXPECT_TRUE(A.sameObservableBehavior(B));
+}
+
+} // namespace

@@ -1,0 +1,170 @@
+//===- tests/OptTest.cpp - optimizer pass tests ---------------------------===//
+
+#include "frontend/IRGen.h"
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+#include "workloads/Workloads.h"
+
+// Behavioral-equivalence checks drive the whole backend.
+#include "codegen/BinaryImage.h"
+#include "codegen/ISel.h"
+#include "dataalloc/DataAlloc.h"
+#include "regalloc/LinearScan.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ucc;
+
+namespace {
+
+Module irFor(const std::string &Source) {
+  DiagnosticEngine Diag;
+  Module M = compileToIR(Source, Diag);
+  EXPECT_FALSE(Diag.hasErrors()) << Diag.str();
+  EXPECT_TRUE(moduleIsValid(M));
+  return M;
+}
+
+int totalInstrs(const Module &M) {
+  int N = 0;
+  for (const Function &F : M.Functions)
+    N += F.instrCount();
+  return N;
+}
+
+BinaryImage imageFor(Module M) {
+  MachineModule MM = selectModule(M);
+  for (MachineFunction &MF : MM.Functions)
+    allocateLinearScan(MF);
+  DataLayoutMap DL = layoutGlobalsBaseline(M);
+  std::vector<FrameLayout> Frames;
+  for (const MachineFunction &MF : MM.Functions)
+    Frames.push_back(layoutFrame(MF));
+  return encodeModule(MM, M, DL, Frames);
+}
+
+TEST(Optimizer, FoldsConstantExpressions) {
+  Module M = irFor("void main() { __out(15, 2 + 3 * 4); __halt(); }");
+  optimizeModule(M);
+  // After folding + DCE only [const, out, halt] remain in main.
+  const Function &F = M.Functions[0];
+  EXPECT_EQ(F.instrCount(), 3) << M.print();
+  EXPECT_EQ(F.Blocks[0].Instrs[0].Op, Opcode::Const);
+  EXPECT_EQ(F.Blocks[0].Instrs[0].Imm, 14);
+}
+
+TEST(Optimizer, FoldsConstantBranches) {
+  Module M = irFor(R"(
+    void main() {
+      if (1 < 2) { __out(15, 1); } else { __out(15, 2); }
+      __halt();
+    }
+  )");
+  int Before = totalInstrs(M);
+  optimizeModule(M);
+  EXPECT_LT(totalInstrs(M), Before);
+  // The dead branch is unreachable and must be gone entirely.
+  std::string Text = M.print();
+  EXPECT_EQ(Text.find("const 2"), std::string::npos) << Text;
+}
+
+TEST(Optimizer, RemovesDeadCode) {
+  Module M = irFor(R"(
+    void main() {
+      int unused = 3 * 7;
+      int used = 5;
+      __out(15, used);
+      __halt();
+    }
+  )");
+  optimizeModule(M);
+  std::string Text = M.print();
+  EXPECT_EQ(Text.find("mul"), std::string::npos) << Text;
+  EXPECT_EQ(Text.find("21"), std::string::npos) << Text;
+}
+
+TEST(Optimizer, EliminatesCommonSubexpressions) {
+  Module M = irFor(R"(
+    void main() {
+      int a = __in(4);
+      int x = a * 13 + 1;
+      int y = a * 13 + 2;
+      __out(15, x + y);
+      __halt();
+    }
+  )");
+  optimizeModule(M);
+  // `a * 13` must be computed once.
+  int Muls = 0;
+  for (const BasicBlock &BB : M.Functions[0].Blocks)
+    for (const Instr &I : BB.Instrs)
+      Muls += I.Op == Opcode::Bin && I.BinK == BinKind::Mul;
+  EXPECT_EQ(Muls, 1) << M.print();
+}
+
+TEST(Optimizer, DoesNotCseAcrossStores) {
+  // Loads from a global are not CSE'd (a store may intervene).
+  Module M = irFor(R"(
+    int g;
+    void main() {
+      int x = g;
+      g = x + 1;
+      int y = g;
+      __out(15, y);
+      __halt();
+    }
+  )");
+  optimizeModule(M);
+  RunResult R = runImage(imageFor(M));
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.DebugTrace[0], 1);
+}
+
+TEST(Optimizer, SimplifyCfgRemovesUnreachableBlocks) {
+  Module M = irFor(R"(
+    void main() {
+      if (0) { __out(15, 111); }
+      __out(15, 7);
+      __halt();
+    }
+  )");
+  size_t Before = M.Functions[0].Blocks.size();
+  optimizeModule(M);
+  EXPECT_LT(M.Functions[0].Blocks.size(), Before);
+  EXPECT_TRUE(moduleIsValid(M));
+}
+
+TEST(Optimizer, O0LeavesModuleAlone) {
+  Module M = irFor("void main() { __out(15, 1 + 1); __halt(); }");
+  int Before = totalInstrs(M);
+  EXPECT_FALSE(optimizeModule(M, OptLevel::O0));
+  EXPECT_EQ(totalInstrs(M), Before);
+}
+
+/// The decisive property: optimization must never change behavior.
+class OptEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptEquivalence, WorkloadBehaviorUnchanged) {
+  const Workload &W = workloads()[static_cast<size_t>(GetParam())];
+  Module M0 = irFor(W.Source);
+  Module M1 = irFor(W.Source);
+  optimizeModule(M1);
+  EXPECT_TRUE(moduleIsValid(M1));
+  EXPECT_LE(totalInstrs(M1), totalInstrs(M0))
+      << "optimization must not grow " << W.Name;
+
+  SimOptions Sim;
+  Sim.MaxSteps = 50'000'000;
+  RunResult R0 = runImage(imageFor(std::move(M0)), Sim);
+  RunResult R1 = runImage(imageFor(std::move(M1)), Sim);
+  ASSERT_FALSE(R0.Trapped) << R0.TrapReason;
+  ASSERT_FALSE(R1.Trapped) << R1.TrapReason;
+  EXPECT_TRUE(R0.sameObservableBehavior(R1)) << W.Name;
+  EXPECT_LE(R1.Cycles, R0.Cycles) << W.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, OptEquivalence,
+                         ::testing::Range(0, 5));
+
+} // namespace

@@ -1,0 +1,258 @@
+//===- tests/PipelineTest.cpp - frontend-to-simulator integration ---------===//
+
+#include "codegen/BinaryImage.h"
+#include "codegen/ISel.h"
+#include "dataalloc/DataAlloc.h"
+#include "frontend/IRGen.h"
+#include "ir/Verifier.h"
+#include "opt/Passes.h"
+#include "regalloc/LinearScan.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ucc;
+
+namespace {
+
+/// Compiles MiniC source with the baseline pipeline and returns the image.
+BinaryImage compileBaseline(const std::string &Source) {
+  DiagnosticEngine Diag;
+  Module M = compileToIR(Source, Diag);
+  EXPECT_FALSE(Diag.hasErrors()) << Diag.str();
+  EXPECT_TRUE(moduleIsValid(M));
+  optimizeModule(M);
+  EXPECT_TRUE(moduleIsValid(M));
+
+  MachineModule MM = selectModule(M);
+  for (MachineFunction &MF : MM.Functions)
+    allocateLinearScan(MF);
+
+  DataLayoutMap DL = layoutGlobalsBaseline(M);
+  std::vector<FrameLayout> Frames;
+  for (const MachineFunction &MF : MM.Functions)
+    Frames.push_back(layoutFrame(MF));
+  return encodeModule(MM, M, DL, Frames);
+}
+
+RunResult runSource(const std::string &Source, SimOptions Opts = {}) {
+  BinaryImage Img = compileBaseline(Source);
+  RunResult R = runImage(Img, Opts);
+  EXPECT_FALSE(R.Trapped) << R.TrapReason << "\n" << Img.disassemble();
+  return R;
+}
+
+TEST(Pipeline, ArithmeticAndDebugOutput) {
+  RunResult R = runSource(R"(
+    void main() {
+      __out(15, 2 + 3 * 4);
+      __out(15, (10 - 4) / 2);
+      __out(15, 17 % 5);
+      __out(15, 1 << 4);
+      __out(15, -32 >> 2);
+      __out(15, 0xf0 ^ 0xff);
+      __halt();
+    }
+  )");
+  ASSERT_EQ(R.DebugTrace.size(), 6u);
+  EXPECT_EQ(R.DebugTrace[0], 14);
+  EXPECT_EQ(R.DebugTrace[1], 3);
+  EXPECT_EQ(R.DebugTrace[2], 2);
+  EXPECT_EQ(R.DebugTrace[3], 16);
+  EXPECT_EQ(R.DebugTrace[4], -8);
+  EXPECT_EQ(R.DebugTrace[5], 0x0f);
+  EXPECT_TRUE(R.Halted);
+}
+
+TEST(Pipeline, LoopsAndGlobals) {
+  RunResult R = runSource(R"(
+    int total;
+    void main() {
+      int i;
+      for (i = 1; i <= 10; i = i + 1) {
+        total = total + i;
+      }
+      __out(15, total);
+      __halt();
+    }
+  )");
+  ASSERT_EQ(R.DebugTrace.size(), 1u);
+  EXPECT_EQ(R.DebugTrace[0], 55);
+}
+
+TEST(Pipeline, FunctionCallsAndRecursion) {
+  RunResult R = runSource(R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    void main() {
+      __out(15, fib(10));
+      __halt();
+    }
+  )");
+  ASSERT_EQ(R.DebugTrace.size(), 1u);
+  EXPECT_EQ(R.DebugTrace[0], 55);
+}
+
+TEST(Pipeline, GlobalArraysAndLocalArrays) {
+  RunResult R = runSource(R"(
+    int table[5] = {3, 1, 4, 1, 5};
+    void main() {
+      int acc = 0;
+      int squares[5];
+      int i;
+      for (i = 0; i < 5; i = i + 1) {
+        squares[i] = table[i] * table[i];
+      }
+      for (i = 0; i < 5; i = i + 1) {
+        acc = acc + squares[i];
+      }
+      __out(15, acc);
+      __halt();
+    }
+  )");
+  ASSERT_EQ(R.DebugTrace.size(), 1u);
+  EXPECT_EQ(R.DebugTrace[0], 9 + 1 + 16 + 1 + 25);
+}
+
+TEST(Pipeline, ShortCircuitSemantics) {
+  RunResult R = runSource(R"(
+    int hits;
+    int bump() { hits = hits + 1; return 1; }
+    void main() {
+      if (0 && bump()) { __out(15, 99); }
+      if (1 || bump()) { __out(15, hits); }
+      if (bump() && 1) { __out(15, hits); }
+      __halt();
+    }
+  )");
+  ASSERT_EQ(R.DebugTrace.size(), 2u);
+  EXPECT_EQ(R.DebugTrace[0], 0); // neither bump ran yet
+  EXPECT_EQ(R.DebugTrace[1], 1); // exactly one bump ran
+}
+
+TEST(Pipeline, LedAndRadioPorts) {
+  RunResult R = runSource(R"(
+    void main() {
+      int i;
+      for (i = 0; i < 3; i = i + 1) {
+        __out(0, i);
+      }
+      __out(1, 7);
+      __out(1, 8);
+      __out(2, 2);
+      __halt();
+    }
+  )");
+  ASSERT_EQ(R.LedTrace.size(), 3u);
+  EXPECT_EQ(R.LedTrace[2], 2);
+  ASSERT_EQ(R.Packets.size(), 1u);
+  ASSERT_EQ(R.Packets[0].size(), 2u);
+  EXPECT_EQ(R.Packets[0][0], 7);
+  EXPECT_EQ(R.Packets[0][1], 8);
+}
+
+TEST(Pipeline, SensorPortScripted) {
+  SimOptions Opts;
+  Opts.SensorInput = {10, 20, 30};
+  RunResult R = runSource(R"(
+    void main() {
+      __out(15, __in(4) + __in(4) + __in(4) + __in(4));
+      __halt();
+    }
+  )",
+                          Opts);
+  ASSERT_EQ(R.DebugTrace.size(), 1u);
+  EXPECT_EQ(R.DebugTrace[0], 60); // exhausted sensor reads 0
+}
+
+TEST(Pipeline, HighRegisterPressureSpills) {
+  // 16 simultaneously-live values cannot fit in 12 registers.
+  RunResult R = runSource(R"(
+    void main() {
+      int a0 = 1; int a1 = 2; int a2 = 3; int a3 = 4;
+      int a4 = 5; int a5 = 6; int a6 = 7; int a7 = 8;
+      int b0 = a0 * 2; int b1 = a1 * 2; int b2 = a2 * 2; int b3 = a3 * 2;
+      int b4 = a4 * 2; int b5 = a5 * 2; int b6 = a6 * 2; int b7 = a7 * 2;
+      __out(15, a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7
+              + b0 + b1 + b2 + b3 + b4 + b5 + b6 + b7);
+      __halt();
+    }
+  )");
+  ASSERT_EQ(R.DebugTrace.size(), 1u);
+  EXPECT_EQ(R.DebugTrace[0], 36 + 72);
+}
+
+TEST(Pipeline, ValuesLiveAcrossCalls) {
+  RunResult R = runSource(R"(
+    int id(int x) { return x; }
+    void main() {
+      int a = 3;
+      int b = 5;
+      int c = id(7);
+      __out(15, a + b + c);
+      __halt();
+    }
+  )");
+  ASSERT_EQ(R.DebugTrace.size(), 1u);
+  EXPECT_EQ(R.DebugTrace[0], 15);
+}
+
+TEST(Pipeline, ImageSerializationRoundTrip) {
+  BinaryImage Img = compileBaseline(R"(
+    int g = 9;
+    void main() { __out(15, g); __halt(); }
+  )");
+  std::vector<uint8_t> Bytes = Img.serialize();
+  BinaryImage Back;
+  ASSERT_TRUE(BinaryImage::deserialize(Bytes, Back));
+  EXPECT_EQ(Back.Code, Img.Code);
+  EXPECT_EQ(Back.DataInit, Img.DataInit);
+  EXPECT_EQ(Back.EntryFunc, Img.EntryFunc);
+  ASSERT_EQ(Back.Functions.size(), Img.Functions.size());
+  EXPECT_EQ(Back.Functions[0].Name, Img.Functions[0].Name);
+
+  RunResult A = runImage(Img);
+  RunResult B = runImage(Back);
+  EXPECT_TRUE(A.sameObservableBehavior(B));
+}
+
+TEST(Pipeline, InfiniteLoopTrapsOnBudget) {
+  DiagnosticEngine Diag;
+  Module M = compileToIR("void main() { while (1) {} }", Diag);
+  ASSERT_FALSE(Diag.hasErrors());
+  optimizeModule(M);
+  MachineModule MM = selectModule(M);
+  for (MachineFunction &MF : MM.Functions)
+    allocateLinearScan(MF);
+  DataLayoutMap DL = layoutGlobalsBaseline(M);
+  std::vector<FrameLayout> Frames;
+  for (const MachineFunction &MF : MM.Functions)
+    Frames.push_back(layoutFrame(MF));
+  BinaryImage Img = encodeModule(MM, M, DL, Frames);
+
+  SimOptions Opts;
+  Opts.MaxSteps = 1000;
+  RunResult R = runImage(Img, Opts);
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_FALSE(R.Halted);
+}
+
+TEST(Pipeline, CycleCountingIsDeterministic) {
+  BinaryImage Img = compileBaseline(R"(
+    void main() {
+      int i;
+      int acc = 0;
+      for (i = 0; i < 100; i = i + 1) { acc = acc + i; }
+      __out(15, acc);
+      __halt();
+    }
+  )");
+  RunResult A = runImage(Img);
+  RunResult B = runImage(Img);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_GT(A.Cycles, 100u);
+}
+
+} // namespace

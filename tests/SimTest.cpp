@@ -1,0 +1,268 @@
+//===- tests/SimTest.cpp - SAVR simulator semantics -----------------------===//
+//
+// Drives the simulator with hand-encoded images: each test controls the
+// exact instruction words, so instruction semantics, cycle counting and
+// the machine's trap contract are pinned down independently of the
+// compiler.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/SAVR.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ucc;
+
+namespace {
+
+uint32_t enc(MOp Op, int A = 0, int B = 0, uint16_t Imm = 0) {
+  EncodedInstr E;
+  E.Op = Op;
+  E.A = static_cast<uint8_t>(A);
+  E.B = static_cast<uint8_t>(B);
+  E.Imm = Imm;
+  return E.pack();
+}
+
+uint32_t enc3(MOp Op, int A, int B, int C) {
+  return enc(Op, A, B, static_cast<uint16_t>(C));
+}
+
+BinaryImage imageOf(std::vector<uint32_t> Words,
+                    std::vector<int16_t> Data = {}) {
+  BinaryImage Img;
+  Img.Functions = {
+      {"main", 0, static_cast<uint32_t>(Words.size())}};
+  Img.Code = std::move(Words);
+  Img.DataInit = std::move(Data);
+  Img.EntryFunc = 0;
+  return Img;
+}
+
+TEST(Sim, ArithmeticSemantics) {
+  BinaryImage Img = imageOf({
+      enc(MOp::LDI, 0, 0, 7),
+      enc(MOp::LDI, 1, 0, 3),
+      enc3(MOp::ADD, 2, 0, 1), // 10
+      enc3(MOp::SUB, 3, 0, 1), // 4
+      enc3(MOp::MUL, 4, 0, 1), // 21
+      enc3(MOp::DIV, 5, 0, 1), // 2
+      enc3(MOp::REM, 6, 0, 1), // 1
+      enc(MOp::OUT, 2, 0, PortDebug),
+      enc(MOp::OUT, 3, 0, PortDebug),
+      enc(MOp::OUT, 4, 0, PortDebug),
+      enc(MOp::OUT, 5, 0, PortDebug),
+      enc(MOp::OUT, 6, 0, PortDebug),
+      enc(MOp::HALT),
+  });
+  RunResult R = runImage(Img);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.DebugTrace,
+            (std::vector<int16_t>{10, 4, 21, 2, 1}));
+}
+
+TEST(Sim, DivisionByZeroYieldsZero) {
+  BinaryImage Img = imageOf({
+      enc(MOp::LDI, 0, 0, 9),
+      enc(MOp::LDI, 1, 0, 0),
+      enc3(MOp::DIV, 2, 0, 1),
+      enc3(MOp::REM, 3, 0, 1),
+      enc(MOp::OUT, 2, 0, PortDebug),
+      enc(MOp::OUT, 3, 0, PortDebug),
+      enc(MOp::HALT),
+  });
+  RunResult R = runImage(Img);
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.DebugTrace, (std::vector<int16_t>{0, 0}));
+}
+
+TEST(Sim, SixteenBitWraparound) {
+  BinaryImage Img = imageOf({
+      enc(MOp::LDI, 0, 0, 0x7fff),
+      enc(MOp::LDI, 1, 0, 1),
+      enc3(MOp::ADD, 2, 0, 1),
+      enc(MOp::OUT, 2, 0, PortDebug),
+      enc(MOp::HALT),
+  });
+  RunResult R = runImage(Img);
+  ASSERT_FALSE(R.Trapped);
+  EXPECT_EQ(R.DebugTrace[0], std::numeric_limits<int16_t>::min());
+}
+
+TEST(Sim, CompareAndBranchMatrix) {
+  // For (a, b) = (2, 5): BLT taken, BGE not, BEQ not, BNE taken.
+  BinaryImage Img = imageOf({
+      /*0*/ enc(MOp::LDI, 0, 0, 2),
+      /*1*/ enc(MOp::LDI, 1, 0, 5),
+      /*2*/ enc(MOp::CMP, 0, 1),
+      /*3*/ enc(MOp::BLT, 0, 0, 5), // taken: skips the bad OUT
+      /*4*/ enc(MOp::OUT, 0, 0, PortDebug),
+      /*5*/ enc(MOp::CMP, 0, 1),
+      /*6*/ enc(MOp::BGE, 0, 0, 8), // not taken
+      /*7*/ enc(MOp::LDI, 2, 0, 77),
+      /*8*/ enc(MOp::OUT, 2, 0, PortDebug),
+      /*9*/ enc(MOp::HALT),
+  });
+  RunResult R = runImage(Img);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.DebugTrace, (std::vector<int16_t>{77}));
+}
+
+TEST(Sim, GlobalLoadStoreAndIndexing) {
+  BinaryImage Img = imageOf(
+      {
+          enc(MOp::LDG, 0, 0, 0),       // r0 = data[0] (= 5)
+          enc(MOp::LDI, 1, 0, 2),       // index
+          enc(MOp::LDGX, 2, 1, 1),      // r2 = data[1 + 2] (= 40)
+          enc3(MOp::ADD, 3, 0, 2),      // 45
+          enc(MOp::STG, 3, 0, 0),       // data[0] = 45
+          enc(MOp::LDG, 4, 0, 0),
+          enc(MOp::OUT, 4, 0, PortDebug),
+          enc(MOp::HALT),
+      },
+      {5, 20, 30, 40});
+  RunResult R = runImage(Img);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.DebugTrace, (std::vector<int16_t>{45}));
+}
+
+TEST(Sim, FrameIsPerInvocation) {
+  // main: ENTER 1; store 11; call fn1; load and print (must still be 11).
+  // fn1:  ENTER 1; store 99; ret.
+  BinaryImage Img;
+  Img.Functions = {{"main", 0, 8}, {"scribble", 8, 4}};
+  Img.Code = {
+      /*0*/ enc(MOp::ENTER, 0, 0, 1),
+      /*1*/ enc(MOp::LDI, 0, 0, 11),
+      /*2*/ enc(MOp::STF, 0, 0, 0),
+      /*3*/ enc(MOp::CALL, 0, 0, 1),
+      /*4*/ enc(MOp::LDF, 1, 0, 0),
+      /*5*/ enc(MOp::OUT, 1, 0, PortDebug),
+      /*6*/ enc(MOp::HALT),
+      /*7*/ enc(MOp::NOP),
+      /*8*/ enc(MOp::ENTER, 0, 0, 1),
+      /*9*/ enc(MOp::LDI, 0, 0, 99),
+      /*10*/ enc(MOp::STF, 0, 0, 0),
+      /*11*/ enc(MOp::RET),
+  };
+  Img.EntryFunc = 0;
+  RunResult R = runImage(Img);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.DebugTrace, (std::vector<int16_t>{11}));
+}
+
+TEST(Sim, TrapsOnDataOutOfRange) {
+  BinaryImage Img = imageOf({enc(MOp::LDG, 0, 0, 100), enc(MOp::HALT)},
+                            {1, 2});
+  RunResult R = runImage(Img);
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapReason.find("data access"), std::string::npos);
+}
+
+TEST(Sim, TrapsOnBadCallTarget) {
+  BinaryImage Img = imageOf({enc(MOp::CALL, 0, 0, 9), enc(MOp::HALT)});
+  RunResult R = runImage(Img);
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(Sim, TrapsOnCallStackOverflow) {
+  // A function that calls itself forever.
+  BinaryImage Img = imageOf({enc(MOp::ENTER, 0, 0, 0),
+                             enc(MOp::CALL, 0, 0, 0)});
+  RunResult R = runImage(Img);
+  EXPECT_TRUE(R.Trapped);
+  EXPECT_NE(R.TrapReason.find("stack"), std::string::npos);
+}
+
+TEST(Sim, ReturnFromEntryHalts) {
+  BinaryImage Img = imageOf({enc(MOp::ENTER, 0, 0, 0), enc(MOp::RET)});
+  RunResult R = runImage(Img);
+  EXPECT_TRUE(R.Halted);
+  EXPECT_FALSE(R.Trapped);
+}
+
+TEST(Sim, CycleAccountingMatchesTable) {
+  // LDI(1) + LDI(1) + MUL(2) + OUT(1) + HALT(0) = 5 cycles.
+  BinaryImage Img = imageOf({
+      enc(MOp::LDI, 0, 0, 3),
+      enc(MOp::LDI, 1, 0, 4),
+      enc3(MOp::MUL, 2, 0, 1),
+      enc(MOp::OUT, 2, 0, PortDebug),
+      enc(MOp::HALT),
+  });
+  RunResult R = runImage(Img);
+  EXPECT_EQ(R.Cycles, 5u);
+}
+
+TEST(Sim, TakenBranchCostsExtraCycle) {
+  BinaryImage NotTaken = imageOf({
+      enc(MOp::LDI, 0, 0, 1),
+      enc(MOp::LDI, 1, 0, 2),
+      enc(MOp::CMP, 0, 1),
+      enc(MOp::BEQ, 0, 0, 5), // not taken (1 cycle)
+      enc(MOp::NOP),
+      enc(MOp::HALT),
+  });
+  BinaryImage Taken = imageOf({
+      enc(MOp::LDI, 0, 0, 2),
+      enc(MOp::LDI, 1, 0, 2),
+      enc(MOp::CMP, 0, 1),
+      enc(MOp::BEQ, 0, 0, 5), // taken (2 cycles), skips the NOP
+      enc(MOp::NOP),
+      enc(MOp::HALT),
+  });
+  RunResult A = runImage(NotTaken);
+  RunResult B = runImage(Taken);
+  // Not-taken path: 1+1+1+1+1(+0) = 5; taken: 1+1+1+2(+0) = 5... both run
+  // different instruction counts; verify against explicit sums instead.
+  EXPECT_EQ(A.Cycles, 5u);
+  EXPECT_EQ(B.Cycles, 5u);
+  EXPECT_EQ(A.Steps, 6u);
+  EXPECT_EQ(B.Steps, 5u);
+}
+
+TEST(Sim, ProfileCountsEveryInstruction) {
+  BinaryImage Img = imageOf({
+      enc(MOp::LDI, 0, 0, 3),   // loop counter
+      enc(MOp::LDI, 1, 0, 1),
+      enc(MOp::LDI, 2, 0, 0),
+      /*3*/ enc3(MOp::SUB, 0, 0, 1),
+      enc(MOp::CMP, 0, 2),
+      enc(MOp::BNE, 0, 0, 3),
+      enc(MOp::HALT),
+  });
+  SimOptions Opts;
+  Opts.CollectProfile = true;
+  RunResult R = runImage(Img, Opts);
+  ASSERT_FALSE(R.Trapped) << R.TrapReason;
+  ASSERT_EQ(R.InstrCounts.size(), Img.Code.size());
+  EXPECT_EQ(R.InstrCounts[0], 1u);
+  EXPECT_EQ(R.InstrCounts[3], 3u); // loop body ran three times
+  EXPECT_EQ(R.InstrCounts[5], 3u);
+}
+
+TEST(Sim, DisassemblerRoundTripsMnemonics) {
+  EXPECT_EQ(disassembleInstr(enc(MOp::LDI, 3, 0, 42)), "ldi r3, 42");
+  EXPECT_EQ(disassembleInstr(enc3(MOp::ADD, 1, 2, 3)), "add r1, r2, r3");
+  EXPECT_EQ(disassembleInstr(enc(MOp::JMP, 0, 0, 7)), "jmp +7");
+  EXPECT_EQ(disassembleInstr(enc(MOp::STG, 4, 0, 9)), "stg [9], r4");
+  EXPECT_EQ(disassembleInstr(enc(MOp::RET)), "ret");
+}
+
+TEST(Sim, EncodedInstrPackUnpackRoundTrip) {
+  for (int Op = 0; Op < static_cast<int>(MOp::NumOpcodes); ++Op) {
+    EncodedInstr E;
+    E.Op = static_cast<MOp>(Op);
+    E.A = 0xb;
+    E.B = 0x3;
+    E.Imm = 0xbeef;
+    EncodedInstr Back = EncodedInstr::unpack(E.pack());
+    EXPECT_EQ(static_cast<int>(Back.Op), Op);
+    EXPECT_EQ(Back.A, E.A);
+    EXPECT_EQ(Back.B, E.B);
+    EXPECT_EQ(Back.Imm, E.Imm);
+  }
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+//===- tests/SupportTest.cpp - support-library unit tests -----------------===//
+
+#include "support/BitVector.h"
+#include "support/ByteStream.h"
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace ucc;
+
+namespace {
+
+TEST(Format, BasicFormatting) {
+  EXPECT_EQ(format("%d + %d = %d", 2, 3, 5), "2 + 3 = 5");
+  EXPECT_EQ(format("%s/%c", "abc", 'x'), "abc/x");
+  EXPECT_EQ(format("%.3f", 1.5), "1.500");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(Format, LongStringsDoNotTruncate) {
+  std::string Long(5000, 'y');
+  std::string Out = format("<%s>", Long.c_str());
+  EXPECT_EQ(Out.size(), 5002u);
+}
+
+TEST(Diagnostics, CollectsAndRenders) {
+  DiagnosticEngine Diag;
+  EXPECT_FALSE(Diag.hasErrors());
+  Diag.warning({2, 5}, "looks odd");
+  EXPECT_FALSE(Diag.hasErrors());
+  Diag.error({3, 1}, "broken");
+  EXPECT_TRUE(Diag.hasErrors());
+  EXPECT_EQ(Diag.errorCount(), 1u);
+  std::string Text = Diag.str();
+  EXPECT_NE(Text.find("2:5: warning: looks odd"), std::string::npos);
+  EXPECT_NE(Text.find("3:1: error: broken"), std::string::npos);
+  Diag.clear();
+  EXPECT_FALSE(Diag.hasErrors());
+}
+
+TEST(BitVectorTest, SetResetAndCount) {
+  BitVector BV(130);
+  EXPECT_FALSE(BV.any());
+  BV.set(0);
+  BV.set(64);
+  BV.set(129);
+  EXPECT_TRUE(BV.test(0));
+  EXPECT_TRUE(BV.test(64));
+  EXPECT_TRUE(BV.test(129));
+  EXPECT_FALSE(BV.test(1));
+  EXPECT_EQ(BV.count(), 3u);
+  BV.reset(64);
+  EXPECT_EQ(BV.count(), 2u);
+}
+
+TEST(BitVectorTest, SetOperations) {
+  BitVector A(100), B(100);
+  A.set(3);
+  A.set(70);
+  B.set(70);
+  B.set(80);
+
+  BitVector U = A;
+  EXPECT_TRUE(U.unionWith(B));
+  EXPECT_EQ(U.count(), 3u);
+  EXPECT_FALSE(U.unionWith(B)); // already included
+
+  BitVector I = A;
+  I.intersectWith(B);
+  EXPECT_EQ(I.count(), 1u);
+  EXPECT_TRUE(I.test(70));
+
+  BitVector S = A;
+  S.subtract(B);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_TRUE(S.test(3));
+}
+
+TEST(BitVectorTest, ForEachVisitsAscending) {
+  BitVector BV(200);
+  std::vector<size_t> Expect = {1, 63, 64, 65, 128, 199};
+  for (size_t K : Expect)
+    BV.set(K);
+  std::vector<size_t> Seen;
+  BV.forEach([&](size_t K) { Seen.push_back(K); });
+  EXPECT_EQ(Seen, Expect);
+}
+
+TEST(ByteStream, ScalarRoundTrip) {
+  ByteWriter W;
+  W.writeU8(0xab);
+  W.writeU16(0x1234);
+  W.writeU32(0xdeadbeef);
+  W.writeU64(0x0123456789abcdefULL);
+  W.writeI32(-42);
+  W.writeString("hello");
+
+  ByteReader R(W.bytes());
+  EXPECT_EQ(R.readU8(), 0xab);
+  EXPECT_EQ(R.readU16(), 0x1234);
+  EXPECT_EQ(R.readU32(), 0xdeadbeefu);
+  EXPECT_EQ(R.readU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(R.readI32(), -42);
+  EXPECT_EQ(R.readString(), "hello");
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_FALSE(R.hadError());
+}
+
+TEST(ByteStream, OverrunLatchesError) {
+  ByteWriter W;
+  W.writeU16(7);
+  ByteReader R(W.bytes());
+  (void)R.readU32(); // only two bytes available
+  EXPECT_TRUE(R.hadError());
+  EXPECT_EQ(R.readU8(), 0u); // stays in error state
+  EXPECT_EQ(R.readString(), "");
+}
+
+TEST(ByteStream, TruncatedStringDetected) {
+  ByteWriter W;
+  W.writeU32(100); // claims a 100-byte string
+  W.writeU8('x');
+  ByteReader R(W.bytes());
+  EXPECT_EQ(R.readString(), "");
+  EXPECT_TRUE(R.hadError());
+}
+
+TEST(RNGTest, DeterministicPerSeed) {
+  RNG A(12345), B(12345), C(54321);
+  bool Differs = false;
+  for (int K = 0; K < 100; ++K) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    Differs |= VA != C.next();
+  }
+  EXPECT_TRUE(Differs);
+}
+
+TEST(RNGTest, BoundsRespected) {
+  RNG Rng(7);
+  for (int K = 0; K < 1000; ++K) {
+    EXPECT_LT(Rng.below(17), 17u);
+    int64_t V = Rng.range(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double D = Rng.unitReal();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNGTest, CoversTheRange) {
+  RNG Rng(11);
+  std::set<uint64_t> Seen;
+  for (int K = 0; K < 400; ++K)
+    Seen.insert(Rng.below(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+} // namespace

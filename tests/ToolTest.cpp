@@ -1,0 +1,166 @@
+//===- tests/ToolTest.cpp - the uccc CLI end to end -----------------------===//
+//
+// Shells out to the real `uccc` binary (path injected by CMake) and walks
+// the full sink-to-sensor flow on disk: compile, update, patch, run, diff.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef UCC_TOOL_PATH
+#define UCC_TOOL_PATH "uccc"
+#endif
+
+/// A scratch directory for one test.
+class ToolFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "/tmp/uccc-test-XXXXXX";
+    ASSERT_NE(mkdtemp(Template), nullptr);
+    Dir = Template;
+  }
+
+  void TearDown() override {
+    std::system(("rm -rf " + Dir).c_str());
+  }
+
+  std::string path(const std::string &Name) const {
+    return Dir + "/" + Name;
+  }
+
+  void writeFile(const std::string &Name, const std::string &Text) const {
+    std::ofstream Out(path(Name));
+    Out << Text;
+  }
+
+  std::string readFile(const std::string &Name) const {
+    std::ifstream In(path(Name), std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(In),
+                       std::istreambuf_iterator<char>());
+  }
+
+  /// Runs `uccc <ArgsLine>`; stdout/stderr go to a capture file. Returns
+  /// the exit code.
+  int uccc(const std::string &ArgsLine) const {
+    std::string Cmd = std::string(UCC_TOOL_PATH) + " " + ArgsLine + " > " +
+                      path("out.txt") + " 2>&1";
+    int Status = std::system(Cmd.c_str());
+    return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+  }
+
+  std::string capturedOutput() const { return readFile("out.txt"); }
+
+  std::string Dir;
+};
+
+const char *SourceV1 = R"(
+int total;
+void main() {
+  int i;
+  for (i = 1; i <= 5; i = i + 1) { total = total + i; }
+  __out(15, total);
+  __halt();
+}
+)";
+
+const char *SourceV2 = R"(
+int total;
+void main() {
+  int i;
+  for (i = 1; i <= 5; i = i + 1) { total = total + i * 2; }
+  __out(15, total);
+  __halt();
+}
+)";
+
+TEST_F(ToolFixture, CompileRunFlow) {
+  writeFile("app.mc", SourceV1);
+  ASSERT_EQ(uccc("compile " + path("app.mc") + " -o " + path("app.img") +
+                 " --record " + path("app.rec")),
+            0)
+      << capturedOutput();
+  EXPECT_FALSE(readFile("app.img").empty());
+  EXPECT_FALSE(readFile("app.rec").empty());
+
+  ASSERT_EQ(uccc("run " + path("app.img")), 0) << capturedOutput();
+  EXPECT_NE(capturedOutput().find("debug: 15"), std::string::npos)
+      << capturedOutput();
+}
+
+TEST_F(ToolFixture, UpdatePatchFlowReproducesFreshImage) {
+  writeFile("v1.mc", SourceV1);
+  writeFile("v2.mc", SourceV2);
+  ASSERT_EQ(uccc("compile " + path("v1.mc") + " -o " + path("v1.img") +
+                 " --record " + path("v1.rec")),
+            0)
+      << capturedOutput();
+  ASSERT_EQ(uccc("update " + path("v2.mc") + " --record " + path("v1.rec") +
+                 " --image " + path("v1.img") + " -o " + path("v2.img") +
+                 " --script " + path("up.pkg")),
+            0)
+      << capturedOutput();
+  ASSERT_EQ(uccc("patch " + path("v1.img") + " " + path("up.pkg") + " -o " +
+                 path("patched.img")),
+            0)
+      << capturedOutput();
+  EXPECT_EQ(readFile("patched.img"), readFile("v2.img"))
+      << "the patched image must be byte-identical to the fresh build";
+
+  ASSERT_EQ(uccc("run " + path("patched.img")), 0) << capturedOutput();
+  EXPECT_NE(capturedOutput().find("debug: 30"), std::string::npos)
+      << capturedOutput();
+}
+
+TEST_F(ToolFixture, DiffAndDisassembleReport) {
+  writeFile("v1.mc", SourceV1);
+  writeFile("v2.mc", SourceV2);
+  ASSERT_EQ(uccc("compile " + path("v1.mc") + " -o " + path("v1.img") +
+                 " --record " + path("v1.rec")),
+            0);
+  ASSERT_EQ(uccc("update " + path("v2.mc") + " --record " + path("v1.rec") +
+                 " --image " + path("v1.img") + " -o " + path("v2.img")),
+            0);
+  ASSERT_EQ(uccc("diff " + path("v1.img") + " " + path("v2.img")), 0);
+  EXPECT_NE(capturedOutput().find("total Diff_inst:"), std::string::npos);
+
+  ASSERT_EQ(uccc("dis " + path("v1.img")), 0);
+  EXPECT_NE(capturedOutput().find("main:"), std::string::npos);
+  EXPECT_NE(capturedOutput().find("halt"), std::string::npos);
+}
+
+TEST_F(ToolFixture, RejectsBrokenInputs) {
+  writeFile("bad.mc", "void main() { int x = ; }");
+  EXPECT_NE(uccc("compile " + path("bad.mc") + " -o " + path("bad.img")),
+            0);
+  EXPECT_NE(capturedOutput().find("error"), std::string::npos);
+
+  writeFile("garbage.img", "this is not an image");
+  EXPECT_NE(uccc("run " + path("garbage.img")), 0);
+  EXPECT_NE(uccc("dis " + path("garbage.img")), 0);
+}
+
+TEST_F(ToolFixture, BaselineFlagProducesBiggerScript) {
+  writeFile("v1.mc", SourceV1);
+  writeFile("v2.mc", SourceV2);
+  ASSERT_EQ(uccc("compile " + path("v1.mc") + " -o " + path("v1.img") +
+                 " --record " + path("v1.rec")),
+            0);
+  ASSERT_EQ(uccc("update " + path("v2.mc") + " --record " + path("v1.rec") +
+                 " --image " + path("v1.img") + " -o " + path("a.img") +
+                 " --script " + path("ucc.pkg")),
+            0);
+  ASSERT_EQ(uccc("update " + path("v2.mc") + " --record " + path("v1.rec") +
+                 " --image " + path("v1.img") + " -o " + path("b.img") +
+                 " --script " + path("base.pkg") + " --baseline"),
+            0);
+  EXPECT_LE(readFile("ucc.pkg").size(), readFile("base.pkg").size());
+}
+
+} // namespace

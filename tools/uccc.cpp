@@ -1,0 +1,377 @@
+//===- tools/uccc.cpp - the update-conscious compiler driver --------------===//
+//
+// Command-line front end over the library — the sink-side toolchain of the
+// paper's Fig. 1 and the sensor-side patcher of Fig. 2 as one binary:
+//
+//   uccc compile  app.mc -o app.img --record app.rec [--dis]
+//   uccc update   app_v2.mc --record app.rec --image app.img
+//                 -o app_v2.img --new-record app_v2.rec
+//                 --script update.pkg [--baseline] [--cnt N] [--spacet N]
+//   uccc patch    app.img update.pkg -o patched.img
+//   uccc run      app.img [--steps N] [--sensor 1,2,3] [--profile]
+//   uccc dis      app.img
+//   uccc diff     old.img new.img
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "sim/Simulator.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace ucc;
+
+namespace {
+
+[[noreturn]] void die(const std::string &Message) {
+  std::fprintf(stderr, "uccc: %s\n", Message.c_str());
+  std::exit(1);
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  uccc compile <src> -o <img> [--record <rec>] [--dis] [--O0]\n"
+      "  uccc update  <src> --record <rec> --image <img> -o <img>\n"
+      "               [--new-record <rec>] [--script <pkg>]\n"
+      "               [--baseline] [--cnt <n>] [--spacet <n>] [--k <n>]\n"
+      "               [--strategy greedy|ilp|hybrid]\n"
+      "  uccc patch   <img> <pkg> -o <img>\n"
+      "  uccc run     <img> [--steps <n>] [--sensor v,v,...] [--profile]\n"
+      "  uccc dis     <img>\n"
+      "  uccc diff    <old-img> <new-img>\n");
+  std::exit(2);
+}
+
+std::string readTextFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    die("cannot open '" + Path + "'");
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+std::vector<uint8_t> readBinaryFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    die("cannot open '" + Path + "'");
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                             std::istreambuf_iterator<char>());
+  return Bytes;
+}
+
+void writeBinaryFile(const std::string &Path,
+                     const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    die("cannot write '" + Path + "'");
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+}
+
+BinaryImage loadImage(const std::string &Path) {
+  BinaryImage Img;
+  if (!BinaryImage::deserialize(readBinaryFile(Path), Img))
+    die("'" + Path + "' is not a valid SAVR image");
+  return Img;
+}
+
+CompilationRecord loadRecord(const std::string &Path) {
+  CompilationRecord Rec;
+  if (!CompilationRecord::deserialize(readBinaryFile(Path), Rec))
+    die("'" + Path + "' is not a valid compilation record");
+  return Rec;
+}
+
+/// Simple flag cursor over argv.
+class Args {
+public:
+  Args(int Argc, char **Argv) : Argv(Argv), Argc(Argc) {}
+
+  /// Next positional argument, or empty when none remain.
+  std::string positional() {
+    for (int K = Pos; K < Argc; ++K) {
+      if (Argv[K][0] != '-' && !Consumed[static_cast<size_t>(K)]) {
+        Consumed[static_cast<size_t>(K)] = true;
+        Pos = K + 1;
+        return Argv[K];
+      }
+      if (Argv[K][0] == '-' && flagTakesValue(Argv[K]))
+        ++K; // skip the flag's value
+    }
+    return "";
+  }
+
+  bool flag(const char *Name) {
+    for (int K = 0; K < Argc; ++K)
+      if (std::strcmp(Argv[K], Name) == 0) {
+        Consumed[static_cast<size_t>(K)] = true;
+        return true;
+      }
+    return false;
+  }
+
+  std::string option(const char *Name, const std::string &Default = "") {
+    for (int K = 0; K + 1 < Argc; ++K)
+      if (std::strcmp(Argv[K], Name) == 0) {
+        Consumed[static_cast<size_t>(K)] = true;
+        Consumed[static_cast<size_t>(K + 1)] = true;
+        return Argv[K + 1];
+      }
+    return Default;
+  }
+
+private:
+  static bool flagTakesValue(const char *Flag) {
+    static const char *WithValue[] = {"-o",         "--record",
+                                      "--image",     "--new-record",
+                                      "--script",    "--cnt",
+                                      "--spacet",    "--k",
+                                      "--steps",     "--sensor",
+                                      "--strategy"};
+    for (const char *F : WithValue)
+      if (std::strcmp(Flag, F) == 0)
+        return true;
+    return false;
+  }
+
+  char **Argv;
+  int Argc;
+  int Pos = 0;
+  std::vector<bool> Consumed = std::vector<bool>(256, false);
+};
+
+void reportDiagnostics(const DiagnosticEngine &Diag) {
+  std::fprintf(stderr, "%s", Diag.str().c_str());
+}
+
+int cmdCompile(Args &A) {
+  std::string Src = A.positional();
+  std::string OutPath = A.option("-o");
+  if (Src.empty() || OutPath.empty())
+    usage();
+
+  CompileOptions Opts;
+  if (A.flag("--O0"))
+    Opts.Opt = OptLevel::O0;
+
+  DiagnosticEngine Diag;
+  auto Out = Compiler::compile(readTextFile(Src), Opts, Diag);
+  if (!Out) {
+    reportDiagnostics(Diag);
+    return 1;
+  }
+  writeBinaryFile(OutPath, Out->Image.serialize());
+  std::string RecPath = A.option("--record");
+  if (!RecPath.empty())
+    writeBinaryFile(RecPath, Out->Record.serialize());
+  if (A.flag("--dis"))
+    std::printf("%s", Out->Image.disassemble().c_str());
+  std::printf("compiled %s: %zu instructions, %zu data words -> %s\n",
+              Src.c_str(), Out->Image.Code.size(),
+              Out->Image.DataInit.size(), OutPath.c_str());
+  return 0;
+}
+
+int cmdUpdate(Args &A) {
+  std::string Src = A.positional();
+  std::string RecPath = A.option("--record");
+  std::string ImgPath = A.option("--image");
+  std::string OutPath = A.option("-o");
+  if (Src.empty() || RecPath.empty() || ImgPath.empty() || OutPath.empty())
+    usage();
+
+  CompilationRecord OldRec = loadRecord(RecPath);
+  BinaryImage OldImg = loadImage(ImgPath);
+
+  CompileOptions Opts;
+  if (!A.flag("--baseline")) {
+    Opts.RA = RegAllocKind::UpdateConscious;
+    Opts.DA = DataAllocKind::UpdateConscious;
+  }
+  std::string Cnt = A.option("--cnt");
+  if (!Cnt.empty())
+    Opts.Ucc.Cnt = std::atof(Cnt.c_str());
+  std::string SpaceT = A.option("--spacet");
+  if (!SpaceT.empty())
+    Opts.UccDa.SpaceT = std::atoi(SpaceT.c_str());
+  std::string K = A.option("--k");
+  if (!K.empty())
+    Opts.Ucc.ChunkK = std::atoi(K.c_str());
+  std::string Strategy = A.option("--strategy");
+  if (Strategy == "greedy")
+    Opts.Ucc.Strategy = UccStrategy::Greedy;
+  else if (Strategy == "ilp")
+    Opts.Ucc.Strategy = UccStrategy::Ilp;
+  else if (Strategy == "hybrid")
+    Opts.Ucc.Strategy = UccStrategy::Hybrid;
+  else if (!Strategy.empty())
+    die("unknown --strategy '" + Strategy + "'");
+
+  DiagnosticEngine Diag;
+  auto Out = Compiler::recompile(readTextFile(Src), OldRec, Opts, Diag);
+  if (!Out) {
+    reportDiagnostics(Diag);
+    return 1;
+  }
+  writeBinaryFile(OutPath, Out->Image.serialize());
+
+  std::string NewRecPath = A.option("--new-record");
+  if (!NewRecPath.empty())
+    writeBinaryFile(NewRecPath, Out->Record.serialize());
+
+  ImageUpdate Update = makeImageUpdate(OldImg, Out->Image);
+  ImageDiff Diff = diffImages(OldImg, Out->Image);
+  std::string ScriptPath = A.option("--script");
+  if (!ScriptPath.empty())
+    writeBinaryFile(ScriptPath, Update.serialize());
+
+  std::printf("update: Diff_inst=%d (%d instructions reused), script=%zu "
+              "bytes, full image=%zu bytes\n",
+              Diff.totalDiffInst(), Diff.totalMatched(),
+              Update.scriptBytes(), Out->Image.transmitBytes());
+  for (const FunctionDiff &F : Diff.Functions)
+    if (F.diffInst() != 0 || F.NewCount == 0)
+      std::printf("  %-20s old=%-4d new=%-4d reused=%-4d ship=%d\n",
+                  F.Name.c_str(), F.OldCount, F.NewCount, F.Matched,
+                  F.diffInst());
+  return 0;
+}
+
+int cmdPatch(Args &A) {
+  std::string ImgPath = A.positional();
+  std::string PkgPath = A.positional();
+  std::string OutPath = A.option("-o");
+  if (ImgPath.empty() || PkgPath.empty() || OutPath.empty())
+    usage();
+
+  BinaryImage Old = loadImage(ImgPath);
+  ImageUpdate Update;
+  if (!ImageUpdate::deserialize(readBinaryFile(PkgPath), Update))
+    die("'" + PkgPath + "' is not a valid update package");
+
+  BinaryImage New;
+  if (!applyUpdate(Old, Update, New))
+    die("update package does not apply to this image");
+  writeBinaryFile(OutPath, New.serialize());
+  std::printf("patched %s (+%zu bytes of script) -> %s\n", ImgPath.c_str(),
+              Update.scriptBytes(), OutPath.c_str());
+  return 0;
+}
+
+int cmdRun(Args &A) {
+  std::string ImgPath = A.positional();
+  if (ImgPath.empty())
+    usage();
+  BinaryImage Img = loadImage(ImgPath);
+
+  SimOptions Opts;
+  std::string Steps = A.option("--steps");
+  if (!Steps.empty())
+    Opts.MaxSteps = static_cast<uint64_t>(std::atoll(Steps.c_str()));
+  std::string Sensor = A.option("--sensor");
+  for (size_t At = 0; At < Sensor.size();) {
+    size_t Comma = Sensor.find(',', At);
+    if (Comma == std::string::npos)
+      Comma = Sensor.size();
+    Opts.SensorInput.push_back(static_cast<int16_t>(
+        std::atoi(Sensor.substr(At, Comma - At).c_str())));
+    At = Comma + 1;
+  }
+  Opts.CollectProfile = A.flag("--profile");
+
+  RunResult R = runImage(Img, Opts);
+  if (R.Trapped) {
+    std::printf("TRAP after %llu steps: %s\n",
+                static_cast<unsigned long long>(R.Steps),
+                R.TrapReason.c_str());
+    return 1;
+  }
+  std::printf("halted after %llu steps, %llu cycles\n",
+              static_cast<unsigned long long>(R.Steps),
+              static_cast<unsigned long long>(R.Cycles));
+  auto printTrace = [](const char *Name,
+                       const std::vector<int16_t> &Trace) {
+    if (Trace.empty())
+      return;
+    std::printf("%s:", Name);
+    for (int16_t V : Trace)
+      std::printf(" %d", V);
+    std::printf("\n");
+  };
+  printTrace("led", R.LedTrace);
+  printTrace("debug", R.DebugTrace);
+  for (size_t K = 0; K < R.Packets.size(); ++K)
+    printTrace(format("packet[%zu]", K).c_str(), R.Packets[K]);
+  if (Opts.CollectProfile) {
+    std::printf("hottest instructions:\n");
+    for (int Shown = 0; Shown < 5; ++Shown) {
+      size_t Best = 0;
+      for (size_t K = 1; K < R.InstrCounts.size(); ++K)
+        if (R.InstrCounts[K] > R.InstrCounts[Best])
+          Best = K;
+      if (R.InstrCounts[Best] == 0)
+        break;
+      std::printf("  %5zu: %-24s x%llu\n", Best,
+                  disassembleInstr(Img.Code[Best]).c_str(),
+                  static_cast<unsigned long long>(R.InstrCounts[Best]));
+      R.InstrCounts[Best] = 0;
+    }
+  }
+  return 0;
+}
+
+int cmdDis(Args &A) {
+  std::string ImgPath = A.positional();
+  if (ImgPath.empty())
+    usage();
+  std::printf("%s", loadImage(ImgPath).disassemble().c_str());
+  return 0;
+}
+
+int cmdDiff(Args &A) {
+  std::string OldPath = A.positional();
+  std::string NewPath = A.positional();
+  if (OldPath.empty() || NewPath.empty())
+    usage();
+  BinaryImage Old = loadImage(OldPath);
+  BinaryImage New = loadImage(NewPath);
+  ImageDiff D = diffImages(Old, New);
+  std::printf("%-20s %6s %6s %7s %6s\n", "function", "old", "new",
+              "reused", "ship");
+  for (const FunctionDiff &F : D.Functions)
+    std::printf("%-20s %6d %6d %7d %6d\n", F.Name.c_str(), F.OldCount,
+                F.NewCount, F.Matched, F.diffInst());
+  std::printf("total Diff_inst: %d (data words changed: %d)\n",
+              D.totalDiffInst(), D.DataWordsChanged);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    usage();
+  std::string Cmd = Argv[1];
+  Args A(Argc - 2, Argv + 2);
+  if (Cmd == "compile")
+    return cmdCompile(A);
+  if (Cmd == "update")
+    return cmdUpdate(A);
+  if (Cmd == "patch")
+    return cmdPatch(A);
+  if (Cmd == "run")
+    return cmdRun(A);
+  if (Cmd == "dis")
+    return cmdDis(A);
+  if (Cmd == "diff")
+    return cmdDiff(A);
+  usage();
+}
