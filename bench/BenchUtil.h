@@ -17,12 +17,59 @@
 
 #include "core/Compiler.h"
 #include "sim/Simulator.h"
+#include "support/Telemetry.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <string>
 
 namespace uccbench {
+
+/// Telemetry hook for the bench binaries: when the UCC_TRACE_JSON
+/// environment variable names a file, installs a telemetry registry for
+/// the object's lifetime and writes the JSON trace (same schema as
+/// `uccc --trace-json`, see docs/OBSERVABILITY.md) there on destruction.
+/// Without the variable this is inert. Every bench declares one at the
+/// top of main(), so
+///
+///   UCC_TRACE_JSON=fig09.json ./build/bench/bench_fig09_update_cases
+///
+/// captures the full per-phase/counter breakdown behind any figure.
+class TelemetrySession {
+public:
+  TelemetrySession() {
+    if (const char *Path = std::getenv("UCC_TRACE_JSON")) {
+      TracePath = Path;
+      T.declareStandardCounters();
+      Scope = std::make_unique<ucc::TelemetryScope>(T);
+    }
+  }
+
+  ~TelemetrySession() {
+    Scope.reset();
+    if (TracePath.empty())
+      return;
+    if (std::FILE *F = std::fopen(TracePath.c_str(), "w")) {
+      std::string Json = T.toJson();
+      std::fwrite(Json.data(), 1, Json.size(), F);
+      std::fputc('\n', F);
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "bench: cannot write trace '%s'\n",
+                   TracePath.c_str());
+    }
+  }
+
+  TelemetrySession(const TelemetrySession &) = delete;
+  TelemetrySession &operator=(const TelemetrySession &) = delete;
+
+private:
+  ucc::Telemetry T;
+  std::unique_ptr<ucc::TelemetryScope> Scope;
+  std::string TracePath;
+};
 
 /// Compiles or dies (benches have no recovery story).
 inline ucc::CompileOutput compileOrDie(const std::string &Source,

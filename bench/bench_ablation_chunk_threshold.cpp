@@ -16,6 +16,7 @@ using namespace ucc;
 using namespace uccbench;
 
 int main() {
+  uccbench::TelemetrySession TraceSession;
   std::printf("Ablation A2: chunking threshold K (section 3.2)\n");
   std::printf("Diff_inst per update case as K varies.\n\n");
 

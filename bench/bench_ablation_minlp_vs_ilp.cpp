@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "SyntheticWindows.h"
 
 #include <chrono>
@@ -18,6 +20,7 @@ using namespace ucc;
 using namespace uccbench;
 
 int main() {
+  uccbench::TelemetrySession TraceSession;
   std::printf("Ablation: exact nonlinear objective (MINLP stand-in) vs "
               "theta=3/4 linearized ILP\n\n");
   std::printf("%8s  %6s  %6s  | %12s  %12s  | %10s  %10s  %8s\n", "instrs",

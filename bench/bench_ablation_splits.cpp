@@ -16,6 +16,7 @@ using namespace ucc;
 using namespace uccbench;
 
 int main() {
+  uccbench::TelemetrySession TraceSession;
   std::printf("Ablation: live-range splits and boundary movs (paper "
               "Fig. 4(c))\n\n");
   std::printf("%4s  %-42s  %10s  %12s  %6s\n", "case", "update",

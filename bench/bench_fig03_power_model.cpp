@@ -7,6 +7,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "energy/EnergyModel.h"
 
 #include <cstdio>
@@ -14,6 +16,7 @@
 using namespace ucc;
 
 int main() {
+  uccbench::TelemetrySession TraceSession;
   std::printf("Figure 3: the power model for Mica2\n\n");
   std::printf("%s\n", EnergyModel::powerTable().c_str());
 

@@ -13,6 +13,7 @@ using namespace ucc;
 using namespace uccbench;
 
 int main() {
+  uccbench::TelemetrySession TraceSession;
   std::printf("Figure 8: benchmark programs\n\n");
   std::printf("%-16s  %7s  %6s  %s\n", "benchmark", "instrs", "funcs",
               "details");

@@ -15,6 +15,7 @@ using namespace ucc;
 using namespace uccbench;
 
 int main() {
+  uccbench::TelemetrySession TraceSession;
   std::printf("Figure 10: code dissemination cost (Diff_inst per update)\n");
   std::printf("Lower is better; GCC-RA is diffed with the best possible "
               "binary match.\n\n");

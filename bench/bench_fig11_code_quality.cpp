@@ -16,6 +16,7 @@ using namespace ucc;
 using namespace uccbench;
 
 int main() {
+  uccbench::TelemetrySession TraceSession;
   std::printf("Figure 11: the performance comparison (single run)\n\n");
   std::printf("%4s  %-42s  %10s  %10s  %6s  %12s\n", "case", "update",
               "GCC-RA dC", "UCC-RA dC", "movs", "UCC slowdown");

@@ -18,6 +18,7 @@ using namespace ucc;
 using namespace uccbench;
 
 int main() {
+  uccbench::TelemetrySession TraceSession;
   EnergyModel Model;
   const double Cnts[] = {1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7};
   const int CaseIds[] = {1, 4, 6, 8, 10, 12};

@@ -6,6 +6,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "SyntheticWindows.h"
 
 #include <cstdio>
@@ -14,6 +16,7 @@ using namespace ucc;
 using namespace uccbench;
 
 int main() {
+  uccbench::TelemetrySession TraceSession;
   std::printf("Figure 13: ILP constraints as a function of instruction "
               "count\n\n");
   std::printf("%8s  %6s  %6s  %12s  %12s  %16s\n", "instrs", "vars", "regs",

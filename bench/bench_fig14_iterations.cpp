@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "SyntheticWindows.h"
 
 #include <cstdio>
@@ -33,6 +35,7 @@ int64_t pivotsFor(int NumStmts, int NumVars, int NumRegs, TagMode Mode,
 } // namespace
 
 int main() {
+  uccbench::TelemetrySession TraceSession;
   std::printf("Figure 14: solver iterations vs (#variables x "
               "#instructions)\n\n");
   std::printf("%8s  %6s  %10s  | %12s  %12s  %12s  %12s\n", "instrs",

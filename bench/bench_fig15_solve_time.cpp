@@ -7,6 +7,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "SyntheticWindows.h"
 
 #include <chrono>
@@ -16,6 +18,7 @@ using namespace ucc;
 using namespace uccbench;
 
 int main() {
+  uccbench::TelemetrySession TraceSession;
   std::printf("Figure 15: time per solver iteration vs problem size\n\n");
   std::printf("%8s  %6s  %10s  %10s  %12s  %14s\n", "instrs", "vars",
               "vars*instrs", "pivots", "total (s)", "us/iteration");

@@ -30,6 +30,7 @@ int diffWith(const UpdateCase &Case, DataAllocKind DA) {
 } // namespace
 
 int main() {
+  uccbench::TelemetrySession TraceSession;
   std::printf("Figure 16 / section 5.7: update-conscious data "
               "allocation\n");
   std::printf("Diff_inst with UCC-RA fixed; only the data allocator "

@@ -1,4 +1,17 @@
-//===- core/Compiler.cpp ------------------------------------------------------==//
+//===- core/Compiler.cpp - the update-conscious compiler driver -----------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the Compiler facade: the shared front half (parse,
+/// verify, optimize), the back half (ISel, register allocation, data
+/// layout, encoding), record construction, update packaging, and the
+/// profile-to-freq(s) bridge. Every phase runs under a telemetry span so a
+/// `--trace-json` capture shows the full per-phase breakdown.
+///
+//===----------------------------------------------------------------------===//
 
 #include "core/Compiler.h"
 
@@ -8,9 +21,11 @@
 #include "ir/Verifier.h"
 #include "regalloc/LinearScan.h"
 #include "regalloc/Validator.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 using namespace ucc;
 
@@ -20,20 +35,29 @@ namespace {
 std::optional<std::pair<Module, MachineModule>>
 frontHalf(const std::string &Source, const CompileOptions &Opts,
           DiagnosticEngine &Diag) {
-  Module M = compileToIR(Source, Diag);
+  Module M = [&] {
+    ScopedSpan Span("parse");
+    return compileToIR(Source, Diag);
+  }();
   if (Diag.hasErrors())
     return std::nullopt;
   if (M.EntryFunc < 0) {
     Diag.error({}, "program has no 'main' function");
     return std::nullopt;
   }
-  std::vector<std::string> Problems = verifyModule(M);
-  if (!Problems.empty()) {
-    for (const std::string &P : Problems)
-      Diag.error({}, "internal: IR verification failed: " + P);
-    return std::nullopt;
+  {
+    ScopedSpan Span("verify");
+    std::vector<std::string> Problems = verifyModule(M);
+    if (!Problems.empty()) {
+      for (const std::string &P : Problems)
+        Diag.error({}, "internal: IR verification failed: " + P);
+      return std::nullopt;
+    }
   }
-  optimizeModule(M, Opts.Opt);
+  {
+    ScopedSpan Span("opt");
+    optimizeModule(M, Opts.Opt);
+  }
   assert(moduleIsValid(M) && "optimizer broke the module");
   return std::make_pair(std::move(M), MachineModule());
 }
@@ -59,7 +83,10 @@ CompilationRecord buildRecord(const Module &M, const MachineModule &MM,
 CompileOutput backHalf(Module M, const CompileOptions &Opts,
                        const CompilationRecord *OldRecord) {
   CompileOutput Out;
-  Out.MachineCode = selectModule(M);
+  {
+    ScopedSpan Span("isel");
+    Out.MachineCode = selectModule(M);
+  }
 
   // Name tables for cross-version symbol resolution.
   std::vector<std::string> NewGlobalNames, NewFunctionNames;
@@ -71,8 +98,10 @@ CompileOutput backHalf(Module M, const CompileOptions &Opts,
   bool UseUcc = Opts.RA == RegAllocKind::UpdateConscious &&
                 OldRecord != nullptr;
 
+  telemetryBeginSpan("ra");
   for (size_t F = 0; F < Out.MachineCode.Functions.size(); ++F) {
     MachineFunction &MF = Out.MachineCode.Functions[F];
+    auto RaStart = std::chrono::steady_clock::now();
     if (UseUcc) {
       UccContext Ctx;
       int OldIdx = OldRecord->findFunction(MF.Name);
@@ -105,9 +134,17 @@ CompileOutput backHalf(Module M, const CompileOptions &Opts,
     }
     assert(validateAllocation(MF).empty() &&
            "register allocation failed validation");
+    if (currentTelemetry())
+      currentTelemetry()->addGauge(
+          "ra.seconds." + MF.Name,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        RaStart)
+              .count());
   }
+  telemetryEndSpan(); // ra
 
   // Data layout.
+  telemetryBeginSpan("da");
   if (Opts.DA == DataAllocKind::UpdateConscious && OldRecord)
     Out.Layout = layoutGlobalsUpdateConscious(
         M, OldRecord->GlobalLayout, Opts.UccDa, &Out.DataAllocStats);
@@ -129,9 +166,13 @@ CompileOutput backHalf(Module M, const CompileOptions &Opts,
     else
       Frames.push_back(layoutFrame(MF));
   }
+  telemetryEndSpan(); // da
 
-  Out.Image = encodeModule(Out.MachineCode, M, Out.Layout, Frames,
-                           &Out.EncodedIRIndex);
+  {
+    ScopedSpan Span("encode");
+    Out.Image = encodeModule(Out.MachineCode, M, Out.Layout, Frames,
+                             &Out.EncodedIRIndex);
+  }
   Out.Record = buildRecord(M, Out.MachineCode, Out.Layout, Frames);
   Out.IR = std::move(M);
   return Out;
@@ -142,6 +183,7 @@ CompileOutput backHalf(Module M, const CompileOptions &Opts,
 std::optional<CompileOutput> Compiler::compile(const std::string &Source,
                                                const CompileOptions &Opts,
                                                DiagnosticEngine &Diag) {
+  ScopedSpan Span("compile");
   auto Front = frontHalf(Source, Opts, Diag);
   if (!Front)
     return std::nullopt;
@@ -152,6 +194,7 @@ std::optional<CompileOutput>
 Compiler::recompile(const std::string &Source,
                     const CompilationRecord &OldRecord,
                     const CompileOptions &Opts, DiagnosticEngine &Diag) {
+  ScopedSpan Span("recompile");
   auto Front = frontHalf(Source, Opts, Diag);
   if (!Front)
     return std::nullopt;

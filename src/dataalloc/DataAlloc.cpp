@@ -1,6 +1,20 @@
-//===- dataalloc/DataAlloc.cpp ------------------------------------------------==//
+//===- dataalloc/DataAlloc.cpp - data-layout strategies -------------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gcc-style hashed baseline layout and UCC-DA (section 4): hole-
+/// filling placement of new variables, threshold-based reclamation per
+/// eqs. 16-17, and the module-level wrappers the compiler driver calls.
+/// Region outcomes are mirrored into the `da.*` telemetry counters.
+///
+//===----------------------------------------------------------------------===//
 
 #include "dataalloc/DataAlloc.h"
+
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -168,6 +182,8 @@ ucc::allocateRegionsUpdateConscious(const std::vector<RegionSpec> &Regions,
         continue;
       int Hole = S.findHole(V.SizeWords, /*Limit=*/1 << 30);
       int At = Hole >= 0 ? Hole : S.words();
+      if (Hole >= 0 && At + V.SizeWords <= Regions[R].Old.Words)
+        telemetryCount("da.holes_filled");
       S.place(V.Name, At, V.SizeWords);
     }
     S.trimTrailing();
@@ -228,6 +244,12 @@ ucc::allocateRegionsUpdateConscious(const std::vector<RegionSpec> &Regions,
     Results[R].Offsets = States[R].Offsets;
     Results[R].Words = States[R].words();
     Results[R].HoleWords = States[R].holeWords();
+    if (Telemetry *T = currentTelemetry()) {
+      T->addCounter("da.regions");
+      T->addCounter("da.region_words", Results[R].Words);
+      T->addCounter("da.hole_words", Results[R].HoleWords);
+      T->addCounter("da.relocated_vars", Results[R].RelocatedVars);
+    }
   }
   return Results;
 }

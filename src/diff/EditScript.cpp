@@ -1,8 +1,22 @@
-//===- diff/EditScript.cpp ----------------------------------------------------==//
+//===- diff/EditScript.cpp - edit scripts over instruction words ----------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LCS word alignment, script construction (with adjacent-primitive merging
+/// and remove+insert -> replace folding), the wire codec, and the
+/// sensor-side interpreter. Every script built by makeEditScript reports
+/// its per-opcode byte breakdown to the telemetry registry (`diff.*`) —
+/// the quantity every experiment's transmission-energy term is built from.
+///
+//===----------------------------------------------------------------------===//
 
 #include "diff/EditScript.h"
 
 #include "support/ByteStream.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -172,6 +186,25 @@ EditScript ucc::makeEditScript(const std::vector<uint32_t> &Old,
     ++NewPos;
   }
   emitGap(Old.size(), New.size());
+
+  if (Telemetry *T = currentTelemetry()) {
+    static const char *OpKey[] = {"diff.bytes.copy", "diff.bytes.remove",
+                                  "diff.bytes.insert", "diff.bytes.replace"};
+    T->addCounter("diff.scripts");
+    T->addCounter("diff.prims",
+                  static_cast<int64_t>(Script.primitiveCount()));
+    T->addCounter("diff.script_bytes",
+                  static_cast<int64_t>(Script.encodedBytes()));
+    for (const EditPrim &P : Script.Prims) {
+      if (P.Count == 0)
+        continue;
+      size_t Bytes = chunksFor(P.Count);
+      if (P.Op == EditOp::Insert || P.Op == EditOp::Replace)
+        Bytes += static_cast<size_t>(P.Count) * 4;
+      T->addCounter(OpKey[static_cast<size_t>(P.Op)],
+                    static_cast<int64_t>(Bytes));
+    }
+  }
   return Script;
 }
 

@@ -1,8 +1,21 @@
-//===- diff/ImageDiff.cpp -----------------------------------------------------==//
+//===- diff/ImageDiff.cpp - whole-image diffing and update packages -------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function-granular image diffing, update-package construction (runs under
+/// the `diff` telemetry span; per-script byte accounting happens inside
+/// makeEditScript), the package wire format, the sensor-side applier, and
+/// the out-of-order group assembler.
+///
+//===----------------------------------------------------------------------===//
 
 #include "diff/ImageDiff.h"
 
 #include "support/ByteStream.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 
@@ -144,6 +157,7 @@ bool ImageUpdate::deserialize(const std::vector<uint8_t> &Bytes,
 
 ImageUpdate ucc::makeImageUpdate(const BinaryImage &Old,
                                  const BinaryImage &New) {
+  ScopedSpan Span("diff");
   ImageUpdate U;
   U.EntryFunc = New.EntryFunc;
   for (size_t F = 0; F < New.Functions.size(); ++F) {

@@ -1,6 +1,22 @@
 //===- lp/ILP.cpp - branch-and-bound over the simplex relaxation ----------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Depth-first branch-and-bound 0/1 ILP solver on top of solveLP, with
+/// most-fractional branching, nearer-side-first exploration and optional
+/// incumbent seeding from a hint solution (the preferred-register tags of
+/// section 5.6). Each solve reports node counts and wall time to the
+/// telemetry registry (`lp.ilp_solves`, `lp.bb_nodes`, `lp.ilp_seconds`);
+/// pivots are accounted by the underlying solveLP calls.
+///
+//===----------------------------------------------------------------------===//
 
 #include "lp/LP.h"
+
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -158,7 +174,17 @@ private:
 
 ILPResult ucc::solveILP(const LPProblem &P, const std::vector<int> &IntVars,
                         const ILPOptions &Opts) {
-  return BranchAndBound(P, IntVars, Opts).run();
+  auto Start = std::chrono::steady_clock::now();
+  ILPResult R = BranchAndBound(P, IntVars, Opts).run();
+  if (Telemetry *T = currentTelemetry()) {
+    T->addCounter("lp.ilp_solves");
+    T->addCounter("lp.bb_nodes", R.Nodes);
+    T->addGauge("lp.ilp_seconds",
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count());
+  }
+  return R;
 }
 
 ILPResult ucc::solveBinaryByEnumeration(const LPProblem &P,

@@ -1,13 +1,23 @@
 //===- lp/Simplex.cpp - bounded-variable two-phase primal simplex ---------===//
 //
-// Dense tableau implementation. Variables carry individual bounds; slack
-// variables make every row an equality; artificial variables are created
-// only for rows whose initial residual cannot be absorbed by a slack.
-// Dantzig pricing with a Bland fallback after a run of degenerate steps.
+// Part of the UCC reproduction library.
 //
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense tableau implementation. Variables carry individual bounds; slack
+/// variables make every row an equality; artificial variables are created
+/// only for rows whose initial residual cannot be absorbed by a slack.
+/// Dantzig pricing with a Bland fallback after a run of degenerate steps.
+/// Every solve reports pivots and wall time to the telemetry registry
+/// (`lp.solves`, `lp.pivots`, `lp.lp_seconds`) so Figs. 13-15 can be read
+/// off a trace.
+///
 //===----------------------------------------------------------------------===//
 
 #include "lp/LP.h"
+
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -364,7 +374,17 @@ LPResult ucc::solveLP(const LPProblem &P, int64_t MaxPivots) {
          static_cast<int>(P.Upper.size()) == P.NumVars &&
          "malformed LP problem");
   Simplex S(P, MaxPivots);
-  return S.run();
+  auto Start = std::chrono::steady_clock::now();
+  LPResult R = S.run();
+  if (Telemetry *T = currentTelemetry()) {
+    T->addCounter("lp.solves");
+    T->addCounter("lp.pivots", R.Pivots);
+    T->addGauge("lp.lp_seconds",
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count());
+  }
+  return R;
 }
 
 bool ucc::isFeasible(const LPProblem &P, const std::vector<double> &X,

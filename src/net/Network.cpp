@@ -1,8 +1,22 @@
-//===- net/Network.cpp --------------------------------------------------------==//
+//===- net/Network.cpp - multi-hop dissemination simulator ----------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Topology builders (line/grid/star), BFS hop distances, and the flood
+/// model: every reached node receives the whole script once, forwarding
+/// nodes pay per-packet Tx energy (with loss-driven retransmissions) from
+/// the Mica2 current table. Each flood runs under the `net` telemetry span
+/// and reports packet/byte/energy totals (`net.*` counters and gauges).
+///
+//===----------------------------------------------------------------------===//
 
 #include "net/Network.h"
 
 #include "support/RNG.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -78,6 +92,7 @@ DisseminationResult ucc::disseminate(const Topology &T, size_t ScriptBytes,
                                      const PacketFormat &Fmt,
                                      const Mica2Power &Power,
                                      const RadioChannel &Channel) {
+  ScopedSpan Span("net");
   DisseminationResult R;
   R.Packets = Fmt.packetsFor(ScriptBytes);
   R.BytesOnAir = Fmt.bytesOnAir(ScriptBytes);
@@ -134,6 +149,17 @@ DisseminationResult ucc::disseminate(const Topology &T, size_t ScriptBytes,
       R.TotalTxJoules += Tx;
     }
     R.PerNodeJoules[static_cast<size_t>(Node)] = J;
+  }
+  if (Telemetry *Tel = currentTelemetry()) {
+    Tel->addCounter("net.floods");
+    Tel->addCounter("net.packets", R.Packets);
+    Tel->addCounter("net.bytes_on_air",
+                    static_cast<int64_t>(R.BytesOnAir));
+    Tel->addCounter("net.transmitters", R.Transmitters);
+    Tel->addCounter("net.retransmissions", R.Retransmissions);
+    Tel->addCounter("net.failed_packets", R.FailedPackets);
+    Tel->addGauge("net.tx_joules", R.TotalTxJoules);
+    Tel->addGauge("net.rx_joules", R.TotalRxJoules);
   }
   return R;
 }

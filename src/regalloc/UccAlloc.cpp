@@ -1,4 +1,17 @@
-//===- regalloc/UccAlloc.cpp --------------------------------------------------==//
+//===- regalloc/UccAlloc.cpp - update-conscious register allocation -------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// UCC-RA implementation: LCS alignment of the new pre-allocation code
+/// against the old final code, chunking with threshold K, the greedy
+/// preference/split planner, and the bridge into the full ILP window model
+/// for straight-line functions. Per-function UccAllocStats are mirrored
+/// into the telemetry registry (`ra.*`) on every exit path.
+///
+//===----------------------------------------------------------------------===//
 
 #include "regalloc/UccAlloc.h"
 
@@ -7,6 +20,7 @@
 #include "regalloc/UccIlpModel.h"
 
 #include "support/Format.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -335,6 +349,32 @@ bool tryIlpSingleBlock(MachineFunction &MF, const std::vector<Flat> &NewLin,
   Stats.PrefHonored = Sol.PrefHonored;
   Stats.PrefBroken = Sol.PrefBroken;
   Stats.SpilledVRegs += Sol.SpillLoads > 0 ? 1 : 0;
+
+  if (Telemetry *T = currentTelemetry()) {
+    T->addCounter("ra.ilp_binaries", Sol.NumBinaries);
+    T->addCounter("ra.ilp_constraints", Sol.NumConstraints);
+    // The theta approximation (eq. 15) charges Theta*Etrans per broken
+    // operand slot; the true nonlinear objective (eq. 12) charges Etrans
+    // once per unchanged statement with any broken slot. Measure the gap
+    // on the solution actually chosen.
+    int BrokenStmts = 0;
+    for (size_t J = 0; J < Spec.Instrs.size(); ++J) {
+      const WindowInstr &W = Spec.Instrs[J];
+      if (W.Changed)
+        continue;
+      bool Broken = false;
+      for (size_t Slot = 0; Slot < W.Uses.size(); ++Slot)
+        if (W.UsePref[Slot] >= 0 &&
+            Sol.UseRegs[J][Slot] != W.UsePref[Slot])
+          Broken = true;
+      if (W.Def >= 0 && W.DefPref >= 0 && Sol.DefReg[J] != W.DefPref)
+        Broken = true;
+      BrokenStmts += Broken;
+    }
+    double Nonlinear = Spec.Etrans * BrokenStmts;
+    double Linearized = Spec.Theta * Spec.Etrans * Sol.PrefBroken;
+    T->addGauge("ra.theta_gap_joules", Nonlinear - Linearized);
+  }
   return true;
 }
 
@@ -344,6 +384,29 @@ UccAllocStats ucc::allocateUcc(MachineFunction &MF, const UccContext &Ctx,
                                const UccAllocOptions &Opts,
                                const std::vector<double> &Freq) {
   UccAllocStats Stats;
+
+  // Mirrors the final Stats into the `ra.*` telemetry counters on every
+  // exit path (no-op without an active registry).
+  struct StatsExporter {
+    const UccAllocStats &S;
+    ~StatsExporter() {
+      Telemetry *T = currentTelemetry();
+      if (!T)
+        return;
+      T->addCounter("ra.functions");
+      T->addCounter("ra.total_instrs", S.TotalInstrs);
+      T->addCounter("ra.matched_instrs", S.MatchedInstrs);
+      T->addCounter("ra.chunks_changed", S.ChangedChunks);
+      T->addCounter("ra.chunks_unchanged", S.UnchangedChunks);
+      T->addCounter("ra.anchor_occurrences", S.AnchorOccurrences);
+      T->addCounter("ra.pref_honored", S.PrefHonored);
+      T->addCounter("ra.pref_broken", S.PrefBroken);
+      T->addCounter("ra.inserted_movs", S.InsertedMovs);
+      T->addCounter("ra.spilled_vregs", S.SpilledVRegs);
+      if (S.UsedIlp)
+        T->addCounter("ra.ilp_windows");
+    }
+  } Exporter{Stats};
 
   // No old code for this function: plain update-oblivious allocation.
   if (!Ctx.OldFinal) {
@@ -395,6 +458,14 @@ UccAllocStats ucc::allocateUcc(MachineFunction &MF, const UccContext &Ctx,
           InChangedChunk[K] = Fold;
         J = RunEnd;
       }
+      // Chunk census of this (final, unless a spill restarts) round:
+      // maximal runs of the folded classification.
+      Stats.ChangedChunks = 0;
+      Stats.UnchangedChunks = 0;
+      for (size_t K = 0; K < NewN; ++K)
+        if (K == 0 || InChangedChunk[K] != InChangedChunk[K - 1])
+          ++(InChangedChunk[K] ? Stats.ChangedChunks
+                               : Stats.UnchangedChunks);
     }
 
     int Matched = 0;

@@ -59,10 +59,14 @@ struct UccAllocOptions {
   double IlpTimeLimitSec = 10.0; ///< per-function ILP time budget
 };
 
-/// Statistics from one UCC-RA run.
+/// Statistics from one UCC-RA run. Mirrored into the telemetry registry
+/// (the `ra.*` counters, see docs/OBSERVABILITY.md) when a TelemetryScope
+/// is active, so one JSON trace aggregates every function's run.
 struct UccAllocStats {
   int TotalInstrs = 0;
   int MatchedInstrs = 0;   ///< aligned against the old binary
+  int ChangedChunks = 0;   ///< changed chunks after K-folding (section 3.2)
+  int UnchangedChunks = 0; ///< unchanged runs that survived the K threshold
   int AnchorOccurrences = 0; ///< operand slots tied to a preferred register
   int PrefHonored = 0;
   int PrefBroken = 0;

@@ -1,4 +1,17 @@
-//===- regalloc/UccIlpModel.cpp ----------------------------------------------==//
+//===- regalloc/UccIlpModel.cpp - the paper's 0/1 program for UCC-RA ------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds and solves the 0/1 program of sections 3.3-3.4: the ModelIndex
+/// variable space, constraint families (1)-(9), the linearized objective
+/// (10)-(15) with the theta = 3/4 coefficient, hint construction from the
+/// preferred-register tags, solution decoding, and the exponential exact
+/// (nonlinear-objective) enumerator for the section 5.6 comparison.
+///
+//===----------------------------------------------------------------------===//
 
 #include "regalloc/UccIlpModel.h"
 

@@ -1,8 +1,21 @@
-//===- sim/Simulator.cpp ------------------------------------------------------==//
+//===- sim/Simulator.cpp - instruction-level SAVR simulator ---------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SAVR interpreter: fetch/decode/execute with cycle accounting, the
+/// traced I/O ports (LED, debug, radio staging, timer, sensor) and the
+/// optional per-instruction execution profile. Each run executes under the
+/// `sim` telemetry span and reports step/cycle/radio totals (`sim.*`).
+///
+//===----------------------------------------------------------------------===//
 
 #include "sim/Simulator.h"
 
 #include "support/Format.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <array>
@@ -383,5 +396,18 @@ private:
 } // namespace
 
 RunResult ucc::runImage(const BinaryImage &Img, const SimOptions &Opts) {
-  return SimImpl(Img, Opts).run();
+  ScopedSpan Span("sim");
+  RunResult R = SimImpl(Img, Opts).run();
+  if (Telemetry *T = currentTelemetry()) {
+    T->addCounter("sim.runs");
+    T->addCounter("sim.steps", static_cast<int64_t>(R.Steps));
+    T->addCounter("sim.cycles", static_cast<int64_t>(R.Cycles));
+    T->addCounter("sim.radio_packets",
+                  static_cast<int64_t>(R.Packets.size()));
+    int64_t Words = 0;
+    for (const std::vector<int16_t> &P : R.Packets)
+      Words += static_cast<int64_t>(P.size());
+    T->addCounter("sim.radio_words", Words);
+  }
+  return R;
 }

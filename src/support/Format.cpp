@@ -1,4 +1,14 @@
-//===- support/Format.cpp -------------------------------------------------==//
+//===- support/Format.cpp - printf-style std::string formatting -----------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// vsnprintf-backed implementation of format()/formatv(): one sizing pass,
+/// then an exact-size formatting pass into the returned string.
+///
+//===----------------------------------------------------------------------===//
 
 #include "support/Format.h"
 

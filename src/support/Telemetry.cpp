@@ -1,0 +1,201 @@
+//===- support/Telemetry.cpp - unified compilation telemetry --------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry implementation and the JSON serializer. The serializer emits a
+/// single self-contained document (no external JSON dependency; built on
+/// support/Format) whose schema is documented in docs/OBSERVABILITY.md and
+/// pinned by tests/TelemetryTest.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace ucc;
+
+const TelemetrySpan *TelemetrySpan::find(const std::string &ChildName) const {
+  for (const std::unique_ptr<TelemetrySpan> &C : Children)
+    if (C->Name == ChildName)
+      return C.get();
+  return nullptr;
+}
+
+Telemetry::Telemetry() = default;
+
+void Telemetry::addCounter(const std::string &Name, int64_t Delta) {
+  Counters[Name] += Delta;
+}
+
+void Telemetry::setGauge(const std::string &Name, double Value) {
+  Gauges[Name] = Value;
+}
+
+void Telemetry::addGauge(const std::string &Name, double Delta) {
+  Gauges[Name] += Delta;
+}
+
+void Telemetry::declareCounter(const std::string &Name) {
+  Counters.emplace(Name, 0);
+}
+
+void Telemetry::declareStandardCounters() {
+  static const char *Standard[] = {
+      // lp: the solver substrate (Figs. 13-15).
+      "lp.solves", "lp.pivots", "lp.ilp_solves", "lp.bb_nodes",
+      // ra: UCC-RA (section 3).
+      "ra.functions", "ra.total_instrs", "ra.matched_instrs",
+      "ra.chunks_changed", "ra.chunks_unchanged", "ra.anchor_occurrences",
+      "ra.pref_honored", "ra.pref_broken", "ra.inserted_movs",
+      "ra.spilled_vregs", "ra.ilp_windows", "ra.ilp_binaries",
+      "ra.ilp_constraints",
+      // da: UCC-DA (section 4).
+      "da.regions", "da.holes_filled", "da.hole_words", "da.relocated_vars",
+      "da.region_words",
+      // diff: edit scripts (section 2.2).
+      "diff.scripts", "diff.prims", "diff.script_bytes", "diff.bytes.copy",
+      "diff.bytes.remove", "diff.bytes.insert", "diff.bytes.replace",
+      // sim: the SAVR simulator (section 5.1's Avrora stand-in).
+      "sim.runs", "sim.steps", "sim.cycles", "sim.radio_packets",
+      "sim.radio_words",
+      // net: multi-hop dissemination (section 2.2).
+      "net.floods", "net.packets", "net.bytes_on_air", "net.transmitters",
+      "net.retransmissions", "net.failed_packets"};
+  for (const char *Name : Standard)
+    declareCounter(Name);
+}
+
+void Telemetry::beginSpan(const std::string &Name) {
+  TelemetrySpan *Parent = Open.empty() ? &Root : Open.back().first;
+  TelemetrySpan *Node =
+      const_cast<TelemetrySpan *>(Parent->find(Name));
+  if (!Node) {
+    Parent->Children.push_back(std::make_unique<TelemetrySpan>());
+    Node = Parent->Children.back().get();
+    Node->Name = Name;
+  }
+  ++Node->Count;
+  Open.emplace_back(Node, std::chrono::steady_clock::now());
+}
+
+void Telemetry::endSpan() {
+  assert(!Open.empty() && "endSpan without a matching beginSpan");
+  if (Open.empty())
+    return;
+  auto [Node, Start] = Open.back();
+  Open.pop_back();
+  Node->Seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+}
+
+int64_t Telemetry::counter(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+double Telemetry::gauge(const std::string &Name) const {
+  auto It = Gauges.find(Name);
+  return It == Gauges.end() ? 0.0 : It->second;
+}
+
+void Telemetry::clear() {
+  Counters.clear();
+  Gauges.clear();
+  Root.Children.clear();
+  Open.clear();
+}
+
+namespace {
+
+/// Escapes \p S for use inside a JSON string literal.
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += format("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+void spanToJson(const TelemetrySpan &Span, std::string &Out) {
+  Out += format("{\"name\":\"%s\",\"seconds\":%.9f,\"count\":%lld,"
+                "\"children\":[",
+                jsonEscape(Span.Name).c_str(), Span.Seconds,
+                static_cast<long long>(Span.Count));
+  for (size_t K = 0; K < Span.Children.size(); ++K) {
+    if (K != 0)
+      Out += ",";
+    spanToJson(*Span.Children[K], Out);
+  }
+  Out += "]}";
+}
+
+} // namespace
+
+std::string Telemetry::toJson() const {
+  std::string Out = "{\"version\":1,\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, Value] : Counters) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += format("\"%s\":%lld", jsonEscape(Name).c_str(),
+                  static_cast<long long>(Value));
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, Value] : Gauges) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += format("\"%s\":%.9g", jsonEscape(Name).c_str(), Value);
+  }
+  Out += "},\"spans\":[";
+  for (size_t K = 0; K < Root.Children.size(); ++K) {
+    if (K != 0)
+      Out += ",";
+    spanToJson(*Root.Children[K], Out);
+  }
+  Out += "]}";
+  return Out;
+}
+
+namespace {
+thread_local Telemetry *CurrentTelemetry = nullptr;
+} // namespace
+
+Telemetry *ucc::currentTelemetry() { return CurrentTelemetry; }
+
+TelemetryScope::TelemetryScope(Telemetry &T) : Prev(CurrentTelemetry) {
+  CurrentTelemetry = &T;
+}
+
+TelemetryScope::~TelemetryScope() { CurrentTelemetry = Prev; }

@@ -1,0 +1,196 @@
+//===- support/Telemetry.h - unified compilation telemetry ----------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measurement substrate of the library: one registry of named
+/// counters, gauges and hierarchical timed spans that every subsystem
+/// reports into, replacing the scattered ad-hoc statistics structs as the
+/// single export path. The paper's whole argument is quantitative (edit
+/// script bytes vs. ILP solve cost vs. energy, Figs. 9-16), so every phase
+/// of the pipeline can account for itself here and one JSON document
+/// captures a full sink-to-sensor flow.
+///
+/// The registry is *ambient*: instrumentation sites call the free helpers
+/// (`telemetryCount`, `telemetryGauge`, `ScopedSpan`) which resolve the
+/// thread-current registry installed by a `TelemetryScope`. When no scope
+/// is active — the default — every helper reduces to a single branch on a
+/// thread-local pointer and touches nothing else; this is the zero-overhead
+/// no-op mode, so the library can stay instrumented unconditionally.
+///
+/// Naming conventions (the full schema is documented in
+/// docs/OBSERVABILITY.md):
+///  - counters/gauges use dotted lowercase paths: `lp.pivots`,
+///    `ra.pref_honored`, `diff.bytes.insert`;
+///  - spans use bare phase names (`parse`, `opt`, `isel`, `ra`, `da`,
+///    `diff`, `sim`) and nest by runtime call structure; re-entering a
+///    name under the same parent accumulates into one node.
+///
+/// Typical use:
+/// \code
+///   Telemetry T;
+///   {
+///     TelemetryScope Scope(T);
+///     auto Out = Compiler::compile(Source, Opts, Diag);   // instrumented
+///   }
+///   writeFile("trace.json", T.toJson());
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_SUPPORT_TELEMETRY_H
+#define UCC_SUPPORT_TELEMETRY_H
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ucc {
+
+/// One node of the span tree: an accumulated wall-clock phase. Entering
+/// the same name again under the same parent adds to Seconds/Count rather
+/// than growing the tree, so per-function loops aggregate naturally.
+struct TelemetrySpan {
+  std::string Name;
+  double Seconds = 0.0; ///< total wall time across all entries
+  int64_t Count = 0;    ///< times the span was entered
+  std::vector<std::unique_ptr<TelemetrySpan>> Children;
+
+  /// Child with \p Name, or null.
+  const TelemetrySpan *find(const std::string &ChildName) const;
+};
+
+/// The registry. Not thread-safe by design: the compilation pipeline is
+/// single-threaded and each thread installs its own scope.
+class Telemetry {
+public:
+  Telemetry();
+
+  /// Adds \p Delta to counter \p Name (creating it at zero).
+  void addCounter(const std::string &Name, int64_t Delta = 1);
+
+  /// Sets gauge \p Name to \p Value (last write wins).
+  void setGauge(const std::string &Name, double Value);
+
+  /// Adds \p Delta to gauge \p Name (for accumulated quantities like
+  /// solve seconds).
+  void addGauge(const std::string &Name, double Delta);
+
+  /// Creates counter \p Name at zero if absent. Lets a driver pin the
+  /// documented schema keys into the output even when the code path that
+  /// would bump them never runs (e.g. `lp.*` under the greedy strategy).
+  void declareCounter(const std::string &Name);
+
+  /// Declares the whole documented counter schema at zero (see
+  /// docs/OBSERVABILITY.md). Drivers that promise the stable schema —
+  /// `uccc --trace-json`, the bench harness — call this once after
+  /// installing the registry.
+  void declareStandardCounters();
+
+  /// Opens a child span of the currently open span (top level when none).
+  void beginSpan(const std::string &Name);
+
+  /// Closes the innermost open span, folding its wall time into the tree.
+  void endSpan();
+
+  int64_t counter(const std::string &Name) const;
+  double gauge(const std::string &Name) const;
+  const std::map<std::string, int64_t> &counters() const { return Counters; }
+  const std::map<std::string, double> &gauges() const { return Gauges; }
+
+  /// Root of the span forest (Name empty, Seconds unused).
+  const TelemetrySpan &spans() const { return Root; }
+
+  /// Serializes the whole registry as one JSON document:
+  /// {"version":1,"counters":{...},"gauges":{...},"spans":[...]}.
+  std::string toJson() const;
+
+  /// Drops every counter, gauge and span (open spans included).
+  void clear();
+
+private:
+  std::map<std::string, int64_t> Counters;
+  std::map<std::string, double> Gauges;
+  TelemetrySpan Root;
+  /// Innermost-last stack of open spans with their entry timestamps.
+  std::vector<std::pair<TelemetrySpan *, std::chrono::steady_clock::time_point>>
+      Open;
+};
+
+/// The thread-current registry, or null when telemetry is off.
+Telemetry *currentTelemetry();
+
+/// RAII installer: makes \p T the thread-current registry for its lifetime
+/// and restores the previous one (scopes nest).
+class TelemetryScope {
+public:
+  explicit TelemetryScope(Telemetry &T);
+  ~TelemetryScope();
+  TelemetryScope(const TelemetryScope &) = delete;
+  TelemetryScope &operator=(const TelemetryScope &) = delete;
+
+private:
+  Telemetry *Prev;
+};
+
+/// Bumps \p Name on the current registry; no-op without one.
+inline void telemetryCount(const std::string &Name, int64_t Delta = 1) {
+  if (Telemetry *T = currentTelemetry())
+    T->addCounter(Name, Delta);
+}
+
+/// Sets gauge \p Name on the current registry; no-op without one.
+inline void telemetryGauge(const std::string &Name, double Value) {
+  if (Telemetry *T = currentTelemetry())
+    T->setGauge(Name, Value);
+}
+
+/// Accumulates into gauge \p Name on the current registry; no-op without
+/// one.
+inline void telemetryGaugeAdd(const std::string &Name, double Delta) {
+  if (Telemetry *T = currentTelemetry())
+    T->addGauge(Name, Delta);
+}
+
+/// Opens a span on the current registry; no-op without one. Pair with
+/// telemetryEndSpan() when RAII scoping is inconvenient (the section does
+/// not coincide with a block); both sides resolve the registry at call
+/// time, so an unbalanced pair can only arise from mismatched call sites.
+inline void telemetryBeginSpan(const char *Name) {
+  if (Telemetry *T = currentTelemetry())
+    T->beginSpan(Name);
+}
+
+/// Closes the innermost open span; no-op without a registry.
+inline void telemetryEndSpan() {
+  if (Telemetry *T = currentTelemetry())
+    T->endSpan();
+}
+
+/// RAII timed span on the current registry. Constructed with no registry
+/// installed it does nothing at all (one pointer load + branch).
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char *Name) : T(currentTelemetry()) {
+    if (T)
+      T->beginSpan(Name);
+  }
+  ~ScopedSpan() {
+    if (T)
+      T->endSpan();
+  }
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+private:
+  Telemetry *T;
+};
+
+} // namespace ucc
+
+#endif // UCC_SUPPORT_TELEMETRY_H

@@ -1,0 +1,180 @@
+//===- tests/TelemetryTest.cpp - the telemetry registry and its JSON ------===//
+//
+// Pins the behavior docs/OBSERVABILITY.md documents: counter/gauge
+// accounting, span nesting and accumulation, the ambient-scope no-op mode,
+// and the serialized schema (version/counters/gauges/spans).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include "TestJson.h"
+
+#include <gtest/gtest.h>
+
+using namespace ucc;
+
+namespace {
+
+TEST(Telemetry, CountersAndGauges) {
+  Telemetry T;
+  EXPECT_EQ(T.counter("lp.pivots"), 0); // absent reads as zero
+
+  T.addCounter("lp.pivots", 3);
+  T.addCounter("lp.pivots");
+  EXPECT_EQ(T.counter("lp.pivots"), 4);
+
+  T.setGauge("ra.seconds.main", 1.5);
+  T.setGauge("ra.seconds.main", 2.5); // last write wins
+  EXPECT_DOUBLE_EQ(T.gauge("ra.seconds.main"), 2.5);
+
+  T.addGauge("lp.lp_seconds", 1.0);
+  T.addGauge("lp.lp_seconds", 0.25); // accumulates
+  EXPECT_DOUBLE_EQ(T.gauge("lp.lp_seconds"), 1.25);
+
+  T.clear();
+  EXPECT_EQ(T.counter("lp.pivots"), 0);
+  EXPECT_DOUBLE_EQ(T.gauge("lp.lp_seconds"), 0.0);
+}
+
+TEST(Telemetry, DeclaredCountersAppearAtZero) {
+  Telemetry T;
+  T.declareStandardCounters();
+  // Declaration creates the keys without disturbing existing values.
+  EXPECT_NE(T.counters().find("lp.bb_nodes"), T.counters().end());
+  EXPECT_EQ(T.counter("lp.bb_nodes"), 0);
+
+  T.addCounter("lp.bb_nodes", 7);
+  T.declareCounter("lp.bb_nodes"); // re-declaration must not reset
+  EXPECT_EQ(T.counter("lp.bb_nodes"), 7);
+}
+
+TEST(Telemetry, SpansNestByCallStructureAndAccumulate) {
+  Telemetry T;
+  T.beginSpan("compile");
+  T.beginSpan("ra");
+  T.endSpan();
+  T.beginSpan("ra"); // re-entry under the same parent: same node
+  T.endSpan();
+  T.beginSpan("da");
+  T.endSpan();
+  T.endSpan();
+
+  const TelemetrySpan &Root = T.spans();
+  ASSERT_EQ(Root.Children.size(), 1u);
+  const TelemetrySpan *Compile = Root.find("compile");
+  ASSERT_NE(Compile, nullptr);
+  EXPECT_EQ(Compile->Count, 1);
+  ASSERT_EQ(Compile->Children.size(), 2u);
+
+  const TelemetrySpan *Ra = Compile->find("ra");
+  ASSERT_NE(Ra, nullptr);
+  EXPECT_EQ(Ra->Count, 2); // accumulated, not duplicated
+  EXPECT_GE(Ra->Seconds, 0.0);
+  const TelemetrySpan *Da = Compile->find("da");
+  ASSERT_NE(Da, nullptr);
+  EXPECT_EQ(Da->Count, 1);
+}
+
+TEST(Telemetry, ScopeInstallsAndRestoresTheAmbientRegistry) {
+  EXPECT_EQ(currentTelemetry(), nullptr);
+  {
+    Telemetry Outer;
+    TelemetryScope OuterScope(Outer);
+    EXPECT_EQ(currentTelemetry(), &Outer);
+    {
+      Telemetry Inner;
+      TelemetryScope InnerScope(Inner);
+      EXPECT_EQ(currentTelemetry(), &Inner);
+      telemetryCount("x");
+      EXPECT_EQ(Inner.counter("x"), 1);
+      EXPECT_EQ(Outer.counter("x"), 0);
+    }
+    EXPECT_EQ(currentTelemetry(), &Outer); // scopes nest and restore
+  }
+  EXPECT_EQ(currentTelemetry(), nullptr);
+}
+
+TEST(Telemetry, HelpersAreNoOpsWithoutAScope) {
+  ASSERT_EQ(currentTelemetry(), nullptr);
+  // None of these may crash or observably do anything.
+  telemetryCount("lp.pivots", 10);
+  telemetryGauge("g", 1.0);
+  telemetryGaugeAdd("g", 1.0);
+  telemetryBeginSpan("phase");
+  telemetryEndSpan();
+  { ScopedSpan Span("phase"); }
+
+  // A registry installed *afterwards* must not see any of it.
+  Telemetry T;
+  TelemetryScope Scope(T);
+  EXPECT_EQ(T.counter("lp.pivots"), 0);
+  EXPECT_TRUE(T.spans().Children.empty());
+}
+
+TEST(Telemetry, ScopedSpanBindsTheRegistryAtConstruction) {
+  Telemetry T;
+  TelemetryScope Scope(T);
+  {
+    ScopedSpan Span("outer");
+    { ScopedSpan Nested("inner"); }
+  }
+  const TelemetrySpan *Outer = T.spans().find("outer");
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_NE(Outer->find("inner"), nullptr);
+}
+
+TEST(Telemetry, JsonRoundTrip) {
+  Telemetry T;
+  T.addCounter("diff.script_bytes", 23);
+  T.addCounter("lp.pivots", 143);
+  T.setGauge("lp.ilp_seconds", 0.25);
+  T.beginSpan("recompile");
+  T.beginSpan("ra");
+  T.endSpan();
+  T.endSpan();
+  T.beginSpan("diff");
+  T.endSpan();
+
+  auto Doc = testjson::parse(T.toJson());
+  ASSERT_TRUE(Doc.has_value()) << T.toJson();
+
+  const testjson::Value *Version = Doc->get("version");
+  ASSERT_NE(Version, nullptr);
+  EXPECT_EQ(Version->Num, 1.0);
+
+  const testjson::Value *Counters = Doc->get("counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_NE(Counters->get("diff.script_bytes"), nullptr);
+  EXPECT_EQ(Counters->get("diff.script_bytes")->Num, 23.0);
+  EXPECT_EQ(Counters->get("lp.pivots")->Num, 143.0);
+
+  const testjson::Value *Gauges = Doc->get("gauges");
+  ASSERT_NE(Gauges, nullptr);
+  ASSERT_NE(Gauges->get("lp.ilp_seconds"), nullptr);
+  EXPECT_DOUBLE_EQ(Gauges->get("lp.ilp_seconds")->Num, 0.25);
+
+  const testjson::Value *Spans = Doc->get("spans");
+  ASSERT_NE(Spans, nullptr);
+  ASSERT_EQ(Spans->K, testjson::Value::Array);
+  ASSERT_EQ(Spans->Arr.size(), 2u); // recompile, diff — in entry order
+  const testjson::Value &Recompile = *Spans->Arr[0];
+  EXPECT_EQ(Recompile.get("name")->Str, "recompile");
+  EXPECT_EQ(Recompile.get("count")->Num, 1.0);
+  EXPECT_GE(Recompile.get("seconds")->Num, 0.0);
+  ASSERT_EQ(Recompile.get("children")->Arr.size(), 1u);
+  EXPECT_EQ(Recompile.get("children")->Arr[0]->get("name")->Str, "ra");
+  EXPECT_EQ(Spans->Arr[1]->get("name")->Str, "diff");
+}
+
+TEST(Telemetry, JsonEscapesAwkwardNames) {
+  Telemetry T;
+  T.addCounter("weird\"name\\with\nstuff", 1);
+  auto Doc = testjson::parse(T.toJson());
+  ASSERT_TRUE(Doc.has_value()) << T.toJson();
+  const testjson::Value *Counters = Doc->get("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_NE(Counters->get("weird\"name\\with\nstuff"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- tests/TestJson.h - minimal JSON parser for test assertions ---------===//
+//
+// Just enough JSON to validate telemetry traces: objects, arrays, strings,
+// numbers, bool/null. Not a library candidate — error handling is "return
+// nullopt and let the test fail".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_TESTS_TESTJSON_H
+#define UCC_TESTS_TESTJSON_H
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace testjson {
+
+struct Value {
+  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<std::shared_ptr<Value>> Arr;
+  std::map<std::string, std::shared_ptr<Value>> Obj;
+
+  /// Object member, or null when absent / not an object.
+  const Value *get(const std::string &Key) const {
+    if (K != Object)
+      return nullptr;
+    auto It = Obj.find(Key);
+    return It == Obj.end() ? nullptr : It->second.get();
+  }
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : S(Text) {}
+
+  std::optional<Value> parse() {
+    auto V = value();
+    skipWs();
+    if (!V || Pos != S.size())
+      return std::nullopt;
+    return std::move(*V);
+  }
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> string() {
+    if (!eat('"'))
+      return std::nullopt;
+    std::string Out;
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (C == '\\' && Pos < S.size()) {
+        char E = S[Pos++];
+        switch (E) {
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 'u':
+          if (Pos + 4 > S.size())
+            return std::nullopt;
+          Out += static_cast<char>(
+              std::strtol(S.substr(Pos, 4).c_str(), nullptr, 16));
+          Pos += 4;
+          break;
+        default:
+          Out += E;
+        }
+      } else {
+        Out += C;
+      }
+    }
+    if (Pos >= S.size())
+      return std::nullopt;
+    ++Pos; // closing quote
+    return Out;
+  }
+
+  std::optional<Value> value() {
+    skipWs();
+    if (Pos >= S.size())
+      return std::nullopt;
+    Value V;
+    char C = S[Pos];
+    if (C == '{') {
+      ++Pos;
+      V.K = Value::Object;
+      skipWs();
+      if (eat('}'))
+        return V;
+      do {
+        auto Key = string();
+        if (!Key || !eat(':'))
+          return std::nullopt;
+        auto Member = value();
+        if (!Member)
+          return std::nullopt;
+        V.Obj[*Key] = std::make_shared<Value>(std::move(*Member));
+      } while (eat(','));
+      if (!eat('}'))
+        return std::nullopt;
+      return V;
+    }
+    if (C == '[') {
+      ++Pos;
+      V.K = Value::Array;
+      skipWs();
+      if (eat(']'))
+        return V;
+      do {
+        auto Elem = value();
+        if (!Elem)
+          return std::nullopt;
+        V.Arr.push_back(std::make_shared<Value>(std::move(*Elem)));
+      } while (eat(','));
+      if (!eat(']'))
+        return std::nullopt;
+      return V;
+    }
+    if (C == '"') {
+      auto Str = string();
+      if (!Str)
+        return std::nullopt;
+      V.K = Value::String;
+      V.Str = std::move(*Str);
+      return V;
+    }
+    if (S.compare(Pos, 4, "true") == 0) {
+      Pos += 4;
+      V.K = Value::Bool;
+      V.B = true;
+      return V;
+    }
+    if (S.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      V.K = Value::Bool;
+      return V;
+    }
+    if (S.compare(Pos, 4, "null") == 0) {
+      Pos += 4;
+      return V;
+    }
+    char *End = nullptr;
+    V.Num = std::strtod(S.c_str() + Pos, &End);
+    if (End == S.c_str() + Pos)
+      return std::nullopt;
+    Pos = static_cast<size_t>(End - S.c_str());
+    V.K = Value::Number;
+    return V;
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+};
+
+inline std::optional<Value> parse(const std::string &Text) {
+  return Parser(Text).parse();
+}
+
+} // namespace testjson
+
+#endif // UCC_TESTS_TESTJSON_H

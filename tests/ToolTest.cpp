@@ -5,6 +5,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestJson.h"
+
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -133,6 +135,113 @@ TEST_F(ToolFixture, DiffAndDisassembleReport) {
   ASSERT_EQ(uccc("dis " + path("v1.img")), 0);
   EXPECT_NE(capturedOutput().find("main:"), std::string::npos);
   EXPECT_NE(capturedOutput().find("halt"), std::string::npos);
+}
+
+TEST_F(ToolFixture, TraceJsonEmitsTheDocumentedSchema) {
+  writeFile("v1.mc", SourceV1);
+  writeFile("v2.mc", SourceV2);
+  ASSERT_EQ(uccc("compile " + path("v1.mc") + " -o " + path("v1.img") +
+                 " --record " + path("v1.rec") + " --trace-json " +
+                 path("compile.json")),
+            0)
+      << capturedOutput();
+  ASSERT_EQ(uccc("update " + path("v2.mc") + " --record " + path("v1.rec") +
+                 " --image " + path("v1.img") + " -o " + path("v2.img") +
+                 " --trace-json " + path("update.json")),
+            0)
+      << capturedOutput();
+
+  // The compile trace: a "compile" span with the per-phase children.
+  auto CompileDoc = testjson::parse(readFile("compile.json"));
+  ASSERT_TRUE(CompileDoc.has_value()) << readFile("compile.json");
+  ASSERT_EQ(CompileDoc->get("version")->Num, 1.0);
+  const testjson::Value *Spans = CompileDoc->get("spans");
+  ASSERT_NE(Spans, nullptr);
+  ASSERT_EQ(Spans->Arr.size(), 1u);
+  const testjson::Value &Compile = *Spans->Arr[0];
+  EXPECT_EQ(Compile.get("name")->Str, "compile");
+  const testjson::Value *Children = Compile.get("children");
+  ASSERT_NE(Children, nullptr);
+  for (const char *Phase : {"parse", "opt", "isel", "ra", "da", "encode"}) {
+    bool Found = false;
+    for (const auto &C : Children->Arr)
+      Found |= C->get("name")->Str == Phase;
+    EXPECT_TRUE(Found) << "missing phase span: " << Phase;
+  }
+
+  // The update trace: "recompile" + "diff" spans, the declared solver
+  // counters (zero here — greedy strategy), and edit-script byte counts.
+  auto UpdateDoc = testjson::parse(readFile("update.json"));
+  ASSERT_TRUE(UpdateDoc.has_value()) << readFile("update.json");
+  const testjson::Value *USpans = UpdateDoc->get("spans");
+  ASSERT_NE(USpans, nullptr);
+  bool SawRecompile = false, SawDiff = false;
+  for (const auto &S : USpans->Arr) {
+    SawRecompile |= S->get("name")->Str == "recompile";
+    SawDiff |= S->get("name")->Str == "diff";
+  }
+  EXPECT_TRUE(SawRecompile);
+  EXPECT_TRUE(SawDiff);
+
+  const testjson::Value *Counters = UpdateDoc->get("counters");
+  ASSERT_NE(Counters, nullptr);
+  for (const char *Key :
+       {"lp.pivots", "lp.bb_nodes", "ra.pref_honored", "ra.pref_broken",
+        "diff.script_bytes", "diff.bytes.insert", "diff.bytes.replace"})
+    EXPECT_NE(Counters->get(Key), nullptr) << "missing counter: " << Key;
+  EXPECT_GT(Counters->get("diff.script_bytes")->Num, 0.0);
+  EXPECT_GT(Counters->get("ra.pref_honored")->Num, 0.0);
+
+  // --stats prints the human-readable summary without disturbing output.
+  ASSERT_EQ(uccc("diff " + path("v1.img") + " " + path("v2.img") +
+                 " --stats"),
+            0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("--- telemetry ---"), std::string::npos)
+      << capturedOutput();
+}
+
+TEST_F(ToolFixture, TraceJsonCapturesIlpSolverWork) {
+  // Straight-line sources: the ILP engine only takes single-block
+  // functions, and the default model budget (400 binaries) is too small
+  // even for these — hence --ilp-max-binaries.
+  writeFile("s1.mc", R"(
+int a; int b; int c;
+void main() {
+  a = 3; b = a + 4; c = a + b;
+  __out(15, c);
+  __halt();
+}
+)");
+  writeFile("s2.mc", R"(
+int a; int b; int c;
+void main() {
+  a = 3; b = a + 9; c = a + b;
+  __out(15, c);
+  __halt();
+}
+)");
+  ASSERT_EQ(uccc("compile " + path("s1.mc") + " -o " + path("s1.img") +
+                 " --record " + path("s1.rec")),
+            0);
+  ASSERT_EQ(uccc("update " + path("s2.mc") + " --record " + path("s1.rec") +
+                 " --image " + path("s1.img") + " -o " + path("s2.img") +
+                 " --strategy ilp --ilp-max-binaries 4000 --trace-json " +
+                 path("ilp.json")),
+            0)
+      << capturedOutput();
+
+  auto Doc = testjson::parse(readFile("ilp.json"));
+  ASSERT_TRUE(Doc.has_value()) << readFile("ilp.json");
+  const testjson::Value *Counters = Doc->get("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_GT(Counters->get("ra.ilp_windows")->Num, 0.0);
+  EXPECT_GT(Counters->get("lp.ilp_solves")->Num, 0.0);
+  EXPECT_GT(Counters->get("lp.bb_nodes")->Num, 0.0);
+  EXPECT_GT(Counters->get("lp.pivots")->Num, 0.0);
+  const testjson::Value *Gauges = Doc->get("gauges");
+  ASSERT_NE(Gauges, nullptr);
+  EXPECT_NE(Gauges->get("lp.ilp_seconds"), nullptr);
 }
 
 TEST_F(ToolFixture, RejectsBrokenInputs) {

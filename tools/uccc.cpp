@@ -1,22 +1,32 @@
 //===- tools/uccc.cpp - the update-conscious compiler driver --------------===//
 //
-// Command-line front end over the library — the sink-side toolchain of the
-// paper's Fig. 1 and the sensor-side patcher of Fig. 2 as one binary:
+// Part of the UCC reproduction library.
 //
-//   uccc compile  app.mc -o app.img --record app.rec [--dis]
-//   uccc update   app_v2.mc --record app.rec --image app.img
-//                 -o app_v2.img --new-record app_v2.rec
-//                 --script update.pkg [--baseline] [--cnt N] [--spacet N]
-//   uccc patch    app.img update.pkg -o patched.img
-//   uccc run      app.img [--steps N] [--sensor 1,2,3] [--profile]
-//   uccc dis      app.img
-//   uccc diff     old.img new.img
-//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end over the library — the sink-side toolchain of
+/// the paper's Fig. 1 and the sensor-side patcher of Fig. 2 as one binary:
+///
+///   uccc compile  app.mc -o app.img --record app.rec [--dis]
+///   uccc update   app_v2.mc --record app.rec --image app.img
+///                 -o app_v2.img --new-record app_v2.rec
+///                 --script update.pkg [--baseline] [--cnt N] [--spacet N]
+///   uccc patch    app.img update.pkg -o patched.img
+///   uccc run      app.img [--steps N] [--sensor 1,2,3] [--profile]
+///   uccc dis      app.img
+///   uccc diff     old.img new.img
+///
+/// Every command additionally accepts `--trace-json <file>` (write the
+/// telemetry registry as JSON, schema in docs/OBSERVABILITY.md) and
+/// `--stats` (print a human-readable telemetry summary after the command).
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/Compiler.h"
 #include "sim/Simulator.h"
 #include "support/Format.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,7 +44,7 @@ namespace {
   std::exit(1);
 }
 
-void usage() {
+[[noreturn]] void usage() {
   std::fprintf(
       stderr,
       "usage:\n"
@@ -43,10 +53,14 @@ void usage() {
       "               [--new-record <rec>] [--script <pkg>]\n"
       "               [--baseline] [--cnt <n>] [--spacet <n>] [--k <n>]\n"
       "               [--strategy greedy|ilp|hybrid]\n"
+      "               [--ilp-max-binaries <n>]\n"
       "  uccc patch   <img> <pkg> -o <img>\n"
       "  uccc run     <img> [--steps <n>] [--sensor v,v,...] [--profile]\n"
       "  uccc dis     <img>\n"
-      "  uccc diff    <old-img> <new-img>\n");
+      "  uccc diff    <old-img> <new-img>\n"
+      "global flags (any command):\n"
+      "  --trace-json <file>   write the telemetry trace as JSON\n"
+      "  --stats               print a telemetry summary to stdout\n");
   std::exit(2);
 }
 
@@ -135,7 +149,8 @@ private:
                                       "--script",    "--cnt",
                                       "--spacet",    "--k",
                                       "--steps",     "--sensor",
-                                      "--strategy"};
+                                      "--strategy",  "--trace-json",
+                                      "--ilp-max-binaries"};
     for (const char *F : WithValue)
       if (std::strcmp(Flag, F) == 0)
         return true;
@@ -214,6 +229,9 @@ int cmdUpdate(Args &A) {
     Opts.Ucc.Strategy = UccStrategy::Hybrid;
   else if (!Strategy.empty())
     die("unknown --strategy '" + Strategy + "'");
+  std::string IlpBudget = A.option("--ilp-max-binaries");
+  if (!IlpBudget.empty())
+    Opts.Ucc.IlpMaxBinaries = std::atoi(IlpBudget.c_str());
 
   DiagnosticEngine Diag;
   auto Out = Compiler::recompile(readTextFile(Src), OldRec, Opts, Diag);
@@ -354,13 +372,29 @@ int cmdDiff(Args &A) {
   return 0;
 }
 
-} // namespace
+/// Prints a human-readable telemetry summary (the --stats flag).
+void printStats(const Telemetry &T) {
+  std::printf("--- telemetry ---\n");
+  struct Walker {
+    static void walk(const TelemetrySpan &Span, int Depth) {
+      std::printf("%*s%-*s %9.3f ms  x%lld\n", Depth * 2, "",
+                  24 - Depth * 2, Span.Name.c_str(), Span.Seconds * 1e3,
+                  static_cast<long long>(Span.Count));
+      for (const auto &Child : Span.Children)
+        walk(*Child, Depth + 1);
+    }
+  };
+  for (const auto &Child : T.spans().Children)
+    Walker::walk(*Child, 0);
+  for (const auto &[Name, Value] : T.counters())
+    if (Value != 0)
+      std::printf("%-32s %lld\n", Name.c_str(),
+                  static_cast<long long>(Value));
+  for (const auto &[Name, Value] : T.gauges())
+    std::printf("%-32s %g\n", Name.c_str(), Value);
+}
 
-int main(int Argc, char **Argv) {
-  if (Argc < 2)
-    usage();
-  std::string Cmd = Argv[1];
-  Args A(Argc - 2, Argv + 2);
+int dispatch(const std::string &Cmd, Args &A) {
   if (Cmd == "compile")
     return cmdCompile(A);
   if (Cmd == "update")
@@ -374,4 +408,39 @@ int main(int Argc, char **Argv) {
   if (Cmd == "diff")
     return cmdDiff(A);
   usage();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    usage();
+  std::string Cmd = Argv[1];
+  Args A(Argc - 2, Argv + 2);
+
+  std::string TracePath = A.option("--trace-json");
+  bool WantStats = A.flag("--stats");
+
+  if (TracePath.empty() && !WantStats)
+    return dispatch(Cmd, A);
+
+  // Telemetry session around the whole command. The standard counters are
+  // pre-declared so the documented schema keys appear in the output even
+  // when their code path never ran (e.g. lp.* under the greedy strategy).
+  Telemetry T;
+  T.declareStandardCounters();
+  int Rc;
+  {
+    TelemetryScope Scope(T);
+    Rc = dispatch(Cmd, A);
+  }
+  if (!TracePath.empty()) {
+    std::ofstream Out(TracePath, std::ios::trunc);
+    if (!Out)
+      die("cannot write '" + TracePath + "'");
+    Out << T.toJson() << "\n";
+  }
+  if (WantStats)
+    printStats(T);
+  return Rc;
 }
