@@ -6,9 +6,12 @@
 ///
 /// \file
 /// Helpers shared by the per-figure bench binaries: compile/recompile
-/// wrappers over the update-case table and cycle measurement via the
-/// simulator. Benches print tables to stdout (they are reporting tools, so
-/// the no-iostream library rule does not apply to them).
+/// wrappers over the update-case table, cycle measurement via the
+/// simulator, and the BenchHarness that gives every bench a uniform
+/// reporting surface (trace JSON, Chrome trace events, and the headline
+/// metric report that `ucc-report` aggregates into BENCH.json). Benches
+/// print tables to stdout (they are reporting tools, so the no-iostream
+/// library rule does not apply to them).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,58 +20,132 @@
 
 #include "core/Compiler.h"
 #include "sim/Simulator.h"
+#include "support/Json.h"
 #include "support/Telemetry.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace uccbench {
 
-/// Telemetry hook for the bench binaries: when the UCC_TRACE_JSON
-/// environment variable names a file, installs a telemetry registry for
-/// the object's lifetime and writes the JSON trace (same schema as
-/// `uccc --trace-json`, see docs/OBSERVABILITY.md) there on destruction.
-/// Without the variable this is inert. Every bench declares one at the
-/// top of main(), so
+/// The uniform per-bench harness. Every bench constructs one at the top
+/// of main() with its argv and a stable bench name, then feeds its
+/// headline metrics in as it prints its table. On destruction the
+/// harness writes whatever outputs were requested.
 ///
-///   UCC_TRACE_JSON=fig09.json ./build/bench/bench_fig09_update_cases
+/// Flags (each with an environment-variable fallback so both hermetic
+/// invocation by `ucc-report` and ad-hoc shell loops work):
 ///
-/// captures the full per-phase/counter breakdown behind any figure.
-class TelemetrySession {
+///   --trace-json <file>    aggregate telemetry JSON   (UCC_TRACE_JSON)
+///   --trace-events <file>  Chrome trace-event JSON    (UCC_TRACE_EVENTS)
+///   --report-json <file>   headline metric report     (UCC_REPORT_JSON)
+///   --quick                reduced profile for CI     (UCC_BENCH_QUICK=1)
+///
+/// The report document is schema-versioned and is the unit `ucc-report`
+/// aggregates (docs/OBSERVABILITY.md):
+///
+///   {"schema_version":1,"bench":"fig10_dissemination","profile":"full",
+///    "metrics":{"diff_inst_ucc_total":57,...}}
+///
+/// Metric naming: lowercase snake_case; metrics ending in `_seconds` are
+/// wall-clock measurements and are excluded from baseline regression
+/// comparison (they are machine-dependent).
+class BenchHarness {
 public:
-  TelemetrySession() {
-    if (const char *Path = std::getenv("UCC_TRACE_JSON")) {
-      TracePath = Path;
+  BenchHarness(int Argc, char **Argv, const char *BenchName)
+      : Name(BenchName) {
+    TracePath = optionOrEnv(Argc, Argv, "--trace-json", "UCC_TRACE_JSON");
+    EventsPath =
+        optionOrEnv(Argc, Argv, "--trace-events", "UCC_TRACE_EVENTS");
+    ReportPath =
+        optionOrEnv(Argc, Argv, "--report-json", "UCC_REPORT_JSON");
+    Quick = hasFlag(Argc, Argv, "--quick") ||
+            std::getenv("UCC_BENCH_QUICK") != nullptr;
+    if (!TracePath.empty() || !EventsPath.empty()) {
       T.declareStandardCounters();
+      if (!EventsPath.empty())
+        T.enableEvents();
       Scope = std::make_unique<ucc::TelemetryScope>(T);
     }
   }
 
-  ~TelemetrySession() {
+  ~BenchHarness() {
     Scope.reset();
-    if (TracePath.empty())
-      return;
-    if (std::FILE *F = std::fopen(TracePath.c_str(), "w")) {
-      std::string Json = T.toJson();
-      std::fwrite(Json.data(), 1, Json.size(), F);
-      std::fputc('\n', F);
-      std::fclose(F);
-    } else {
-      std::fprintf(stderr, "bench: cannot write trace '%s'\n",
-                   TracePath.c_str());
+    if (!TracePath.empty())
+      writeText(TracePath, T.toJson() + "\n");
+    if (!EventsPath.empty())
+      writeText(EventsPath, T.toChromeTrace() + "\n");
+    if (!ReportPath.empty()) {
+      ucc::json::Value Doc = ucc::json::Value::object();
+      Doc.set("schema_version", ucc::json::Value::number(1));
+      Doc.set("bench", ucc::json::Value::string(Name));
+      Doc.set("profile",
+              ucc::json::Value::string(Quick ? "quick" : "full"));
+      ucc::json::Value MetricsObj = ucc::json::Value::object();
+      for (const auto &[MetricName, Value] : Metrics)
+        MetricsObj.set(MetricName, ucc::json::Value::number(Value));
+      Doc.set("metrics", std::move(MetricsObj));
+      writeText(ReportPath, Doc.serialize() + "\n");
     }
   }
 
-  TelemetrySession(const TelemetrySession &) = delete;
-  TelemetrySession &operator=(const TelemetrySession &) = delete;
+  /// Records headline metric \p MetricName (last write wins, insertion
+  /// order preserved in the report).
+  void metric(const std::string &MetricName, double Value) {
+    for (auto &[Existing, Old] : Metrics)
+      if (Existing == MetricName) {
+        Old = Value;
+        return;
+      }
+    Metrics.emplace_back(MetricName, Value);
+  }
+
+  /// True under the reduced `--quick` profile (CI uses it to keep the
+  /// regression gate fast; the slow benches shrink their sweeps).
+  bool quick() const { return Quick; }
+
+  BenchHarness(const BenchHarness &) = delete;
+  BenchHarness &operator=(const BenchHarness &) = delete;
 
 private:
+  static std::string optionOrEnv(int Argc, char **Argv, const char *Flag,
+                                 const char *Env) {
+    for (int K = 1; K + 1 < Argc; ++K)
+      if (std::strcmp(Argv[K], Flag) == 0)
+        return Argv[K + 1];
+    if (const char *V = std::getenv(Env))
+      return V;
+    return "";
+  }
+
+  static bool hasFlag(int Argc, char **Argv, const char *Flag) {
+    for (int K = 1; K < Argc; ++K)
+      if (std::strcmp(Argv[K], Flag) == 0)
+        return true;
+    return false;
+  }
+
+  static void writeText(const std::string &Path, const std::string &Text) {
+    if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+      std::fwrite(Text.data(), 1, Text.size(), F);
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "bench: cannot write '%s'\n", Path.c_str());
+    }
+  }
+
+  std::string Name;
   ucc::Telemetry T;
   std::unique_ptr<ucc::TelemetryScope> Scope;
-  std::string TracePath;
+  std::string TracePath, EventsPath, ReportPath;
+  bool Quick = false;
+  std::vector<std::pair<std::string, double>> Metrics;
 };
 
 /// Compiles or dies (benches have no recovery story).

@@ -11,12 +11,13 @@
 #include "BenchUtil.h"
 
 #include <cstdio>
+#include <map>
 
 using namespace ucc;
 using namespace uccbench;
 
-int main() {
-  uccbench::TelemetrySession TraceSession;
+int main(int Argc, char **Argv) {
+  uccbench::BenchHarness Bench(Argc, Argv, "ablation_chunk_threshold");
   std::printf("Ablation A2: chunking threshold K (section 3.2)\n");
   std::printf("Diff_inst per update case as K varies.\n\n");
 
@@ -26,6 +27,7 @@ int main() {
     std::printf("   K=%-3d", K);
   std::printf("\n");
 
+  std::map<int, int64_t> TotalByK;
   for (const UpdateCase &Case : updateCases()) {
     if (Case.Id > 12)
       continue;
@@ -35,10 +37,15 @@ int main() {
       CompileOptions Opts = uccOptions();
       Opts.Ucc.ChunkK = K;
       CompileOutput V2 = recompileOrDie(Case.NewSource, V1.Record, Opts);
-      std::printf("  %6d", diffImages(V1.Image, V2.Image).totalDiffInst());
+      int Diff = diffImages(V1.Image, V2.Image).totalDiffInst();
+      TotalByK[K] += Diff;
+      std::printf("  %6d", Diff);
     }
     std::printf("\n");
   }
+  Bench.metric("diff_inst_total_k1", static_cast<double>(TotalByK[1]));
+  Bench.metric("diff_inst_total_k3", static_cast<double>(TotalByK[3]));
+  Bench.metric("diff_inst_total_k16", static_cast<double>(TotalByK[16]));
   std::printf("\nSmall K preserves the most matched instructions; the "
               "default K=3 trades a little similarity for\nrobustness "
               "against spurious one-instruction matches.\n");

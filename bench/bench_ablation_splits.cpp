@@ -15,13 +15,14 @@
 using namespace ucc;
 using namespace uccbench;
 
-int main() {
-  uccbench::TelemetrySession TraceSession;
+int main(int Argc, char **Argv) {
+  uccbench::BenchHarness Bench(Argc, Argv, "ablation_splits");
   std::printf("Ablation: live-range splits and boundary movs (paper "
               "Fig. 4(c))\n\n");
   std::printf("%4s  %-42s  %10s  %12s  %6s\n", "case", "update",
               "no splits", "with splits", "movs");
-  auto evalRow = [](const char *Label, const UpdateCase &Case) {
+  int64_t TotalNoSplit = 0, TotalSplit = 0, TotalMovs = 0;
+  auto evalRow = [&](const char *Label, const UpdateCase &Case) {
     CompileOutput V1 = compileOrDie(Case.OldSource, baselineOptions());
 
     CompileOptions NoSplit = uccOptions();
@@ -36,10 +37,13 @@ int main() {
     for (const UccAllocStats &S : VYes.RegAllocStats)
       Movs += S.InsertedMovs;
 
+    int DiffNo = diffImages(V1.Image, VNo.Image).totalDiffInst();
+    int DiffYes = diffImages(V1.Image, VYes.Image).totalDiffInst();
     std::printf("%4s  %-42.42s  %10d  %12d  %6d\n", Label,
-                Case.Description.c_str(),
-                diffImages(V1.Image, VNo.Image).totalDiffInst(),
-                diffImages(V1.Image, VYes.Image).totalDiffInst(), Movs);
+                Case.Description.c_str(), DiffNo, DiffYes, Movs);
+    TotalNoSplit += DiffNo;
+    TotalSplit += DiffYes;
+    TotalMovs += Movs;
   };
 
   char Label[16];
@@ -50,6 +54,10 @@ int main() {
     evalRow(Label, Case);
   }
   evalRow("F4", liveRangeExtensionCase());
+  Bench.metric("diff_inst_nosplit_total",
+               static_cast<double>(TotalNoSplit));
+  Bench.metric("diff_inst_split_total", static_cast<double>(TotalSplit));
+  Bench.metric("movs_total", static_cast<double>(TotalMovs));
   std::printf("\nWhere the columns differ, a mov bought back unchanged "
               "instructions (the Fig. 4(c) trade).\n");
   return 0;

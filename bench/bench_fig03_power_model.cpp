@@ -15,8 +15,8 @@
 
 using namespace ucc;
 
-int main() {
-  uccbench::TelemetrySession TraceSession;
+int main(int Argc, char **Argv) {
+  uccbench::BenchHarness Bench(Argc, Argv, "fig03_power_model");
   std::printf("Figure 3: the power model for Mica2\n\n");
   std::printf("%s\n", EnergyModel::powerTable().c_str());
 
@@ -35,5 +35,10 @@ int main() {
   std::printf("\nSection 2.1 break-even: one saved instruction word pays "
               "for %.0f extra executed cycles\n",
               Model.breakEvenExecutions(1.0, 1.0));
+
+  Bench.metric("energy_per_cycle_j", Model.energyPerCycle());
+  Bench.metric("energy_per_bit_j", Model.energyPerBit());
+  Bench.metric("instr_word_j", Model.instrTransmissionEnergy());
+  Bench.metric("break_even_cycles", Model.breakEvenExecutions(1.0, 1.0));
   return 0;
 }

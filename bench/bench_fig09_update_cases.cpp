@@ -12,21 +12,25 @@
 using namespace ucc;
 using namespace uccbench;
 
-int main() {
-  uccbench::TelemetrySession TraceSession;
+int main(int Argc, char **Argv) {
+  uccbench::BenchHarness Bench(Argc, Argv, "fig09_update_cases");
   std::printf("Figure 8: benchmark programs\n\n");
   std::printf("%-16s  %7s  %6s  %s\n", "benchmark", "instrs", "funcs",
               "details");
+  size_t WorkloadCount = 0, WorkloadInstrs = 0;
   for (const Workload &W : workloads()) {
     CompileOutput Out = compileOrDie(W.Source, baselineOptions());
     std::printf("%-16s  %7zu  %6zu  %.70s\n", W.Name.c_str(),
                 Out.Image.Code.size(), Out.Image.Functions.size(),
                 W.Details.c_str());
+    ++WorkloadCount;
+    WorkloadInstrs += Out.Image.Code.size();
   }
 
   std::printf("\nFigure 9: experimental update details\n\n");
   std::printf("%4s  %-6s  %-16s  %8s  %8s  %s\n", "case", "level",
               "benchmark", "old#", "new#", "update details");
+  size_t CaseCount = 0, OldInstrs = 0, NewInstrs = 0;
   for (const UpdateCase &Case : updateCases()) {
     CompileOutput Old = compileOrDie(Case.OldSource, baselineOptions());
     CompileOutput New = compileOrDie(Case.NewSource, baselineOptions());
@@ -34,10 +38,22 @@ int main() {
                 updateLevelName(Case.Level), Case.Benchmark.c_str(),
                 Old.Image.Code.size(), New.Image.Code.size(),
                 Case.Description.c_str());
+    ++CaseCount;
+    OldInstrs += Old.Image.Code.size();
+    NewInstrs += New.Image.Code.size();
   }
   std::printf("\nData-layout cases (Fig. 16):\n");
   for (const UpdateCase &Case : dataLayoutCases())
     std::printf("  D%d  %-16s  %.60s\n", Case.Id - 100,
                 Case.Benchmark.c_str(), Case.Description.c_str());
+
+  Bench.metric("workloads", static_cast<double>(WorkloadCount));
+  Bench.metric("workload_instrs_total",
+               static_cast<double>(WorkloadInstrs));
+  Bench.metric("update_cases", static_cast<double>(CaseCount));
+  Bench.metric("old_instrs_total", static_cast<double>(OldInstrs));
+  Bench.metric("new_instrs_total", static_cast<double>(NewInstrs));
+  Bench.metric("data_layout_cases",
+               static_cast<double>(dataLayoutCases().size()));
   return 0;
 }

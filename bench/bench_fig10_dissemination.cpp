@@ -14,8 +14,8 @@
 using namespace ucc;
 using namespace uccbench;
 
-int main() {
-  uccbench::TelemetrySession TraceSession;
+int main(int Argc, char **Argv) {
+  uccbench::BenchHarness Bench(Argc, Argv, "fig10_dissemination");
   std::printf("Figure 10: code dissemination cost (Diff_inst per update)\n");
   std::printf("Lower is better; GCC-RA is diffed with the best possible "
               "binary match.\n\n");
@@ -56,5 +56,15 @@ int main() {
                 R13.ReusedUcc - R13.ReusedBaseline,
                 100.0 * (R13.ReusedUcc - R13.ReusedBaseline) /
                     R13.ReusedBaseline);
+
+  Bench.metric("diff_inst_gcc_total", TotalBase);
+  Bench.metric("diff_inst_ucc_total", TotalUcc);
+  Bench.metric("reduction_pct",
+               TotalBase > 0
+                   ? 100.0 * (TotalBase - TotalUcc) / TotalBase
+                   : 0.0);
+  Bench.metric("case13_reused_gcc",
+               static_cast<double>(R13.ReusedBaseline));
+  Bench.metric("case13_reused_ucc", static_cast<double>(R13.ReusedUcc));
   return 0;
 }

@@ -10,13 +10,14 @@
 
 #include "BenchUtil.h"
 
+#include <algorithm>
 #include <cstdio>
 
 using namespace ucc;
 using namespace uccbench;
 
-int main() {
-  uccbench::TelemetrySession TraceSession;
+int main(int Argc, char **Argv) {
+  uccbench::BenchHarness Bench(Argc, Argv, "fig11_code_quality");
   std::printf("Figure 11: the performance comparison (single run)\n\n");
   std::printf("%4s  %-42s  %10s  %10s  %6s  %12s\n", "case", "update",
               "GCC-RA dC", "UCC-RA dC", "movs", "UCC slowdown");
@@ -26,6 +27,9 @@ int main() {
       Rows.push_back(&Case);
   Rows.push_back(&liveRangeExtensionCase()); // the Cnt-sensitive case
 
+  int64_t TotalDcBase = 0, TotalDcUcc = 0;
+  int TotalMovs = 0;
+  double MaxSlowdown = 0.0;
   for (const UpdateCase *CasePtr : Rows) {
     const UpdateCase &Case = *CasePtr;
     CaseResult R = evaluateCase(Case);
@@ -42,8 +46,17 @@ int main() {
                 static_cast<long long>(R.DiffCycleBaseline),
                 static_cast<long long>(R.DiffCycleUcc), R.InsertedMovs,
                 Slowdown);
+    TotalDcBase += R.DiffCycleBaseline;
+    TotalDcUcc += R.DiffCycleUcc;
+    TotalMovs += R.InsertedMovs;
+    MaxSlowdown = std::max(MaxSlowdown, Slowdown);
   }
   std::printf("\n(dC = cycles(new binary) - cycles(old binary) for one "
               "run; UCC-RA's extra cycles come from inserted movs.)\n");
+
+  Bench.metric("diff_cycle_gcc_total", static_cast<double>(TotalDcBase));
+  Bench.metric("diff_cycle_ucc_total", static_cast<double>(TotalDcUcc));
+  Bench.metric("inserted_movs_total", static_cast<double>(TotalMovs));
+  Bench.metric("max_slowdown_pct", MaxSlowdown);
   return 0;
 }

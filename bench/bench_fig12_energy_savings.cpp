@@ -11,17 +11,23 @@
 
 #include "BenchUtil.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 using namespace ucc;
 using namespace uccbench;
 
-int main() {
-  uccbench::TelemetrySession TraceSession;
+int main(int Argc, char **Argv) {
+  uccbench::BenchHarness Bench(Argc, Argv, "fig12_energy_savings");
   EnergyModel Model;
-  const double Cnts[] = {1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7};
-  const int CaseIds[] = {1, 4, 6, 8, 10, 12};
+  std::vector<double> Cnts = {1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7};
+  std::vector<int> CaseIds = {1, 4, 6, 8, 10, 12};
+  if (Bench.quick()) { // reduced sweep: end points + the paper's default
+    Cnts = {1e0, 1e3, 1e6};
+    CaseIds = {1, 8, 12};
+  }
 
   std::printf("Figure 12: energy savings per update vs execution "
               "frequency Cnt\n");
@@ -32,6 +38,7 @@ int main() {
     std::printf("  Cnt=1e%.0f", std::log10(Cnt));
   std::printf("\n");
 
+  double SavingsLowCnt = 0.0, SavingsHighCnt = 0.0, MinSavings = 0.0;
   auto printRow = [&](const char *Label, const UpdateCase &Case) {
     std::printf("%4s |", Label);
     for (double Cnt : Cnts) {
@@ -40,6 +47,11 @@ int main() {
           R.DiffInstBaseline, static_cast<double>(R.DiffCycleBaseline),
           R.DiffInstUcc, static_cast<double>(R.DiffCycleUcc), Cnt);
       std::printf("  %8.2e", Savings);
+      if (Cnt == Cnts.front())
+        SavingsLowCnt += Savings;
+      if (Cnt == Cnts.back())
+        SavingsHighCnt += Savings;
+      MinSavings = std::min(MinSavings, Savings);
     }
     std::printf("\n");
   };
@@ -52,6 +64,10 @@ int main() {
   // The Fig. 4 scenario: the one case whose UCC decision depends on Cnt
   // (mov inserted while cold, withdrawn when hot).
   printRow("F4", liveRangeExtensionCase());
+
+  Bench.metric("savings_j_low_cnt_total", SavingsLowCnt);
+  Bench.metric("savings_j_high_cnt_total", SavingsHighCnt);
+  Bench.metric("min_savings_j", MinSavings);
 
   std::printf("\nReading the series: when UCC-RA and GCC-RA produce the "
               "same-quality code the savings are flat in Cnt (pure \n"

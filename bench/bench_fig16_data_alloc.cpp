@@ -29,8 +29,8 @@ int diffWith(const UpdateCase &Case, DataAllocKind DA) {
 
 } // namespace
 
-int main() {
-  uccbench::TelemetrySession TraceSession;
+int main(int Argc, char **Argv) {
+  uccbench::BenchHarness Bench(Argc, Argv, "fig16_data_alloc");
   std::printf("Figure 16 / section 5.7: update-conscious data "
               "allocation\n");
   std::printf("Diff_inst with UCC-RA fixed; only the data allocator "
@@ -43,6 +43,11 @@ int main() {
     std::printf("%4s%d  %-16s  %-46.46s  %8d  %8d\n", "D",
                 Case.Id - 100, Case.Benchmark.c_str(),
                 Case.Description.c_str(), Baseline, Ucc);
+    char Key[48];
+    std::snprintf(Key, sizeof(Key), "d%d_diff_inst_gcc", Case.Id - 100);
+    Bench.metric(Key, static_cast<double>(Baseline));
+    std::snprintf(Key, sizeof(Key), "d%d_diff_inst_ucc", Case.Id - 100);
+    Bench.metric(Key, static_cast<double>(Ucc));
   }
 
   std::printf("\nSection 5.7 narrative checks:\n");

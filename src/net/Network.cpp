@@ -10,11 +10,16 @@
 /// nodes pay per-packet Tx energy (with loss-driven retransmissions) from
 /// the Mica2 current table. Each flood runs under the `net` telemetry span
 /// and reports packet/byte/energy totals (`net.*` counters and gauges).
+/// The flood advances one BFS level per round; with trace events enabled
+/// it emits per-node `packet.tx`/`packet.rx`/`packet.retx` instants,
+/// per-node cumulative `energy/node<N>` samples, and a per-round
+/// `net.progress` counter (nodes reached so far).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "net/Network.h"
 
+#include "support/Format.h"
 #include "support/RNG.h"
 #include "support/Telemetry.h"
 
@@ -122,33 +127,82 @@ DisseminationResult ucc::disseminate(const Topology &T, size_t ScriptBytes,
     return Attempts;
   };
 
-  // A node transmits when some neighbor is farther from the sink than it
-  // is (it covers that neighbor in the flood); every non-sink node
-  // receives the script exactly once (duplicate suppression). Lost packets
-  // cost the sender a retransmission each.
-  for (int Node = 0; Node < T.NumNodes; ++Node) {
-    if (Dist[static_cast<size_t>(Node)] < 0)
-      continue; // disconnected: never reached
-    bool Forwards = false;
-    for (int N : T.Neighbors[static_cast<size_t>(Node)])
-      Forwards |= Dist[static_cast<size_t>(N)] >
-                  Dist[static_cast<size_t>(Node)];
-    double J = 0.0;
-    if (Node != 0) {
-      J += RxPerPacketJ * R.Packets;
-      R.TotalRxJoules += RxPerPacketJ * R.Packets;
-    }
-    if (Forwards) {
+  // The flood proceeds in rounds, one BFS level per round: in round d the
+  // nodes at hop d-1 that cover a farther neighbor transmit, and the
+  // nodes at hop d receive the whole script (duplicate suppression: every
+  // node receives exactly once). Lost packets cost the sender a
+  // retransmission each. With trace events enabled, every per-node
+  // send/receive/retransmit lands on that node's track and each round
+  // closes with a `net.progress` sample.
+  std::vector<std::vector<int>> ByHop(static_cast<size_t>(R.MaxHops) + 1);
+  for (int Node = 0; Node < T.NumNodes; ++Node)
+    if (Dist[static_cast<size_t>(Node)] >= 0)
+      ByHop[static_cast<size_t>(Dist[static_cast<size_t>(Node)])]
+          .push_back(Node);
+
+  Telemetry *Ev = eventTelemetry();
+  auto emitEnergySample = [&](int Node) {
+    Ev->recordEvent(
+        TelemetryEvent::Phase::Counter, "net",
+        format("energy/node%d", Node), Node,
+        {{"joules", R.PerNodeJoules[static_cast<size_t>(Node)]}});
+  };
+
+  int Reached = ByHop.empty() ? 0 : static_cast<int>(ByHop[0].size());
+  for (int Round = 1; Round <= R.MaxHops; ++Round) {
+    // Transmissions: nodes one hop closer that cover someone this round.
+    for (int Node : ByHop[static_cast<size_t>(Round - 1)]) {
+      bool Forwards = false;
+      for (int N : T.Neighbors[static_cast<size_t>(Node)])
+        Forwards |= Dist[static_cast<size_t>(N)] >
+                    Dist[static_cast<size_t>(Node)];
+      if (!Forwards)
+        continue;
       int Attempts = 0;
-      for (int P = 0; P < R.Packets; ++P)
-        Attempts += attemptsForPacket();
+      for (int P = 0; P < R.Packets; ++P) {
+        int A = attemptsForPacket();
+        Attempts += A;
+        if (Ev) {
+          Ev->recordEvent(TelemetryEvent::Phase::Instant, "net",
+                          "packet.tx", Node,
+                          {{"round", static_cast<double>(Round)},
+                           {"packet", static_cast<double>(P)},
+                           {"attempts", static_cast<double>(A)}});
+          if (A > 1)
+            Ev->recordEvent(TelemetryEvent::Phase::Instant, "net",
+                            "packet.retx", Node,
+                            {{"round", static_cast<double>(Round)},
+                             {"packet", static_cast<double>(P)},
+                             {"extra", static_cast<double>(A - 1)}});
+        }
+      }
       R.Retransmissions += Attempts - R.Packets;
       double Tx = TxPerPacketJ * Attempts;
-      J += Tx;
       ++R.Transmitters;
       R.TotalTxJoules += Tx;
+      R.PerNodeJoules[static_cast<size_t>(Node)] += Tx;
+      if (Ev)
+        emitEnergySample(Node);
     }
-    R.PerNodeJoules[static_cast<size_t>(Node)] = J;
+    // Receptions: every node at this hop hears the whole script once.
+    for (int Node : ByHop[static_cast<size_t>(Round)]) {
+      double Rx = RxPerPacketJ * R.Packets;
+      R.TotalRxJoules += Rx;
+      R.PerNodeJoules[static_cast<size_t>(Node)] += Rx;
+      if (Ev) {
+        Ev->recordEvent(TelemetryEvent::Phase::Instant, "net", "packet.rx",
+                        Node,
+                        {{"round", static_cast<double>(Round)},
+                         {"packets", static_cast<double>(R.Packets)}});
+        emitEnergySample(Node);
+      }
+    }
+    Reached += static_cast<int>(ByHop[static_cast<size_t>(Round)].size());
+    if (Ev)
+      Ev->recordEvent(TelemetryEvent::Phase::Counter, "net", "net.progress",
+                      0,
+                      {{"round", static_cast<double>(Round)},
+                       {"reached", static_cast<double>(Reached)}});
   }
   if (Telemetry *Tel = currentTelemetry()) {
     Tel->addCounter("net.floods");

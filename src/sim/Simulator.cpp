@@ -9,11 +9,15 @@
 /// traced I/O ports (LED, debug, radio staging, timer, sensor) and the
 /// optional per-instruction execution profile. Each run executes under the
 /// `sim` telemetry span and reports step/cycle/radio totals (`sim.*`).
+/// With trace events enabled, every radio send becomes a `packet.tx`
+/// instant event and the run emits a sampled cumulative-energy timeline
+/// (`energy/node<N>` counter events) on the node's track.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "sim/Simulator.h"
 
+#include "energy/EnergyModel.h"
 #include "support/Format.h"
 #include "support/Telemetry.h"
 
@@ -41,6 +45,12 @@ public:
     Data.assign(Img.DataInit.begin(), Img.DataInit.end());
     Regs.fill(0);
 
+    // Event tracing is resolved once per run: without an event-enabled
+    // registry the per-step cost is one null check on Tel.
+    Tel = eventTelemetry();
+    if (Tel && Opts.EnergySampleCycles > 0)
+      NextEnergySample = Opts.EnergySampleCycles;
+
     if (Img.EntryFunc < 0 ||
         Img.EntryFunc >= static_cast<int>(Img.Functions.size()))
       return trap("image has no entry function");
@@ -54,7 +64,13 @@ public:
       if (Opts.CollectProfile)
         ++R.InstrCounts[PC];
       ++R.Steps;
-      if (!step())
+      bool Continue = step();
+      if (Tel && NextEnergySample != 0 && R.Cycles >= NextEnergySample) {
+        emitEnergySample();
+        while (NextEnergySample <= R.Cycles)
+          NextEnergySample += Opts.EnergySampleCycles;
+      }
+      if (!Continue)
         return R; // halted or trapped inside step()
     }
     return trap("step budget exhausted (likely an infinite loop)");
@@ -146,6 +162,11 @@ private:
       std::vector<int16_t> Packet(RadioStaging.end() - N,
                                   RadioStaging.end());
       RadioStaging.resize(RadioStaging.size() - N);
+      if (Tel)
+        Tel->recordEvent(TelemetryEvent::Phase::Instant, "sim", "packet.tx",
+                         Opts.NodeId,
+                         {{"words", static_cast<double>(Packet.size())},
+                          {"cycles", static_cast<double>(R.Cycles)}});
       R.Packets.push_back(std::move(Packet));
       break;
     }
@@ -373,11 +394,25 @@ private:
     return true;
   }
 
+  /// Cumulative CPU energy sample on the node's counter track (the
+  /// per-node energy timeline of docs/OBSERVABILITY.md).
+  void emitEnergySample() {
+    Tel->recordEvent(
+        TelemetryEvent::Phase::Counter, "sim",
+        format("energy/node%d", Opts.NodeId), Opts.NodeId,
+        {{"joules",
+          static_cast<double>(R.Cycles) * Mica2Power().energyPerCycle()},
+         {"cycles", static_cast<double>(R.Cycles)}});
+  }
+
   static constexpr size_t MaxCallDepth = 256;
 
   const BinaryImage &Img;
   const SimOptions &Opts;
   RunResult R;
+
+  Telemetry *Tel = nullptr; ///< non-null only when events are recorded
+  uint64_t NextEnergySample = 0;
 
   std::array<int16_t, 16> Regs{};
   std::vector<int16_t> Data;
@@ -398,6 +433,17 @@ private:
 RunResult ucc::runImage(const BinaryImage &Img, const SimOptions &Opts) {
   ScopedSpan Span("sim");
   RunResult R = SimImpl(Img, Opts).run();
+  if (Telemetry *T = eventTelemetry()) {
+    // Close the energy timeline at the final cycle on every exit path.
+    T->recordEvent(
+        TelemetryEvent::Phase::Counter, "sim",
+        format("energy/node%d", Opts.NodeId), Opts.NodeId,
+        {{"joules",
+          static_cast<double>(R.Cycles) * Mica2Power().energyPerCycle()},
+         {"cycles", static_cast<double>(R.Cycles)}});
+    T->recordEvent(TelemetryEvent::Phase::Instant, "sim",
+                   R.Trapped ? "trap" : "halt", Opts.NodeId);
+  }
   if (Telemetry *T = currentTelemetry()) {
     T->addCounter("sim.runs");
     T->addCounter("sim.steps", static_cast<int64_t>(R.Steps));

@@ -59,6 +59,16 @@ struct SimOptions {
   uint64_t MaxSteps = 10 * 1000 * 1000;
   std::vector<int16_t> SensorInput; ///< PortSensor samples (0 when exhausted)
   bool CollectProfile = false;
+
+  /// Identity of the simulated mote on the event trace: packet and
+  /// energy-sample events land on track \p NodeId (docs/OBSERVABILITY.md).
+  /// Only consulted when the ambient telemetry registry has events
+  /// enabled.
+  int NodeId = 0;
+  /// Cycle period of the sampled per-node energy timeline (a cumulative
+  /// `energy/node<N>` counter event every this many cycles, plus one
+  /// final sample when the run ends).
+  uint64_t EnergySampleCycles = 50'000;
 };
 
 /// Runs \p Img from its entry function until HALT, trap, or step budget.

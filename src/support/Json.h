@@ -1,0 +1,76 @@
+//===- support/Json.h - minimal JSON document model -----------------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small self-contained JSON value model with a parser and serializer —
+/// just enough for the reporting toolchain (`ucc-report`, bench report
+/// files, `bench/baseline.json`). Objects preserve insertion order so
+/// generated documents diff cleanly in review. Parsing is strict enough
+/// for machine-written documents; error handling is "return nullopt".
+///
+/// This is intentionally not a general-purpose JSON library: no comments,
+/// no \\uXXXX surrogate pairs, numbers are doubles (with integral values
+/// round-tripping exactly up to 2^53).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_SUPPORT_JSON_H
+#define UCC_SUPPORT_JSON_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ucc {
+namespace json {
+
+/// One JSON value of any kind. Arrays/objects own their elements by
+/// value; objects are insertion-ordered key/value vectors.
+struct Value {
+  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<Value> Arr;
+  std::vector<std::pair<std::string, Value>> Obj;
+
+  Value() = default;
+  static Value null() { return Value(); }
+  static Value boolean(bool V);
+  static Value number(double V);
+  static Value string(std::string V);
+  static Value array();
+  static Value object();
+
+  /// Object member, or null when absent / not an object.
+  const Value *find(const std::string &Key) const;
+  Value *find(const std::string &Key);
+
+  /// Sets (appending or replacing) object member \p Key.
+  Value &set(const std::string &Key, Value V);
+
+  /// Convenience readers with defaults (for optional schema fields).
+  double numberOr(const std::string &Key, double Default) const;
+  std::string stringOr(const std::string &Key,
+                       const std::string &Default) const;
+
+  /// Serializes the value. \p Indent < 0 emits the compact one-line form;
+  /// \p Indent >= 0 pretty-prints with that many leading spaces per
+  /// nesting level (2 is the conventional choice for checked-in files).
+  std::string serialize(int Indent = -1) const;
+};
+
+/// Parses \p Text as one JSON document (trailing whitespace allowed).
+std::optional<Value> parse(const std::string &Text);
+
+/// Escapes \p S for use inside a JSON string literal.
+std::string escape(const std::string &S);
+
+} // namespace json
+} // namespace ucc
+
+#endif // UCC_SUPPORT_JSON_H

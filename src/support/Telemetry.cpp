@@ -16,6 +16,7 @@
 
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace ucc;
@@ -27,7 +28,19 @@ const TelemetrySpan *TelemetrySpan::find(const std::string &ChildName) const {
   return nullptr;
 }
 
-Telemetry::Telemetry() = default;
+double TelemetrySpan::quantileSeconds(double Q) const {
+  if (DurationSamples.empty())
+    return 0.0;
+  std::vector<double> Sorted(DurationSamples);
+  std::sort(Sorted.begin(), Sorted.end());
+  double Clamped = std::min(std::max(Q, 0.0), 1.0);
+  size_t Idx = static_cast<size_t>(Clamped *
+                                   static_cast<double>(Sorted.size() - 1) +
+                                   0.5);
+  return Sorted[Idx];
+}
+
+Telemetry::Telemetry() : TraceEpoch(std::chrono::steady_clock::now()) {}
 
 void Telemetry::addCounter(const std::string &Name, int64_t Delta) {
   Counters[Name] += Delta;
@@ -81,6 +94,8 @@ void Telemetry::beginSpan(const std::string &Name) {
     Node->Name = Name;
   }
   ++Node->Count;
+  if (EventsOn)
+    recordEvent(TelemetryEvent::Phase::Begin, "span", Name);
   Open.emplace_back(Node, std::chrono::steady_clock::now());
 }
 
@@ -90,9 +105,21 @@ void Telemetry::endSpan() {
     return;
   auto [Node, Start] = Open.back();
   Open.pop_back();
-  Node->Seconds +=
+  double D =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
+  Node->Seconds += D;
+  if (Node->DurationSamples.empty()) {
+    Node->MinSeconds = D;
+    Node->MaxSeconds = D;
+  } else {
+    Node->MinSeconds = std::min(Node->MinSeconds, D);
+    Node->MaxSeconds = std::max(Node->MaxSeconds, D);
+  }
+  if (Node->DurationSamples.size() < TelemetrySpan::MaxDurationSamples)
+    Node->DurationSamples.push_back(D);
+  if (EventsOn)
+    recordEvent(TelemetryEvent::Phase::End, "span", Node->Name);
 }
 
 int64_t Telemetry::counter(const std::string &Name) const {
@@ -110,6 +137,56 @@ void Telemetry::clear() {
   Gauges.clear();
   Root.Children.clear();
   Open.clear();
+  Events.clear();
+  EventCapacity = 0;
+  EventHead = 0;
+  EventsDropped = 0;
+  EventsOn = false;
+  TraceEpoch = std::chrono::steady_clock::now();
+}
+
+void Telemetry::enableEvents(size_t Capacity) {
+  assert(Capacity > 0 && "event ring buffer needs at least one slot");
+  EventsOn = true;
+  EventCapacity = Capacity;
+  Events.reserve(std::min<size_t>(Capacity, 1024));
+}
+
+double Telemetry::microsSinceEpoch() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - TraceEpoch)
+      .count();
+}
+
+void Telemetry::recordEvent(TelemetryEvent::Phase Ph,
+                            const std::string &Category,
+                            const std::string &Name, int32_t Track,
+                            std::vector<std::pair<std::string, double>> Args) {
+  if (!EventsOn)
+    return;
+  TelemetryEvent E;
+  E.Ph = Ph;
+  E.TsMicros = microsSinceEpoch();
+  E.Track = Track;
+  E.Category = Category;
+  E.Name = Name;
+  E.Args = std::move(Args);
+  if (Events.size() < EventCapacity) {
+    Events.push_back(std::move(E));
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the ring head.
+  Events[EventHead] = std::move(E);
+  EventHead = (EventHead + 1) % EventCapacity;
+  ++EventsDropped;
+}
+
+std::vector<const TelemetryEvent *> Telemetry::eventsInOrder() const {
+  std::vector<const TelemetryEvent *> Out;
+  Out.reserve(Events.size());
+  for (size_t K = 0; K < Events.size(); ++K)
+    Out.push_back(&Events[(EventHead + K) % Events.size()]);
+  return Out;
 }
 
 namespace {
@@ -147,9 +224,12 @@ std::string jsonEscape(const std::string &S) {
 
 void spanToJson(const TelemetrySpan &Span, std::string &Out) {
   Out += format("{\"name\":\"%s\",\"seconds\":%.9f,\"count\":%lld,"
-                "\"children\":[",
+                "\"dist\":{\"min\":%.9f,\"p50\":%.9f,\"p95\":%.9f,"
+                "\"max\":%.9f},\"children\":[",
                 jsonEscape(Span.Name).c_str(), Span.Seconds,
-                static_cast<long long>(Span.Count));
+                static_cast<long long>(Span.Count), Span.MinSeconds,
+                Span.quantileSeconds(0.50), Span.quantileSeconds(0.95),
+                Span.MaxSeconds);
   for (size_t K = 0; K < Span.Children.size(); ++K) {
     if (K != 0)
       Out += ",";
@@ -183,6 +263,76 @@ std::string Telemetry::toJson() const {
     if (K != 0)
       Out += ",";
     spanToJson(*Root.Children[K], Out);
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string Telemetry::toChromeTrace() const {
+  // The Chrome trace-event "JSON object format". Every event carries
+  // pid 1 (one process: the toolchain) and tid = its track, so per-node
+  // events land on per-node rows in Perfetto / chrome://tracing.
+  std::string Out = format("{\"displayTimeUnit\":\"ms\","
+                           "\"otherData\":{\"producer\":\"ucc\","
+                           "\"dropped_events\":%llu},\"traceEvents\":[",
+                           static_cast<unsigned long long>(EventsDropped));
+  bool First = true;
+  auto append = [&](const std::string &Event) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += Event;
+  };
+  // Thread-name metadata: one row label per distinct track.
+  std::vector<int32_t> Tracks;
+  for (const TelemetryEvent *E : eventsInOrder())
+    if (std::find(Tracks.begin(), Tracks.end(), E->Track) == Tracks.end())
+      Tracks.push_back(E->Track);
+  std::sort(Tracks.begin(), Tracks.end());
+  append("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+         "\"args\":{\"name\":\"ucc\"}}");
+  for (int32_t Track : Tracks) {
+    std::string Label =
+        Track == 0 ? std::string("pipeline") : format("node %d", Track);
+    append(format("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                  Track, Label.c_str()));
+  }
+  for (const TelemetryEvent *E : eventsInOrder()) {
+    char Ph = 'i';
+    switch (E->Ph) {
+    case TelemetryEvent::Phase::Instant:
+      Ph = 'i';
+      break;
+    case TelemetryEvent::Phase::Begin:
+      Ph = 'B';
+      break;
+    case TelemetryEvent::Phase::End:
+      Ph = 'E';
+      break;
+    case TelemetryEvent::Phase::Counter:
+      Ph = 'C';
+      break;
+    }
+    std::string Ev = format(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,"
+        "\"pid\":1,\"tid\":%d",
+        jsonEscape(E->Name).c_str(), jsonEscape(E->Category).c_str(), Ph,
+        E->TsMicros, E->Track);
+    if (E->Ph == TelemetryEvent::Phase::Instant)
+      Ev += ",\"s\":\"t\""; // thread-scoped instant marker
+    if (!E->Args.empty() || E->Ph == TelemetryEvent::Phase::Counter) {
+      Ev += ",\"args\":{";
+      for (size_t K = 0; K < E->Args.size(); ++K) {
+        if (K != 0)
+          Ev += ",";
+        Ev += format("\"%s\":%.9g", jsonEscape(E->Args[K].first).c_str(),
+                     E->Args[K].second);
+      }
+      Ev += "}";
+    }
+    Ev += "}";
+    append(Ev);
   }
   Out += "]}";
   return Out;

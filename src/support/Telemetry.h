@@ -6,12 +6,22 @@
 ///
 /// \file
 /// The measurement substrate of the library: one registry of named
-/// counters, gauges and hierarchical timed spans that every subsystem
-/// reports into, replacing the scattered ad-hoc statistics structs as the
-/// single export path. The paper's whole argument is quantitative (edit
-/// script bytes vs. ILP solve cost vs. energy, Figs. 9-16), so every phase
-/// of the pipeline can account for itself here and one JSON document
-/// captures a full sink-to-sensor flow.
+/// counters, gauges, hierarchical timed spans and (opt-in) structured
+/// trace events that every subsystem reports into, replacing the
+/// scattered ad-hoc statistics structs as the single export path. The
+/// paper's whole argument is quantitative (edit script bytes vs. ILP
+/// solve cost vs. energy, Figs. 9-16), so every phase of the pipeline can
+/// account for itself here and one JSON document captures a full
+/// sink-to-sensor flow.
+///
+/// Two granularities, two exports:
+///  - the *aggregate* view (counters/gauges/spans, `toJson()`) answers
+///    "what did this run cost in total";
+///  - the *event* view (`enableEvents()` + `toChromeTrace()`) answers
+///    "what happened when, on which node" — per-node packet events and
+///    energy timelines from the network/simulator, loadable in Perfetto.
+/// Events live in a bounded ring buffer and cost nothing unless a
+/// consumer enabled them.
 ///
 /// The registry is *ambient*: instrumentation sites call the free helpers
 /// (`telemetryCount`, `telemetryGauge`, `ScopedSpan`) which resolve the
@@ -55,14 +65,50 @@ namespace ucc {
 /// One node of the span tree: an accumulated wall-clock phase. Entering
 /// the same name again under the same parent adds to Seconds/Count rather
 /// than growing the tree, so per-function loops aggregate naturally.
+///
+/// Beyond the running total, every entry's individual duration feeds a
+/// distribution: exact min/max plus a bounded sample set (the first
+/// MaxDurationSamples entries) from which p50/p95 are estimated. Repeated
+/// phases — per-function RA, per-round dissemination — therefore report
+/// how their cost is distributed, not just how it sums.
 struct TelemetrySpan {
   std::string Name;
   double Seconds = 0.0; ///< total wall time across all entries
   int64_t Count = 0;    ///< times the span was entered
   std::vector<std::unique_ptr<TelemetrySpan>> Children;
 
+  double MinSeconds = 0.0; ///< fastest single entry (exact)
+  double MaxSeconds = 0.0; ///< slowest single entry (exact)
+  /// Per-entry durations, capped at MaxDurationSamples (first entries
+  /// win — deterministic, no RNG in the measurement substrate).
+  std::vector<double> DurationSamples;
+  static constexpr size_t MaxDurationSamples = 512;
+
+  /// Duration quantile \p Q in [0,1] estimated from the samples
+  /// (0 when the span never closed).
+  double quantileSeconds(double Q) const;
+
   /// Child with \p Name, or null.
   const TelemetrySpan *find(const std::string &ChildName) const;
+};
+
+/// One entry of the bounded event trace: a timestamped point (or
+/// begin/end/counter-sample) on a per-node track. Phase mirrors the
+/// Chrome trace-event `ph` field so the export is a direct mapping.
+struct TelemetryEvent {
+  enum class Phase : uint8_t {
+    Instant, ///< a point in time (`ph:"i"`)
+    Begin,   ///< opens a duration (`ph:"B"`)
+    End,     ///< closes the innermost open duration (`ph:"E"`)
+    Counter  ///< a sampled value on a counter track (`ph:"C"`)
+  };
+  Phase Ph = Phase::Instant;
+  double TsMicros = 0.0; ///< microseconds since the registry's trace epoch
+  int32_t Track = 0;     ///< Chrome `tid`: 0 = the pipeline, N = node N
+  std::string Category;  ///< subsystem prefix (`net`, `sim`, `span`, ...)
+  std::string Name;
+  /// Numeric payload, rendered as the Chrome `args` object.
+  std::vector<std::pair<std::string, double>> Args;
 };
 
 /// The registry. Not thread-safe by design: the compilation pipeline is
@@ -98,6 +144,43 @@ public:
   /// Closes the innermost open span, folding its wall time into the tree.
   void endSpan();
 
+  /// \name Event trace
+  /// The structured event layer (docs/OBSERVABILITY.md): a ring buffer of
+  /// timestamped events that subsystems append to only when a consumer
+  /// asked for them. Disabled by default so the counter/span-only paths
+  /// pay nothing; when enabled, beginSpan/endSpan additionally record
+  /// Begin/End events so phase durations appear on the trace timeline.
+  /// @{
+
+  /// Turns event recording on with a ring buffer of \p Capacity events.
+  /// Once the buffer is full the oldest events are overwritten and
+  /// eventsDropped() counts the loss.
+  void enableEvents(size_t Capacity = DefaultEventCapacity);
+
+  /// True when events are being recorded.
+  bool eventsEnabled() const { return EventsOn; }
+
+  /// Appends one event (no-op unless eventsEnabled()); the timestamp is
+  /// taken here, so events are monotone in buffer order.
+  void recordEvent(TelemetryEvent::Phase Ph, const std::string &Category,
+                   const std::string &Name, int32_t Track = 0,
+                   std::vector<std::pair<std::string, double>> Args = {});
+
+  /// The retained events, oldest first.
+  std::vector<const TelemetryEvent *> eventsInOrder() const;
+
+  /// Events lost to ring-buffer wraparound.
+  uint64_t eventsDropped() const { return EventsDropped; }
+
+  /// Serializes the retained events as a Chrome trace-event JSON document
+  /// (the "JSON object format": {"traceEvents":[...],...}), loadable in
+  /// Perfetto / chrome://tracing. Includes thread-name metadata so tracks
+  /// read as "node N".
+  std::string toChromeTrace() const;
+
+  static constexpr size_t DefaultEventCapacity = 1 << 16;
+  /// @}
+
   int64_t counter(const std::string &Name) const;
   double gauge(const std::string &Name) const;
   const std::map<std::string, int64_t> &counters() const { return Counters; }
@@ -110,16 +193,29 @@ public:
   /// {"version":1,"counters":{...},"gauges":{...},"spans":[...]}.
   std::string toJson() const;
 
-  /// Drops every counter, gauge and span (open spans included).
+  /// Drops every counter, gauge, span (open spans included) and event,
+  /// returning the registry to its just-constructed state (event
+  /// recording off, trace epoch reset).
   void clear();
 
 private:
+  double microsSinceEpoch() const;
+
   std::map<std::string, int64_t> Counters;
   std::map<std::string, double> Gauges;
   TelemetrySpan Root;
   /// Innermost-last stack of open spans with their entry timestamps.
   std::vector<std::pair<TelemetrySpan *, std::chrono::steady_clock::time_point>>
       Open;
+
+  /// Event ring buffer: Events grows to EventCapacity, then EventHead
+  /// marks the oldest slot and new events overwrite in rotation.
+  std::vector<TelemetryEvent> Events;
+  size_t EventCapacity = 0;
+  size_t EventHead = 0;
+  uint64_t EventsDropped = 0;
+  bool EventsOn = false;
+  std::chrono::steady_clock::time_point TraceEpoch;
 };
 
 /// The thread-current registry, or null when telemetry is off.
@@ -170,6 +266,28 @@ inline void telemetryBeginSpan(const char *Name) {
 inline void telemetryEndSpan() {
   if (Telemetry *T = currentTelemetry())
     T->endSpan();
+}
+
+/// The registry to record events into, or null when nobody is listening.
+/// Emission sites with non-trivial argument lists hoist this check so
+/// that, with no scope installed, the whole site stays the single
+/// pointer-load-and-branch no-op:
+/// \code
+///   if (Telemetry *T = eventTelemetry())
+///     T->recordEvent(TelemetryEvent::Phase::Instant, "net", "packet.tx",
+///                    Node, {{"round", Round}});
+/// \endcode
+inline Telemetry *eventTelemetry() {
+  Telemetry *T = currentTelemetry();
+  return T && T->eventsEnabled() ? T : nullptr;
+}
+
+/// Records an argument-free instant event; no-op without an event-enabled
+/// registry.
+inline void telemetryInstant(const char *Category, const char *Name,
+                             int32_t Track = 0) {
+  if (Telemetry *T = eventTelemetry())
+    T->recordEvent(TelemetryEvent::Phase::Instant, Category, Name, Track);
 }
 
 /// RAII timed span on the current registry. Constructed with no registry

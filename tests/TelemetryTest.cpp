@@ -167,6 +167,56 @@ TEST(Telemetry, JsonRoundTrip) {
   EXPECT_EQ(Spans->Arr[1]->get("name")->Str, "diff");
 }
 
+TEST(Telemetry, SpanDurationDistribution) {
+  Telemetry T;
+  // Five entries of one span name under the root.
+  for (int K = 0; K < 5; ++K) {
+    T.beginSpan("ra");
+    T.endSpan();
+  }
+  const TelemetrySpan *Ra = T.spans().find("ra");
+  ASSERT_NE(Ra, nullptr);
+  EXPECT_EQ(Ra->Count, 5);
+  EXPECT_EQ(Ra->DurationSamples.size(), 5u);
+  EXPECT_GE(Ra->MinSeconds, 0.0);
+  EXPECT_GE(Ra->MaxSeconds, Ra->MinSeconds);
+  double P50 = Ra->quantileSeconds(0.5);
+  double P95 = Ra->quantileSeconds(0.95);
+  EXPECT_GE(P50, Ra->MinSeconds);
+  EXPECT_GE(P95, P50);
+  EXPECT_LE(P95, Ra->MaxSeconds);
+}
+
+TEST(Telemetry, SpanDistributionSerializedInJson) {
+  Telemetry T;
+  T.beginSpan("diff");
+  T.endSpan();
+  auto Doc = testjson::parse(T.toJson());
+  ASSERT_TRUE(Doc.has_value()) << T.toJson();
+  const testjson::Value *Spans = Doc->get("spans");
+  ASSERT_NE(Spans, nullptr);
+  ASSERT_EQ(Spans->Arr.size(), 1u);
+  const testjson::Value *Dist = Spans->Arr[0]->get("dist");
+  ASSERT_NE(Dist, nullptr) << "span JSON should carry the duration "
+                              "distribution";
+  for (const char *Key : {"min", "p50", "p95", "max"})
+    ASSERT_NE(Dist->get(Key), nullptr) << Key;
+  EXPECT_LE(Dist->get("min")->Num, Dist->get("max")->Num);
+}
+
+TEST(Telemetry, DurationSamplesAreCapped) {
+  Telemetry T;
+  for (size_t K = 0; K < TelemetrySpan::MaxDurationSamples + 40; ++K) {
+    T.beginSpan("hot");
+    T.endSpan();
+  }
+  const TelemetrySpan *Hot = T.spans().find("hot");
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_EQ(Hot->DurationSamples.size(), TelemetrySpan::MaxDurationSamples);
+  EXPECT_EQ(Hot->Count,
+            static_cast<int64_t>(TelemetrySpan::MaxDurationSamples + 40));
+}
+
 TEST(Telemetry, JsonEscapesAwkwardNames) {
   Telemetry T;
   T.addCounter("weird\"name\\with\nstuff", 1);

@@ -18,7 +18,9 @@
 ///   uccc diff     old.img new.img
 ///
 /// Every command additionally accepts `--trace-json <file>` (write the
-/// telemetry registry as JSON, schema in docs/OBSERVABILITY.md) and
+/// telemetry registry as JSON, schema in docs/OBSERVABILITY.md),
+/// `--trace-events <file>` (write a Chrome trace-event JSON file of the
+/// structured event timeline — load it in Perfetto / chrome://tracing) and
 /// `--stats` (print a human-readable telemetry summary after the command).
 ///
 //===----------------------------------------------------------------------===//
@@ -60,6 +62,7 @@ namespace {
       "  uccc diff    <old-img> <new-img>\n"
       "global flags (any command):\n"
       "  --trace-json <file>   write the telemetry trace as JSON\n"
+      "  --trace-events <file> write a Chrome trace-event JSON timeline\n"
       "  --stats               print a telemetry summary to stdout\n");
   std::exit(2);
 }
@@ -150,6 +153,7 @@ private:
                                       "--spacet",    "--k",
                                       "--steps",     "--sensor",
                                       "--strategy",  "--trace-json",
+                                      "--trace-events",
                                       "--ilp-max-binaries"};
     for (const char *F : WithValue)
       if (std::strcmp(Flag, F) == 0)
@@ -419,9 +423,10 @@ int main(int Argc, char **Argv) {
   Args A(Argc - 2, Argv + 2);
 
   std::string TracePath = A.option("--trace-json");
+  std::string EventsPath = A.option("--trace-events");
   bool WantStats = A.flag("--stats");
 
-  if (TracePath.empty() && !WantStats)
+  if (TracePath.empty() && EventsPath.empty() && !WantStats)
     return dispatch(Cmd, A);
 
   // Telemetry session around the whole command. The standard counters are
@@ -429,6 +434,8 @@ int main(int Argc, char **Argv) {
   // when their code path never ran (e.g. lp.* under the greedy strategy).
   Telemetry T;
   T.declareStandardCounters();
+  if (!EventsPath.empty())
+    T.enableEvents();
   int Rc;
   {
     TelemetryScope Scope(T);
@@ -439,6 +446,12 @@ int main(int Argc, char **Argv) {
     if (!Out)
       die("cannot write '" + TracePath + "'");
     Out << T.toJson() << "\n";
+  }
+  if (!EventsPath.empty()) {
+    std::ofstream Out(EventsPath, std::ios::trunc);
+    if (!Out)
+      die("cannot write '" + EventsPath + "'");
+    Out << T.toChromeTrace() << "\n";
   }
   if (WantStats)
     printStats(T);
