@@ -22,6 +22,7 @@
 #include "sim/Simulator.h"
 #include "support/Json.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
@@ -46,6 +47,9 @@ namespace uccbench {
 ///   --trace-events <file>  Chrome trace-event JSON    (UCC_TRACE_EVENTS)
 ///   --report-json <file>   headline metric report     (UCC_REPORT_JSON)
 ///   --quick                reduced profile for CI     (UCC_BENCH_QUICK=1)
+///   --jobs <n>             worker threads for the sweep (UCC_JOBS;
+///                          default hardware concurrency — deterministic
+///                          metrics are identical for every value)
 ///
 /// The report document is schema-versioned and is the unit `ucc-report`
 /// aggregates (docs/OBSERVABILITY.md):
@@ -67,6 +71,9 @@ public:
         optionOrEnv(Argc, Argv, "--report-json", "UCC_REPORT_JSON");
     Quick = hasFlag(Argc, Argv, "--quick") ||
             std::getenv("UCC_BENCH_QUICK") != nullptr;
+    std::string JobsArg = optionOrEnv(Argc, Argv, "--jobs", "UCC_JOBS");
+    if (!JobsArg.empty() && std::atoi(JobsArg.c_str()) > 0)
+      ucc::ThreadPool::setDefaultJobs(std::atoi(JobsArg.c_str()));
     if (!TracePath.empty() || !EventsPath.empty()) {
       T.declareStandardCounters();
       if (!EventsPath.empty())
@@ -109,6 +116,10 @@ public:
   /// True under the reduced `--quick` profile (CI uses it to keep the
   /// regression gate fast; the slow benches shrink their sweeps).
   bool quick() const { return Quick; }
+
+  /// Worker threads for this bench's sweep (`--jobs` / UCC_JOBS /
+  /// hardware concurrency). Feed to ucc::parallelFor.
+  int jobs() const { return ucc::ThreadPool::defaultJobs(); }
 
   BenchHarness(const BenchHarness &) = delete;
   BenchHarness &operator=(const BenchHarness &) = delete;

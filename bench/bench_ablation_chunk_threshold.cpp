@@ -27,18 +27,32 @@ int main(int Argc, char **Argv) {
     std::printf("   K=%-3d", K);
   std::printf("\n");
 
-  std::map<int, int64_t> TotalByK;
-  for (const UpdateCase &Case : updateCases()) {
-    if (Case.Id > 12)
-      continue;
-    std::printf("%4d |", Case.Id);
+  // Each case's K sweep is independent: run the cases concurrently under
+  // --jobs, then print and total in case order.
+  std::vector<const UpdateCase *> Cases;
+  for (const UpdateCase &Case : updateCases())
+    if (Case.Id <= 12)
+      Cases.push_back(&Case);
+  constexpr size_t NumKs = sizeof(Ks) / sizeof(Ks[0]);
+  std::vector<int> Grid(Cases.size() * NumKs, 0);
+  parallelFor(static_cast<int>(Cases.size()), Bench.jobs(), [&](int I) {
+    const UpdateCase &Case = *Cases[static_cast<size_t>(I)];
     CompileOutput V1 = compileOrDie(Case.OldSource, baselineOptions());
-    for (int K : Ks) {
+    for (size_t J = 0; J < NumKs; ++J) {
       CompileOptions Opts = uccOptions();
-      Opts.Ucc.ChunkK = K;
+      Opts.Ucc.ChunkK = Ks[J];
       CompileOutput V2 = recompileOrDie(Case.NewSource, V1.Record, Opts);
-      int Diff = diffImages(V1.Image, V2.Image).totalDiffInst();
-      TotalByK[K] += Diff;
+      Grid[static_cast<size_t>(I) * NumKs + J] =
+          diffImages(V1.Image, V2.Image).totalDiffInst();
+    }
+  });
+
+  std::map<int, int64_t> TotalByK;
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    std::printf("%4d |", Cases[I]->Id);
+    for (size_t J = 0; J < NumKs; ++J) {
+      int Diff = Grid[I * NumKs + J];
+      TotalByK[Ks[J]] += Diff;
       std::printf("  %6d", Diff);
     }
     std::printf("\n");

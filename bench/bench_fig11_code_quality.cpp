@@ -27,20 +27,34 @@ int main(int Argc, char **Argv) {
       Rows.push_back(&Case);
   Rows.push_back(&liveRangeExtensionCase()); // the Cnt-sensitive case
 
-  int64_t TotalDcBase = 0, TotalDcUcc = 0;
-  int TotalMovs = 0;
-  double MaxSlowdown = 0.0;
-  for (const UpdateCase *CasePtr : Rows) {
-    const UpdateCase &Case = *CasePtr;
-    CaseResult R = evaluateCase(Case);
+  // The cases are independent compile+simulate pipelines: evaluate them
+  // concurrently under --jobs, then print/reduce in case order.
+  struct Eval {
+    CaseResult R;
+    double Slowdown = 0.0;
+  };
+  std::vector<Eval> Evals(Rows.size());
+  parallelFor(static_cast<int>(Rows.size()), Bench.jobs(), [&](int I) {
+    const UpdateCase &Case = *Rows[static_cast<size_t>(I)];
+    Eval &E = Evals[static_cast<size_t>(I)];
+    E.R = evaluateCase(Case);
     // Slowdown of UCC-RA's update relative to the baseline's update, as a
     // fraction of one whole run.
     CompileOutput New = compileOrDie(Case.NewSource, baselineOptions());
     uint64_t RunCycles = cyclesFor(New.Image);
-    double Slowdown =
+    E.Slowdown =
         100.0 *
-        static_cast<double>(R.DiffCycleUcc - R.DiffCycleBaseline) /
+        static_cast<double>(E.R.DiffCycleUcc - E.R.DiffCycleBaseline) /
         static_cast<double>(RunCycles);
+  });
+
+  int64_t TotalDcBase = 0, TotalDcUcc = 0;
+  int TotalMovs = 0;
+  double MaxSlowdown = 0.0;
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const UpdateCase &Case = *Rows[I];
+    const CaseResult &R = Evals[I].R;
+    double Slowdown = Evals[I].Slowdown;
     std::printf("%4d  %-42.42s  %10lld  %10lld  %6d  %11.4f%%\n", Case.Id,
                 Case.Description.c_str(),
                 static_cast<long long>(R.DiffCycleBaseline),

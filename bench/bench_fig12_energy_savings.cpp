@@ -38,32 +38,46 @@ int main(int Argc, char **Argv) {
     std::printf("  Cnt=1e%.0f", std::log10(Cnt));
   std::printf("\n");
 
+  // Every (case, Cnt) cell is an independent pair of compilations: sweep
+  // the whole grid concurrently under --jobs, then print in row order.
+  std::vector<const UpdateCase *> RowCases;
+  std::vector<std::string> RowLabels;
+  for (int Id : CaseIds) {
+    RowCases.push_back(&updateCases()[static_cast<size_t>(Id - 1)]);
+    char Label[16];
+    std::snprintf(Label, sizeof(Label), "%d", Id);
+    RowLabels.push_back(Label);
+  }
+  // The Fig. 4 scenario: the one case whose UCC decision depends on Cnt
+  // (mov inserted while cold, withdrawn when hot).
+  RowCases.push_back(&liveRangeExtensionCase());
+  RowLabels.push_back("F4");
+
+  size_t NumCnts = Cnts.size();
+  std::vector<double> Grid(RowCases.size() * NumCnts, 0.0);
+  parallelFor(static_cast<int>(Grid.size()), Bench.jobs(), [&](int I) {
+    size_t RowIdx = static_cast<size_t>(I) / NumCnts;
+    double Cnt = Cnts[static_cast<size_t>(I) % NumCnts];
+    CaseResult R = evaluateCase(*RowCases[RowIdx], Cnt);
+    Grid[static_cast<size_t>(I)] = Model.energySavings(
+        R.DiffInstBaseline, static_cast<double>(R.DiffCycleBaseline),
+        R.DiffInstUcc, static_cast<double>(R.DiffCycleUcc), Cnt);
+  });
+
   double SavingsLowCnt = 0.0, SavingsHighCnt = 0.0, MinSavings = 0.0;
-  auto printRow = [&](const char *Label, const UpdateCase &Case) {
-    std::printf("%4s |", Label);
-    for (double Cnt : Cnts) {
-      CaseResult R = evaluateCase(Case, Cnt);
-      double Savings = Model.energySavings(
-          R.DiffInstBaseline, static_cast<double>(R.DiffCycleBaseline),
-          R.DiffInstUcc, static_cast<double>(R.DiffCycleUcc), Cnt);
+  for (size_t RowIdx = 0; RowIdx < RowCases.size(); ++RowIdx) {
+    std::printf("%4s |", RowLabels[RowIdx].c_str());
+    for (size_t K = 0; K < NumCnts; ++K) {
+      double Savings = Grid[RowIdx * NumCnts + K];
       std::printf("  %8.2e", Savings);
-      if (Cnt == Cnts.front())
+      if (K == 0)
         SavingsLowCnt += Savings;
-      if (Cnt == Cnts.back())
+      if (K + 1 == NumCnts)
         SavingsHighCnt += Savings;
       MinSavings = std::min(MinSavings, Savings);
     }
     std::printf("\n");
-  };
-
-  char Label[16];
-  for (int Id : CaseIds) {
-    std::snprintf(Label, sizeof(Label), "%d", Id);
-    printRow(Label, updateCases()[static_cast<size_t>(Id - 1)]);
   }
-  // The Fig. 4 scenario: the one case whose UCC decision depends on Cnt
-  // (mov inserted while cold, withdrawn when hot).
-  printRow("F4", liveRangeExtensionCase());
 
   Bench.metric("savings_j_low_cnt_total", SavingsLowCnt);
   Bench.metric("savings_j_high_cnt_total", SavingsHighCnt);

@@ -52,14 +52,35 @@ int main(int Argc, char **Argv) {
     Configs = {{6, 3}, {8, 4}, {10, 4}};
     Seeds = 1;
   }
-  int64_t SumHinted = 0, SumUnhinted = 0, SumNone = 0, SumBad = 0;
-  for (const Config &C : Configs) {
+  // Every (config, seed, mode) cell is an independent window: solve the
+  // whole grid concurrently under --jobs, then reduce in config order so
+  // the table and the metrics are identical for every job count.
+  struct Cell {
     int64_t Hinted = 0, Unhinted = 0, None = 0, Bad = 0;
-    for (uint64_t Seed = 1; Seed <= static_cast<uint64_t>(Seeds); ++Seed) {
-      Hinted += pivotsFor(C.Stmts, C.Vars, 4, TagMode::Good, Seed, true);
-      Unhinted += pivotsFor(C.Stmts, C.Vars, 4, TagMode::Good, Seed, false);
-      None += pivotsFor(C.Stmts, C.Vars, 4, TagMode::None, Seed, true);
-      Bad += pivotsFor(C.Stmts, C.Vars, 4, TagMode::Misleading, Seed, true);
+  };
+  std::vector<Cell> Cells(Configs.size() * static_cast<size_t>(Seeds));
+  parallelFor(static_cast<int>(Cells.size()), Bench.jobs(), [&](int I) {
+    const Config &C = Configs[static_cast<size_t>(I) /
+                              static_cast<size_t>(Seeds)];
+    uint64_t Seed = static_cast<uint64_t>(I % Seeds) + 1;
+    Cell &Out = Cells[static_cast<size_t>(I)];
+    Out.Hinted = pivotsFor(C.Stmts, C.Vars, 4, TagMode::Good, Seed, true);
+    Out.Unhinted = pivotsFor(C.Stmts, C.Vars, 4, TagMode::Good, Seed, false);
+    Out.None = pivotsFor(C.Stmts, C.Vars, 4, TagMode::None, Seed, true);
+    Out.Bad = pivotsFor(C.Stmts, C.Vars, 4, TagMode::Misleading, Seed, true);
+  });
+
+  int64_t SumHinted = 0, SumUnhinted = 0, SumNone = 0, SumBad = 0;
+  for (size_t K = 0; K < Configs.size(); ++K) {
+    const Config &C = Configs[K];
+    int64_t Hinted = 0, Unhinted = 0, None = 0, Bad = 0;
+    for (int Seed = 0; Seed < Seeds; ++Seed) {
+      const Cell &Out = Cells[K * static_cast<size_t>(Seeds) +
+                              static_cast<size_t>(Seed)];
+      Hinted += Out.Hinted;
+      Unhinted += Out.Unhinted;
+      None += Out.None;
+      Bad += Out.Bad;
     }
     std::printf("%8d  %6d  %10d  | %12lld  %12lld  %12lld  %12lld\n",
                 C.Stmts, C.Vars, C.Stmts * C.Vars,

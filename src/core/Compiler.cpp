@@ -22,6 +22,7 @@
 #include "regalloc/LinearScan.h"
 #include "regalloc/Validator.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -98,9 +99,17 @@ CompileOutput backHalf(Module M, const CompileOptions &Opts,
   bool UseUcc = Opts.RA == RegAllocKind::UpdateConscious &&
                 OldRecord != nullptr;
 
+  // The per-function UCC-RA problems are independent (the only shared
+  // mutable state, the window memo cache, is internally synchronized), so
+  // they fan out over the thread pool. Each item runs under its own
+  // telemetry registry, merged back in function order, and every
+  // function's allocation depends only on its own inputs — the output is
+  // bit-identical for every Jobs value.
   telemetryBeginSpan("ra");
-  for (size_t F = 0; F < Out.MachineCode.Functions.size(); ++F) {
-    MachineFunction &MF = Out.MachineCode.Functions[F];
+  int NumFns = static_cast<int>(Out.MachineCode.Functions.size());
+  Out.RegAllocStats.resize(static_cast<size_t>(NumFns));
+  parallelFor(NumFns, Opts.Jobs, [&](int F) {
+    MachineFunction &MF = Out.MachineCode.Functions[static_cast<size_t>(F)];
     auto RaStart = std::chrono::steady_clock::now();
     if (UseUcc) {
       UccContext Ctx;
@@ -125,12 +134,15 @@ CompileOutput backHalf(Module M, const CompileOptions &Opts,
       if (Profiled != Opts.ProfiledFreq.end())
         Freq = Profiled->second;
       else
-        Freq = statementFrequencies(M.Functions[F]);
-      Freq.resize(static_cast<size_t>(M.Functions[F].instrCount()), 1.0);
-      Out.RegAllocStats.push_back(allocateUcc(MF, Ctx, UccOpts, Freq));
+        Freq = statementFrequencies(M.Functions[static_cast<size_t>(F)]);
+      Freq.resize(
+          static_cast<size_t>(M.Functions[static_cast<size_t>(F)].instrCount()),
+          1.0);
+      Out.RegAllocStats[static_cast<size_t>(F)] =
+          allocateUcc(MF, Ctx, UccOpts, Freq);
     } else {
       allocateLinearScan(MF);
-      Out.RegAllocStats.push_back(UccAllocStats{});
+      Out.RegAllocStats[static_cast<size_t>(F)] = UccAllocStats{};
     }
     assert(validateAllocation(MF).empty() &&
            "register allocation failed validation");
@@ -140,7 +152,7 @@ CompileOutput backHalf(Module M, const CompileOptions &Opts,
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         RaStart)
               .count());
-  }
+  });
   telemetryEndSpan(); // ra
 
   // Data layout.

@@ -62,6 +62,11 @@ struct CompileOptions {
   /// static loop-depth estimate. Build one with
   /// profiledStatementFrequencies().
   std::map<std::string, std::vector<double>> ProfiledFreq;
+  /// Worker threads for the per-function register-allocation loop
+  /// (independent UCC-RA problems). 0 = ThreadPool::defaultJobs()
+  /// (`--jobs` / UCC_JOBS / hardware concurrency); 1 = serial. Results
+  /// are bit-identical for every value (docs/PERFORMANCE.md).
+  int Jobs = 0;
 };
 
 /// Everything a compilation produces.

@@ -6,12 +6,25 @@
 ///
 /// \file
 /// The solver substrate behind UCC-RA (the paper uses LP_solve [2]): a
-/// dense two-phase primal simplex with bounded variables, and a
-/// branch-and-bound 0/1 ILP solver on top of it. Simplex pivots are counted
-/// so that Figs. 13-15 (constraints / iterations / time-per-iteration as
-/// functions of problem size) can be measured, and the ILP accepts an
-/// integral *hint* solution — how the preferred-register tags speed up the
-/// solver in section 5.6.
+/// two-phase primal simplex with bounded variables, and a branch-and-bound
+/// 0/1 ILP solver on top of it. Simplex pivots are counted so that
+/// Figs. 13-15 (constraints / iterations / time-per-iteration as functions
+/// of problem size) can be measured, and the ILP accepts an integral
+/// *hint* solution — how the preferred-register tags speed up the solver
+/// in section 5.6.
+///
+/// Two engines live behind this interface (docs/PERFORMANCE.md):
+///  - the *sparse revised* engine (lp/Simplex.cpp) — sparse-column
+///    storage, an eta-file basis representation with deterministic
+///    reinversion, steepest-edge-lite pricing, and a warm-start entry
+///    (`SparseSimplex::solveWarm`) that repairs a parent basis with dual
+///    simplex after branching changes a bound. `solveLP`/`solveILP`
+///    (best-first branch-and-bound with pseudo-cost branching and a
+///    greedy rounding incumbent) run on it;
+///  - the *dense reference* engine (lp/DenseSimplex.cpp) — the original
+///    dense-tableau simplex and depth-first branch-and-bound, kept
+///    byte-for-byte as the equivalence oracle
+///    (`solveLPDense`/`solveILPDfs`, tests/SolverEquivalenceTest.cpp).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,6 +33,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 namespace ucc {
@@ -74,17 +88,71 @@ enum class SolveStatus {
   Limit       ///< limit hit before any feasible point
 };
 
+/// A simplex basis snapshot: which column occupies each row plus the
+/// bound each nonbasic column rests at. Captured by the sparse engine on
+/// every completed solve and fed back to `SparseSimplex::solveWarm` so a
+/// branch-and-bound child re-solves from its parent's basis instead of
+/// from scratch. Column indexing is engine-internal (structural, then
+/// slack, then artificial per row); a basis is only meaningful for the
+/// problem (same constraints, any bounds) that produced it.
+struct SimplexBasis {
+  std::vector<int32_t> Basic;   ///< per row: the basic column
+  std::vector<uint8_t> AtUpper; ///< per column: nonbasic at upper bound?
+  bool valid() const { return !Basic.empty(); }
+};
+
 /// LP (relaxation) result.
 struct LPResult {
   SolveStatus Status = SolveStatus::Infeasible;
   std::vector<double> X;
   double Objective = 0.0;
   int64_t Pivots = 0; ///< simplex iterations performed
+  /// Final basis (sparse engine only; empty from the dense reference).
+  SimplexBasis Basis;
 };
 
-/// Solves \p P with the two-phase bounded-variable simplex.
+/// Solves \p P with the two-phase bounded-variable simplex (the sparse
+/// revised engine).
 LPResult solveLP(const LPProblem &P,
                  int64_t MaxPivots = 2'000'000);
+
+/// The seed dense-tableau simplex, kept unchanged as the reference
+/// implementation for the randomized equivalence harness and as the
+/// backend of solveBinaryByEnumeration.
+LPResult solveLPDense(const LPProblem &P,
+                      int64_t MaxPivots = 2'000'000);
+
+/// The sparse revised simplex as a stateful engine: build once per
+/// problem, then solve repeatedly under changing variable bounds —
+/// exactly the branch-and-bound access pattern. Bound edits via
+/// setVarBounds are cheap (no matrix rebuild); solveWarm re-solves from
+/// a previously captured basis, repairing primal infeasibility
+/// introduced by bound changes with bounded-variable dual simplex and
+/// falling back to a cold solve when the basis cannot be reused.
+class SparseSimplex {
+public:
+  explicit SparseSimplex(const LPProblem &P);
+  ~SparseSimplex();
+  SparseSimplex(SparseSimplex &&) noexcept;
+  SparseSimplex &operator=(SparseSimplex &&) noexcept;
+
+  /// Overrides the bounds of structural variable \p Var for subsequent
+  /// solves (branching fixes a 0/1 variable by setting Lo == Hi).
+  void setVarBounds(int Var, double Lo, double Hi);
+
+  /// Cold solve: two-phase primal from the slack/artificial basis.
+  LPResult solve(int64_t MaxPivots = 2'000'000);
+
+  /// Warm solve from \p Warm (captured by a previous solve of this
+  /// problem at any bounds). Counts its dual-repair and primal pivots
+  /// into LPResult::Pivots like a cold solve.
+  LPResult solveWarm(const SimplexBasis &Warm,
+                     int64_t MaxPivots = 2'000'000);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
 
 /// Branch-and-bound options.
 struct ILPOptions {
@@ -103,11 +171,23 @@ struct ILPResult {
   double Objective = 0.0;
   int64_t Pivots = 0; ///< total simplex iterations across all nodes
   int Nodes = 0;      ///< branch-and-bound nodes explored
+  /// True when the wall-clock limit cut the search short (the time limit
+  /// is checked between the LP re-solves inside a node, not just at node
+  /// entry). Also surfaced as the `lp.ilp_timeouts` counter.
+  bool TimedOut = false;
 };
 
-/// Solves \p P with the variables in \p IntVars restricted to integers.
+/// Solves \p P with the variables in \p IntVars restricted to integers:
+/// best-first branch-and-bound on the sparse engine, with warm-started
+/// child re-solves, pseudo-cost branching, a greedy rounding incumbent,
+/// and optional incumbent seeding from Opts.Hint.
 ILPResult solveILP(const LPProblem &P, const std::vector<int> &IntVars,
                    const ILPOptions &Opts = {});
+
+/// The seed depth-first branch-and-bound on the dense reference simplex,
+/// kept unchanged as the equivalence oracle.
+ILPResult solveILPDfs(const LPProblem &P, const std::vector<int> &IntVars,
+                      const ILPOptions &Opts = {});
 
 /// Checks that \p X satisfies every constraint and bound of \p P within
 /// \p Tol (test and validation helper).

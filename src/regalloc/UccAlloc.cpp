@@ -273,7 +273,9 @@ bool tryIlpSingleBlock(MachineFunction &MF, const std::vector<Flat> &NewLin,
 
   ILPOptions IO;
   IO.TimeLimitSec = Opts.IlpTimeLimitSec;
-  WindowSolution Sol = solveWindow(Spec, IO, /*UsePrefHint=*/true);
+  WindowSolution Sol = Opts.EnableWindowCache
+                           ? solveWindowCached(Spec, IO, /*UsePrefHint=*/true)
+                           : solveWindow(Spec, IO, /*UsePrefHint=*/true);
   if (Sol.Status != SolveStatus::Optimal &&
       Sol.Status != SolveStatus::Feasible)
     return false;

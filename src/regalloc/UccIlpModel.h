@@ -133,6 +133,32 @@ WindowSolution solveWindow(const WindowSpec &Spec,
 /// ablation). Windows must need no spills or movs.
 WindowSolution solveWindowExact(const WindowSpec &Spec);
 
+/// Canonical FNV-1a hash of a window model: every field of \p Spec
+/// (structure, coefficients, preferred tags) plus the solver options that
+/// can change the answer. Equal windows hash equal by construction; the
+/// cache below still compares specs field-by-field on a key match.
+uint64_t windowSpecKey(const WindowSpec &Spec, const ILPOptions &Opts,
+                       bool UsePrefHint);
+
+/// `solveWindow` behind a process-global memo cache (WindowCache.cpp).
+/// Iterative-update experiments (Fig. 14) re-solve identical windows many
+/// times; the cache guarantees each unique window is solved exactly once
+/// per process — a concurrent requester for an in-flight window blocks on
+/// it rather than re-solving — and that a cached hit returns the original
+/// solution (including its Pivots/Nodes metrics, so deterministic bench
+/// counters are unaffected by cache order or `--jobs`). Reports
+/// `ra.window_cache_hits` / `ra.window_cache_misses`.
+WindowSolution solveWindowCached(const WindowSpec &Spec,
+                                 const ILPOptions &Opts = {},
+                                 bool UsePrefHint = true);
+
+/// Empties the window memo cache (tests and benches that measure
+/// cold-solve behavior).
+void clearWindowCache();
+
+/// Number of distinct windows currently memoized.
+size_t windowCacheSize();
+
 } // namespace ucc
 
 #endif // UCC_REGALLOC_UCCILPMODEL_H

@@ -62,12 +62,14 @@ void Telemetry::declareStandardCounters() {
   static const char *Standard[] = {
       // lp: the solver substrate (Figs. 13-15).
       "lp.solves", "lp.pivots", "lp.ilp_solves", "lp.bb_nodes",
+      "lp.warm_solves", "lp.ilp_timeouts",
       // ra: UCC-RA (section 3).
       "ra.functions", "ra.total_instrs", "ra.matched_instrs",
       "ra.chunks_changed", "ra.chunks_unchanged", "ra.anchor_occurrences",
       "ra.pref_honored", "ra.pref_broken", "ra.inserted_movs",
       "ra.spilled_vregs", "ra.ilp_windows", "ra.ilp_binaries",
-      "ra.ilp_constraints",
+      "ra.ilp_constraints", "ra.window_cache_hits",
+      "ra.window_cache_misses",
       // da: UCC-DA (section 4).
       "da.regions", "da.holes_filled", "da.hole_words", "da.relocated_vars",
       "da.region_words",
@@ -120,6 +122,97 @@ void Telemetry::endSpan() {
     Node->DurationSamples.push_back(D);
   if (EventsOn)
     recordEvent(TelemetryEvent::Phase::End, "span", Node->Name);
+}
+
+namespace {
+
+/// Folds \p From into \p Into: totals add, the duration distribution
+/// combines (exact min/max; samples concatenate up to the cap), children
+/// merge recursively by name.
+void mergeSpanInto(TelemetrySpan &Into, const TelemetrySpan &From) {
+  Into.Seconds += From.Seconds;
+  Into.Count += From.Count;
+  if (!From.DurationSamples.empty()) {
+    if (Into.DurationSamples.empty()) {
+      Into.MinSeconds = From.MinSeconds;
+      Into.MaxSeconds = From.MaxSeconds;
+    } else {
+      Into.MinSeconds = std::min(Into.MinSeconds, From.MinSeconds);
+      Into.MaxSeconds = std::max(Into.MaxSeconds, From.MaxSeconds);
+    }
+    for (double D : From.DurationSamples) {
+      if (Into.DurationSamples.size() >= TelemetrySpan::MaxDurationSamples)
+        break;
+      Into.DurationSamples.push_back(D);
+    }
+  }
+  for (const std::unique_ptr<TelemetrySpan> &FromChild : From.Children) {
+    TelemetrySpan *IntoChild =
+        const_cast<TelemetrySpan *>(Into.find(FromChild->Name));
+    if (!IntoChild) {
+      Into.Children.push_back(std::make_unique<TelemetrySpan>());
+      IntoChild = Into.Children.back().get();
+      IntoChild->Name = FromChild->Name;
+    }
+    mergeSpanInto(*IntoChild, *FromChild);
+  }
+}
+
+} // namespace
+
+void Telemetry::mergeChild(const Telemetry &Child) {
+  assert(Child.Open.empty() && "merging a registry with open spans");
+  for (const auto &[Name, Value] : Child.Counters)
+    Counters[Name] += Value;
+  for (const auto &[Name, Value] : Child.Gauges)
+    Gauges[Name] += Value;
+
+  // Graft the child's span forest under the innermost open span: a
+  // parallel region started inside `ra` folds its per-item spans where
+  // the serial loop would have put them.
+  TelemetrySpan *Graft = Open.empty() ? &Root : Open.back().first;
+  for (const std::unique_ptr<TelemetrySpan> &FromChild : Child.Root.Children) {
+    TelemetrySpan *IntoChild =
+        const_cast<TelemetrySpan *>(Graft->find(FromChild->Name));
+    if (!IntoChild) {
+      Graft->Children.push_back(std::make_unique<TelemetrySpan>());
+      IntoChild = Graft->Children.back().get();
+      IntoChild->Name = FromChild->Name;
+    }
+    mergeSpanInto(*IntoChild, *FromChild);
+  }
+
+  if (!EventsOn || !Child.EventsOn || Child.Events.empty())
+    return;
+  // Both clocks are steady_clock, so the epoch difference re-bases the
+  // child's event timestamps onto this registry's timeline.
+  double Offset = std::chrono::duration<double, std::micro>(
+                      Child.TraceEpoch - TraceEpoch)
+                      .count();
+  for (const TelemetryEvent *E : Child.eventsInOrder()) {
+    TelemetryEvent Copy = *E;
+    Copy.TsMicros += Offset;
+    if (Events.size() < EventCapacity) {
+      Events.push_back(std::move(Copy));
+      continue;
+    }
+    Events[EventHead] = std::move(Copy);
+    EventHead = (EventHead + 1) % EventCapacity;
+    ++EventsDropped;
+  }
+  EventsDropped += Child.EventsDropped;
+  // Re-sort the retained buffer chronologically (stable: ties keep their
+  // merge order, so repeated merges stay deterministic).
+  std::vector<TelemetryEvent> InOrder;
+  InOrder.reserve(Events.size());
+  for (size_t K = 0; K < Events.size(); ++K)
+    InOrder.push_back(std::move(Events[(EventHead + K) % Events.size()]));
+  std::stable_sort(InOrder.begin(), InOrder.end(),
+                   [](const TelemetryEvent &A, const TelemetryEvent &B) {
+                     return A.TsMicros < B.TsMicros;
+                   });
+  Events = std::move(InOrder);
+  EventHead = 0;
 }
 
 int64_t Telemetry::counter(const std::string &Name) const {

@@ -193,6 +193,19 @@ public:
   /// {"version":1,"counters":{...},"gauges":{...},"spans":[...]}.
   std::string toJson() const;
 
+  /// Folds \p Child into this registry (the parallel-merge primitive used
+  /// by support/ThreadPool): counters and gauges accumulate, the child's
+  /// span forest is grafted under the innermost open span of this
+  /// registry (top level when none), and — when both registries record
+  /// events — the child's events are appended with timestamps re-based
+  /// onto this registry's trace epoch, then the whole buffer is re-sorted
+  /// by timestamp so the merged trace reads chronologically. Merging is
+  /// commutative over counters/gauges and, because span trees fold by
+  /// name, the aggregate view is independent of which worker ran which
+  /// item; callers that need full determinism merge per-item registries
+  /// in item order. \p Child must have no open spans.
+  void mergeChild(const Telemetry &Child);
+
   /// Drops every counter, gauge, span (open spans included) and event,
   /// returning the registry to its just-constructed state (event
   /// recording off, trace epoch reset).

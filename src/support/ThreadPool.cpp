@@ -1,0 +1,134 @@
+//===- support/ThreadPool.cpp - shared-queue parallel-for -----------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fork-join implementation. The "queue" is an atomic next-index counter:
+/// each worker claims indices until the range is exhausted, which is
+/// contention-free for the coarse-grained items we run (whole UCC-RA
+/// problems, whole bench sweep points). The first exception thrown by an
+/// item is captured, the queue is drained, and the exception is rethrown
+/// on the calling thread after the join.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "support/Telemetry.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace ucc;
+
+namespace {
+std::atomic<int> DefaultJobsOverride{0};
+} // namespace
+
+ThreadPool::ThreadPool(int Jobs) : NumJobs(Jobs > 0 ? Jobs : defaultJobs()) {}
+
+int ThreadPool::hardwareJobs() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : static_cast<int>(N);
+}
+
+int ThreadPool::defaultJobs() {
+  int Override = DefaultJobsOverride.load(std::memory_order_relaxed);
+  if (Override > 0)
+    return Override;
+  if (const char *Env = std::getenv("UCC_JOBS")) {
+    int V = std::atoi(Env);
+    if (V > 0)
+      return V;
+  }
+  return hardwareJobs();
+}
+
+void ThreadPool::setDefaultJobs(int Jobs) {
+  DefaultJobsOverride.store(Jobs > 0 ? Jobs : 0, std::memory_order_relaxed);
+}
+
+void ThreadPool::parallelFor(int N, const std::function<void(int)> &Fn) {
+  if (N <= 0)
+    return;
+  int Workers = NumJobs < N ? NumJobs : N;
+  if (Workers <= 1) {
+    for (int I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  std::atomic<int> Next{0};
+  std::atomic<bool> Aborted{false};
+  std::exception_ptr FirstError;
+  std::mutex ErrorLock;
+
+  auto Work = [&] {
+    while (!Aborted.load(std::memory_order_relaxed)) {
+      int I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      try {
+        Fn(I);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> Guard(ErrorLock);
+          if (!FirstError)
+            FirstError = std::current_exception();
+        }
+        Aborted.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(static_cast<size_t>(Workers - 1));
+  for (int W = 1; W < Workers; ++W)
+    Threads.emplace_back(Work);
+  Work();
+  for (std::thread &T : Threads)
+    T.join();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}
+
+void ucc::parallelFor(int N, int Jobs, const std::function<void(int)> &Fn) {
+  if (N <= 0)
+    return;
+  ThreadPool Pool(Jobs);
+  Telemetry *Parent = currentTelemetry();
+
+  // Serial path: run directly under the caller's registry. The merged
+  // parallel path below accumulates into the same names, so both paths
+  // report identical totals.
+  if (Pool.jobs() <= 1 || N == 1) {
+    for (int I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+
+  if (!Parent) {
+    Pool.parallelFor(N, Fn);
+    return;
+  }
+
+  // Per-item registries: stronger than per-worker — the merge result
+  // cannot depend on which worker ran which item.
+  std::vector<Telemetry> Items(static_cast<size_t>(N));
+  bool Events = Parent->eventsEnabled();
+  Pool.parallelFor(N, [&](int I) {
+    Telemetry &T = Items[static_cast<size_t>(I)];
+    if (Events)
+      T.enableEvents();
+    TelemetryScope Scope(T);
+    Fn(I);
+  });
+  for (int I = 0; I < N; ++I)
+    Parent->mergeChild(Items[static_cast<size_t>(I)]);
+}

@@ -1,0 +1,84 @@
+//===- support/ThreadPool.h - shared-queue parallel-for ------------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation pipeline's parallelism substrate: a fork-join
+/// shared-queue pool (`ThreadPool`) plus the telemetry-aware
+/// `parallelFor` free function that the compiler and the benches call.
+///
+/// The unit of work is an *index*: `parallelFor(N, Jobs, Fn)` runs
+/// `Fn(0) .. Fn(N-1)` exactly once each, on up to `Jobs` threads pulling
+/// indices from one shared atomic queue (the caller's thread
+/// participates, so `Jobs == 1` degenerates to the plain serial loop).
+/// Work items must be independent: per-function UCC-RA problems,
+/// per-config bench sweep points.
+///
+/// Telemetry: the ambient registry (support/Telemetry) is thread-local,
+/// so a worker must not record into the caller's registry. `parallelFor`
+/// therefore gives every *item* its own private registry (mirroring the
+/// caller's event-enablement), runs the item under it, and after the join
+/// merges the per-item registries into the caller's registry in item
+/// order via `Telemetry::mergeChild`. Counters, gauges and span
+/// aggregates are consequently independent of scheduling — a run with
+/// `--jobs 8` reports the same totals as `--jobs 1` — and merged events
+/// are re-sorted by timestamp so traces stay chronological.
+///
+/// Job-count resolution (`ThreadPool::defaultJobs`): an explicit
+/// `setDefaultJobs` (the `--jobs N` flag) wins, else the `UCC_JOBS`
+/// environment variable, else `std::thread::hardware_concurrency`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_SUPPORT_THREADPOOL_H
+#define UCC_SUPPORT_THREADPOOL_H
+
+#include <functional>
+
+namespace ucc {
+
+/// Fork-join pool over one shared index queue. Construction is cheap
+/// (threads are spawned per parallelFor call and joined before it
+/// returns), so the pool is a value you create where you need it.
+class ThreadPool {
+public:
+  /// \p Jobs worker threads; 0 means defaultJobs().
+  explicit ThreadPool(int Jobs = 0);
+
+  int jobs() const { return NumJobs; }
+
+  /// Runs \p Fn(0..N-1) exactly once each across the workers (this
+  /// thread included). Blocks until every item finished. An exception
+  /// thrown by an item stops the queue and is rethrown here. No
+  /// telemetry handling — see the free parallelFor for that.
+  void parallelFor(int N, const std::function<void(int)> &Fn);
+
+  /// std::thread::hardware_concurrency, clamped to at least 1.
+  static int hardwareJobs();
+
+  /// The session default: setDefaultJobs() override if any, else the
+  /// UCC_JOBS environment variable, else hardwareJobs().
+  static int defaultJobs();
+
+  /// Installs \p Jobs as the process-wide default (0 clears the
+  /// override). The `--jobs N` flag of `uccc` and the bench harness
+  /// lands here.
+  static void setDefaultJobs(int Jobs);
+
+private:
+  int NumJobs;
+};
+
+/// Telemetry-aware parallel loop: runs \p Fn(0..N-1) on up to \p Jobs
+/// threads (0 = ThreadPool::defaultJobs()), giving each item a private
+/// telemetry registry and merging them into the caller's registry in
+/// item order after the join (see the file comment). With one job, one
+/// item, or no ambient registry this reduces to the obvious serial or
+/// raw-parallel loop.
+void parallelFor(int N, int Jobs, const std::function<void(int)> &Fn);
+
+} // namespace ucc
+
+#endif // UCC_SUPPORT_THREADPOOL_H

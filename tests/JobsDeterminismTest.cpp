@@ -1,0 +1,96 @@
+//===- tests/JobsDeterminismTest.cpp - --jobs 1 vs --jobs 8 ---------------===//
+//
+// The parallel pipeline's output contract: the job count schedules work,
+// it never changes results. Compiling and recompiling the workload update
+// cases with Jobs=1 and Jobs=8 must produce byte-identical binary images
+// and byte-identical edit scripts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Compiler.h"
+#include "diff/ImageDiff.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace ucc;
+
+namespace {
+
+CompileOutput mustCompile(const std::string &Source, CompileOptions Opts) {
+  DiagnosticEngine Diag;
+  auto Out = Compiler::compile(Source, Opts, Diag);
+  EXPECT_TRUE(Out.has_value()) << Diag.str();
+  return std::move(*Out);
+}
+
+CompileOutput mustRecompile(const std::string &Source,
+                            const CompilationRecord &Old,
+                            CompileOptions Opts) {
+  DiagnosticEngine Diag;
+  auto Out = Compiler::recompile(Source, Old, Opts, Diag);
+  EXPECT_TRUE(Out.has_value()) << Diag.str();
+  return std::move(*Out);
+}
+
+CompileOptions uccOptions(int Jobs) {
+  CompileOptions Opts;
+  Opts.RA = RegAllocKind::UpdateConscious;
+  Opts.DA = DataAllocKind::UpdateConscious;
+  Opts.Jobs = Jobs;
+  return Opts;
+}
+
+TEST(JobsDeterminism, UpdateCasesBitIdenticalAcrossJobs) {
+  // A handful of representative cases keeps the test fast while still
+  // covering multi-function programs where the parallel RA loop actually
+  // fans out.
+  for (const UpdateCase &Case : updateCases()) {
+    if (Case.Id > 6)
+      break;
+
+    CompileOutput Old1 = mustCompile(Case.OldSource, uccOptions(1));
+    CompileOutput Old8 = mustCompile(Case.OldSource, uccOptions(8));
+    EXPECT_EQ(Old1.Image.serialize(), Old8.Image.serialize())
+        << "case " << Case.Id << " (" << Case.Description
+        << "): initial compile differs across job counts";
+
+    CompileOutput New1 =
+        mustRecompile(Case.NewSource, Old1.Record, uccOptions(1));
+    CompileOutput New8 =
+        mustRecompile(Case.NewSource, Old1.Record, uccOptions(8));
+    EXPECT_EQ(New1.Image.serialize(), New8.Image.serialize())
+        << "case " << Case.Id << " (" << Case.Description
+        << "): recompile differs across job counts";
+
+    // The artifact the paper cares about — the over-the-air edit script —
+    // must also be byte-identical.
+    ImageUpdate Script1 = makeImageUpdate(Old1.Image, New1.Image);
+    ImageUpdate Script8 = makeImageUpdate(Old8.Image, New8.Image);
+    EXPECT_EQ(Script1.serialize(), Script8.serialize())
+        << "case " << Case.Id << " (" << Case.Description
+        << "): edit script differs across job counts";
+  }
+}
+
+TEST(JobsDeterminism, RegAllocStatsOrderedByFunction) {
+  // The parallel RA loop writes per-function stats by index; the report
+  // order must match Jobs=1.
+  const UpdateCase &Case = updateCases().front();
+  CompileOutput Out1 = mustCompile(Case.OldSource, uccOptions(1));
+  CompileOutput Out8 = mustCompile(Case.OldSource, uccOptions(8));
+  ASSERT_EQ(Out1.RegAllocStats.size(), Out8.RegAllocStats.size());
+  for (size_t F = 0; F < Out1.RegAllocStats.size(); ++F) {
+    EXPECT_EQ(Out1.RegAllocStats[F].TotalInstrs,
+              Out8.RegAllocStats[F].TotalInstrs)
+        << "function " << F;
+    EXPECT_EQ(Out1.RegAllocStats[F].InsertedMovs,
+              Out8.RegAllocStats[F].InsertedMovs)
+        << "function " << F;
+    EXPECT_EQ(Out1.RegAllocStats[F].IlpPivots,
+              Out8.RegAllocStats[F].IlpPivots)
+        << "function " << F;
+  }
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/ThreadPoolTest.cpp - parallelFor + telemetry merge -----------===//
+//
+// The parallelism substrate of the compilation pipeline: index coverage,
+// exception propagation, job-count resolution, and the guarantee the
+// whole design leans on — telemetry totals are independent of --jobs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+using namespace ucc;
+
+namespace {
+
+/// Restores the process-wide default job count on scope exit so tests
+/// that call setDefaultJobs cannot leak into later tests.
+struct DefaultJobsGuard {
+  ~DefaultJobsGuard() { ThreadPool::setDefaultJobs(0); }
+};
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (int Jobs : {1, 2, 8}) {
+    const int N = 257;
+    std::vector<std::atomic<int>> Hits(N);
+    for (auto &H : Hits)
+      H.store(0);
+    ThreadPool Pool(Jobs);
+    Pool.parallelFor(N, [&](int I) { Hits[static_cast<size_t>(I)]++; });
+    for (int I = 0; I < N; ++I)
+      EXPECT_EQ(Hits[static_cast<size_t>(I)].load(), 1)
+          << "jobs " << Jobs << " index " << I;
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingleItemLoops) {
+  ThreadPool Pool(4);
+  int Calls = 0;
+  Pool.parallelFor(0, [&](int) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+  Pool.parallelFor(1, [&](int I) {
+    EXPECT_EQ(I, 0);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(ThreadPool, ExceptionIsRethrownOnCaller) {
+  ThreadPool Pool(4);
+  std::atomic<int> Ran{0};
+  EXPECT_THROW(Pool.parallelFor(64,
+                                [&](int I) {
+                                  ++Ran;
+                                  if (I == 13)
+                                    throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+  // The queue stops after the failure; not necessarily all items ran.
+  EXPECT_GE(Ran.load(), 1);
+}
+
+TEST(ThreadPool, DefaultJobsResolution) {
+  DefaultJobsGuard Guard;
+  ThreadPool::setDefaultJobs(3);
+  EXPECT_EQ(ThreadPool::defaultJobs(), 3);
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.jobs(), 3);
+  ThreadPool::setDefaultJobs(0); // cleared: hardware (or UCC_JOBS)
+  EXPECT_GE(ThreadPool::defaultJobs(), 1);
+  EXPECT_GE(ThreadPool::hardwareJobs(), 1);
+}
+
+/// The workload the merge contract is about: every item bumps counters,
+/// accumulates a gauge, and times a span under the ambient registry.
+void instrumentedLoop(int Jobs, Telemetry &Out) {
+  TelemetryScope Scope(Out);
+  parallelFor(40, Jobs, [&](int I) {
+    telemetryCount("test.items");
+    telemetryCount("test.weighted", I);
+    telemetryGaugeAdd("test.sum", static_cast<double>(I) * 0.5);
+    ScopedSpan Span("test_item");
+    (void)Span;
+  });
+}
+
+TEST(ThreadPool, TelemetryTotalsIndependentOfJobs) {
+  Telemetry Serial, Parallel;
+  instrumentedLoop(1, Serial);
+  instrumentedLoop(8, Parallel);
+
+  // Counters and gauges must agree exactly (integer adds; the gauge is a
+  // sum of the same doubles in possibly different merge order, but the
+  // merge is performed in item order, so even that is identical).
+  EXPECT_EQ(Serial.counters(), Parallel.counters());
+  EXPECT_EQ(Serial.counter("test.items"), 40);
+  EXPECT_EQ(Serial.counter("test.weighted"), 40 * 39 / 2);
+  EXPECT_DOUBLE_EQ(Serial.gauge("test.sum"), Parallel.gauge("test.sum"));
+
+  // Span structure folds by name: one "test_item" node entered 40 times,
+  // regardless of scheduling. (Seconds are wall-clock and not compared.)
+  const TelemetrySpan *S = Serial.spans().find("test_item");
+  const TelemetrySpan *P = Parallel.spans().find("test_item");
+  ASSERT_NE(S, nullptr);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(S->Count, 40);
+  EXPECT_EQ(P->Count, 40);
+}
+
+TEST(ThreadPool, MergedEventsStayChronological) {
+  Telemetry T;
+  T.enableEvents();
+  {
+    TelemetryScope Scope(T);
+    parallelFor(24, 8, [&](int I) {
+      telemetryInstant("test", "tick", I);
+    });
+  }
+  std::vector<const TelemetryEvent *> Events = T.eventsInOrder();
+  ASSERT_EQ(Events.size(), 24u);
+  for (size_t I = 1; I < Events.size(); ++I)
+    EXPECT_LE(Events[I - 1]->TsMicros, Events[I]->TsMicros);
+  // Every item's event arrived (tracks are the item indices here).
+  std::vector<bool> Seen(24, false);
+  for (const TelemetryEvent *E : Events)
+    Seen[static_cast<size_t>(E->Track)] = true;
+  for (size_t I = 0; I < Seen.size(); ++I)
+    EXPECT_TRUE(Seen[I]) << "missing event from item " << I;
+}
+
+TEST(ThreadPool, FreeParallelForWorksWithoutRegistry) {
+  // No ambient registry: parallelFor must still run every item.
+  std::vector<std::atomic<int>> Hits(50);
+  for (auto &H : Hits)
+    H.store(0);
+  parallelFor(50, 4, [&](int I) { Hits[static_cast<size_t>(I)]++; });
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+} // namespace

@@ -22,7 +22,12 @@
 /// ingest mode takes already-written report files as positional arguments.
 /// Metrics whose name ends in `_seconds` are machine-dependent wall-clock
 /// measurements: they are carried through to BENCH.json but never compared
-/// against the baseline.
+/// against the baseline. Everything else — pivot counts, branch-and-bound
+/// nodes, edit-script bytes — is deterministic by construction (the solver
+/// and the telemetry merge are scheduling-independent, so `--jobs 8`
+/// reports the same values as `--jobs 1`) and is therefore gated with
+/// zero tolerance unless the baseline's `tolerances` section explicitly
+/// loosens a metric.
 ///
 /// Exit code: 0 on success, 1 when a baseline comparison found a
 /// regression, 2 on usage or I/O errors.
@@ -140,7 +145,7 @@ BenchResult runBench(const std::string &BenchDir, const std::string &Name,
 
 /// Per-metric comparison tolerances, resolved from the baseline document.
 struct Tolerances {
-  double DefaultPct = 0.01; // noise floor for anything unlisted
+  double DefaultPct = 0.0; // deterministic metrics: exact match required
   double DefaultAbs = 0.0;
   /// "<bench>.<metric>" -> {pct, abs} overrides.
   std::vector<std::pair<std::string, std::pair<double, double>>> Overrides;
@@ -340,7 +345,7 @@ void updateBaseline(const std::string &Path,
     Doc = json::Value::object();
     Doc.set("schema_version", json::Value::number(1));
     json::Value Tol = json::Value::object();
-    Tol.set("default_pct", json::Value::number(0.01));
+    Tol.set("default_pct", json::Value::number(0.0));
     Tol.set("default_abs", json::Value::number(0.0));
     Tol.set("metrics", json::Value::object());
     Doc.set("tolerances", std::move(Tol));

@@ -29,6 +29,7 @@
 #include "sim/Simulator.h"
 #include "support/Format.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +62,10 @@ namespace {
       "  uccc dis     <img>\n"
       "  uccc diff    <old-img> <new-img>\n"
       "global flags (any command):\n"
+      "  --jobs <n>            worker threads for parallel phases\n"
+      "                        (default: hardware concurrency, or the\n"
+      "                        UCC_JOBS environment variable; output is\n"
+      "                        bit-identical for every value)\n"
       "  --trace-json <file>   write the telemetry trace as JSON\n"
       "  --trace-events <file> write a Chrome trace-event JSON timeline\n"
       "  --stats               print a telemetry summary to stdout\n");
@@ -154,7 +159,8 @@ private:
                                       "--steps",     "--sensor",
                                       "--strategy",  "--trace-json",
                                       "--trace-events",
-                                      "--ilp-max-binaries"};
+                                      "--ilp-max-binaries",
+                                      "--jobs"};
     for (const char *F : WithValue)
       if (std::strcmp(Flag, F) == 0)
         return true;
@@ -425,6 +431,13 @@ int main(int Argc, char **Argv) {
   std::string TracePath = A.option("--trace-json");
   std::string EventsPath = A.option("--trace-events");
   bool WantStats = A.flag("--stats");
+  std::string JobsArg = A.option("--jobs");
+  if (!JobsArg.empty()) {
+    int Jobs = std::atoi(JobsArg.c_str());
+    if (Jobs <= 0)
+      die("--jobs expects a positive integer");
+    ThreadPool::setDefaultJobs(Jobs);
+  }
 
   if (TracePath.empty() && EventsPath.empty() && !WantStats)
     return dispatch(Cmd, A);
