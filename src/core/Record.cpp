@@ -33,7 +33,10 @@ void writeMInstr(ByteWriter &W, const MInstr &I) {
 
 MInstr readMInstr(ByteReader &R) {
   MInstr I;
-  I.Op = static_cast<MOp>(R.readU8());
+  uint8_t Op = R.readU8();
+  if (Op >= static_cast<uint8_t>(MOp::NumOpcodes))
+    R.markError(); // corrupt input: not an opcode we ever emit
+  I.Op = static_cast<MOp>(Op);
   I.A = R.readI32();
   I.B = R.readI32();
   I.C = R.readI32();
@@ -79,6 +82,8 @@ MachineFunction readMachineFunction(ByteReader &R) {
     MFrameObject FO;
     FO.Name = R.readString();
     FO.SizeWords = R.readI32();
+    if (FO.SizeWords < 0)
+      R.markError(); // a negative size would wrap every layout loop
     FO.IsSpill = R.readU8() != 0;
     MF.FrameObjects.push_back(std::move(FO));
   }
@@ -87,8 +92,12 @@ MachineFunction readMachineFunction(ByteReader &R) {
     MBlock BB;
     BB.Name = R.readString();
     uint32_t NumSuccs = R.readU32();
-    for (uint32_t S = 0; S < NumSuccs && !R.hadError(); ++S)
-      BB.Succs.push_back(R.readI32());
+    for (uint32_t S = 0; S < NumSuccs && !R.hadError(); ++S) {
+      int32_t Succ = R.readI32();
+      if (Succ < 0 || static_cast<uint32_t>(Succ) >= NumBlocks)
+        R.markError(); // successor must name a block of this function
+      BB.Succs.push_back(Succ);
+    }
     uint32_t NumInstrs = R.readU32();
     for (uint32_t K = 0; K < NumInstrs && !R.hadError(); ++K)
       BB.Instrs.push_back(readMInstr(R));
@@ -157,7 +166,14 @@ bool CompilationRecord::deserialize(const std::vector<uint8_t> &Bytes,
     E.Name = R.readString();
     E.Offset = R.readI32();
     E.SizeWords = R.readI32();
+    if (E.Offset < 0 || E.SizeWords < 0)
+      R.markError();
     Out.GlobalLayout.Entries.push_back(std::move(E));
   }
-  return !R.hadError() && R.atEnd();
+  if (R.hadError() || !R.atEnd())
+    return false;
+  // Cross-structure invariants the compiler relies on (Record.h): machine
+  // code and frame offsets are parallel to the function-name table.
+  return Out.FinalCode.size() == Out.FunctionNames.size() &&
+         Out.FrameOffsets.size() == Out.FinalCode.size();
 }

@@ -1,0 +1,379 @@
+//===- core/VersionStore.cpp - versioned compilation artifacts ------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The version chain, its on-disk form, and the direct-vs-chained planner.
+/// Persistence is a `manifest.json` (schema_version 1) naming one `vN.img`
+/// and `vN.rec` per version, all in the store directory; the manifest also
+/// carries the data layout and the parent/script-bytes bookkeeping so
+/// `history` listings need no artifact decoding. Commits, loads and plans
+/// report to the telemetry registry (`store.*`).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/VersionStore.h"
+
+#include "support/Format.h"
+#include "support/Json.h"
+#include "support/Telemetry.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+using namespace ucc;
+
+std::string ucc::sourceHash(const std::string &Text) {
+  uint64_t H = 1469598103934665603ull; // FNV-1a 64-bit
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return format("%016llx", static_cast<unsigned long long>(H));
+}
+
+namespace {
+
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  Out.assign(std::istreambuf_iterator<char>(In),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool writeFileBytes(const std::string &Path,
+                    const std::vector<uint8_t> &Bytes) {
+  std::ofstream OutS(Path, std::ios::binary);
+  if (!OutS)
+    return false;
+  OutS.write(reinterpret_cast<const char *>(Bytes.data()),
+             static_cast<std::streamsize>(Bytes.size()));
+  return OutS.good();
+}
+
+std::string pathJoin(const std::string &Dir, const std::string &Name) {
+  return (std::filesystem::path(Dir) / Name).string();
+}
+
+} // namespace
+
+std::optional<VersionStore> VersionStore::open(const std::string &Dir,
+                                               DiagnosticEngine &Diag) {
+  VersionStore S;
+  S.Dir = Dir;
+
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    Diag.error({}, "cannot create store directory '" + Dir + "'");
+    return std::nullopt;
+  }
+
+  std::string ManifestPath = pathJoin(Dir, "manifest.json");
+  if (!std::filesystem::exists(ManifestPath))
+    return S; // a fresh, empty store
+
+  std::vector<uint8_t> Raw;
+  if (!readFileBytes(ManifestPath, Raw)) {
+    Diag.error({}, "cannot read '" + ManifestPath + "'");
+    return std::nullopt;
+  }
+  auto Doc = json::parse(std::string(Raw.begin(), Raw.end()));
+  if (!Doc || Doc->K != json::Value::Object) {
+    Diag.error({}, "'" + ManifestPath + "' is not a JSON object");
+    return std::nullopt;
+  }
+  if (Doc->numberOr("schema_version", 0) != 1) {
+    Diag.error({}, "'" + ManifestPath + "': unsupported schema_version");
+    return std::nullopt;
+  }
+  const json::Value *Vs = Doc->find("versions");
+  if (!Vs || Vs->K != json::Value::Array) {
+    Diag.error({}, "'" + ManifestPath + "': missing versions array");
+    return std::nullopt;
+  }
+
+  for (const json::Value &Entry : Vs->Arr) {
+    if (Entry.K != json::Value::Object) {
+      Diag.error({}, "'" + ManifestPath + "': malformed version entry");
+      return std::nullopt;
+    }
+    StoredVersion V;
+    V.Id = static_cast<int>(Entry.numberOr("id", -1));
+    V.Parent = static_cast<int>(Entry.numberOr("parent", -1));
+    V.SourceHash = Entry.stringOr("source_hash", "");
+    V.ScriptBytesFromParent = static_cast<size_t>(
+        Entry.numberOr("script_bytes_from_parent", 0));
+    if (V.Id != static_cast<int>(S.Versions.size())) {
+      Diag.error({}, "'" + ManifestPath + "': version ids must be dense");
+      return std::nullopt;
+    }
+    if (V.Parent >= V.Id) {
+      Diag.error({}, format("'%s': version %d has invalid parent %d",
+                            ManifestPath.c_str(), V.Id, V.Parent));
+      return std::nullopt;
+    }
+
+    std::string ImgName = Entry.stringOr("image", "");
+    std::vector<uint8_t> ImgBytes;
+    if (ImgName.empty() ||
+        !readFileBytes(pathJoin(Dir, ImgName), ImgBytes) ||
+        !BinaryImage::deserialize(ImgBytes, V.Image)) {
+      Diag.error({}, format("cannot load image for version %d", V.Id));
+      return std::nullopt;
+    }
+    std::string RecName = Entry.stringOr("record", "");
+    std::vector<uint8_t> RecBytes;
+    if (RecName.empty() ||
+        !readFileBytes(pathJoin(Dir, RecName), RecBytes) ||
+        !CompilationRecord::deserialize(RecBytes, V.Record)) {
+      Diag.error({}, format("cannot load record for version %d", V.Id));
+      return std::nullopt;
+    }
+
+    const json::Value *Layout = Entry.find("layout");
+    if (!Layout || Layout->K != json::Value::Object) {
+      Diag.error({}, format("version %d: missing layout", V.Id));
+      return std::nullopt;
+    }
+    V.Layout.DataWords =
+        static_cast<int>(Layout->numberOr("data_words", 0));
+    if (const json::Value *Offs = Layout->find("global_offsets");
+        Offs && Offs->K == json::Value::Array)
+      for (const json::Value &O : Offs->Arr)
+        V.Layout.GlobalOffsets.push_back(static_cast<int>(O.Num));
+
+    S.Versions.push_back(std::move(V));
+  }
+  if (Telemetry *T = currentTelemetry())
+    T->addCounter("store.loads", static_cast<int64_t>(S.Versions.size()));
+  return S;
+}
+
+bool VersionStore::writeManifest(DiagnosticEngine &Diag) const {
+  json::Value Doc = json::Value::object();
+  Doc.set("schema_version", json::Value::number(1));
+  json::Value Vs = json::Value::array();
+  for (const StoredVersion &V : Versions) {
+    json::Value E = json::Value::object();
+    E.set("id", json::Value::number(V.Id));
+    E.set("parent", json::Value::number(V.Parent));
+    E.set("source_hash", json::Value::string(V.SourceHash));
+    E.set("script_bytes_from_parent",
+          json::Value::number(static_cast<double>(V.ScriptBytesFromParent)));
+    E.set("image", json::Value::string(format("v%d.img", V.Id)));
+    E.set("record", json::Value::string(format("v%d.rec", V.Id)));
+    json::Value Layout = json::Value::object();
+    Layout.set("data_words", json::Value::number(V.Layout.DataWords));
+    json::Value Offs = json::Value::array();
+    for (int O : V.Layout.GlobalOffsets)
+      Offs.Arr.push_back(json::Value::number(O));
+    Layout.set("global_offsets", std::move(Offs));
+    E.set("layout", std::move(Layout));
+    Vs.Arr.push_back(std::move(E));
+  }
+  Doc.set("versions", std::move(Vs));
+
+  std::string Text = Doc.serialize(2) + "\n";
+  if (!writeFileBytes(pathJoin(Dir, "manifest.json"),
+                      std::vector<uint8_t>(Text.begin(), Text.end()))) {
+    Diag.error({}, "cannot write store manifest in '" + Dir + "'");
+    return false;
+  }
+  return true;
+}
+
+bool VersionStore::persist(const StoredVersion &V, DiagnosticEngine &Diag) {
+  if (Dir.empty())
+    return true;
+  if (!writeFileBytes(pathJoin(Dir, format("v%d.img", V.Id)),
+                      V.Image.serialize()) ||
+      !writeFileBytes(pathJoin(Dir, format("v%d.rec", V.Id)),
+                      V.Record.serialize())) {
+    Diag.error({}, format("cannot write artifacts for version %d in '%s'",
+                          V.Id, Dir.c_str()));
+    return false;
+  }
+  return writeManifest(Diag);
+}
+
+int VersionStore::addInitial(const std::string &Source,
+                             const CompileOptions &Opts,
+                             DiagnosticEngine &Diag) {
+  if (!Versions.empty()) {
+    Diag.error({}, "store already has an initial version");
+    return -1;
+  }
+  auto Out = Compiler::compile(Source, Opts, Diag);
+  if (!Out)
+    return -1;
+  StoredVersion V;
+  V.Id = 0;
+  V.Parent = -1;
+  V.SourceHash = sourceHash(Source);
+  V.Image = std::move(Out->Image);
+  V.Record = std::move(Out->Record);
+  V.Layout = std::move(Out->Layout);
+  Versions.push_back(std::move(V));
+  if (!persist(Versions.back(), Diag)) {
+    Versions.pop_back();
+    return -1;
+  }
+  telemetryCount("store.commits");
+  return 0;
+}
+
+int VersionStore::addUpdate(const std::string &Source,
+                            const CompileOptions &Opts,
+                            DiagnosticEngine &Diag, int ParentId) {
+  const StoredVersion *P =
+      ParentId < 0 ? latest() : find(ParentId);
+  if (!P) {
+    Diag.error({}, ParentId < 0
+                       ? std::string("store is empty; commit an initial "
+                                     "version first")
+                       : format("unknown parent version %d", ParentId));
+    return -1;
+  }
+  auto Out = Compiler::recompile(Source, P->Record, Opts, Diag);
+  if (!Out)
+    return -1;
+  StoredVersion V;
+  V.Id = static_cast<int>(Versions.size());
+  V.Parent = P->Id;
+  V.SourceHash = sourceHash(Source);
+  V.ScriptBytesFromParent =
+      makeImageUpdate(P->Image, Out->Image).scriptBytes();
+  V.Image = std::move(Out->Image);
+  V.Record = std::move(Out->Record);
+  V.Layout = std::move(Out->Layout);
+  Versions.push_back(std::move(V));
+  if (!persist(Versions.back(), Diag)) {
+    Versions.pop_back();
+    return -1;
+  }
+  telemetryCount("store.commits");
+  return Versions.back().Id;
+}
+
+const StoredVersion *VersionStore::find(int Id) const {
+  if (Id < 0 || static_cast<size_t>(Id) >= Versions.size())
+    return nullptr;
+  return &Versions[static_cast<size_t>(Id)];
+}
+
+const StoredVersion *VersionStore::latest() const {
+  return Versions.empty() ? nullptr : &Versions.back();
+}
+
+std::optional<UpdatePlan> VersionStore::plan(int FromId, int ToId) const {
+  const StoredVersion *From = find(FromId);
+  const StoredVersion *To = find(ToId);
+  if (!From || !To)
+    return std::nullopt;
+
+  ScopedSpan Span("store.plan");
+  UpdatePlan P;
+  P.From = FromId;
+  P.To = ToId;
+
+  ImageUpdate Direct = makeImageUpdate(From->Image, To->Image);
+  P.DirectBytes = Direct.scriptBytes();
+
+  // The chained route exists only when To descends from From: collect the
+  // parent path To -> ... -> From, then compose the per-step packages.
+  std::vector<int> Path;
+  for (int At = ToId; At != FromId && At >= 0; At = find(At)->Parent)
+    Path.push_back(At);
+  bool HasChain = ToId != FromId &&
+                  (Path.empty() || find(Path.back())->Parent == FromId);
+
+  ImageUpdate Chained;
+  if (HasChain) {
+    std::reverse(Path.begin(), Path.end()); // first step's target first
+    int PrevId = FromId;
+    bool First = true;
+    for (int StepId : Path) {
+      ImageUpdate Step =
+          makeImageUpdate(find(PrevId)->Image, find(StepId)->Image);
+      if (First) {
+        Chained = std::move(Step);
+        First = false;
+      } else {
+        ImageUpdate Combined;
+        if (!composeImageUpdates(From->Image, Chained, Step, Combined))
+          return std::nullopt;
+        Chained = std::move(Combined);
+      }
+      PrevId = StepId;
+    }
+    P.ChainSteps = static_cast<int>(Path.size());
+    P.ChainedBytes = Chained.scriptBytes();
+  }
+
+  if (HasChain && P.ChainedBytes < P.DirectBytes) {
+    P.Route = UpdatePlan::RouteKind::Chained;
+    P.Update = std::move(Chained);
+    P.ScriptBytes = P.ChainedBytes;
+  } else {
+    P.Route = UpdatePlan::RouteKind::Direct;
+    P.Update = std::move(Direct);
+    P.ScriptBytes = P.DirectBytes;
+  }
+
+  if (Telemetry *T = currentTelemetry()) {
+    T->addCounter("store.plans");
+    T->addCounter(P.Route == UpdatePlan::RouteKind::Direct
+                      ? "store.plans_direct"
+                      : "store.plans_chained");
+  }
+  return P;
+}
+
+int UpdateSession::commit(const std::string &Source,
+                          DiagnosticEngine &Diag) {
+  return Store.size() == 0 ? Store.addInitial(Source, Opts, Diag)
+                           : Store.addUpdate(Source, Opts, Diag);
+}
+
+std::optional<UpdatePlan> UpdateSession::planFromPrevious() const {
+  if (Store.size() < 2)
+    return std::nullopt;
+  const StoredVersion *Tip = Store.latest();
+  return Store.plan(Tip->Parent, Tip->Id);
+}
+
+std::optional<CampaignResult>
+ucc::planFleetCampaign(const VersionStore &Store, const Topology &T,
+                       const std::vector<int> &NodeVersions,
+                       int TargetVersion, DiagnosticEngine &Diag,
+                       const PacketFormat &Fmt, const Mica2Power &Power,
+                       const RadioChannel &Channel) {
+  if (!Store.find(TargetVersion)) {
+    Diag.error({}, format("unknown target version %d", TargetVersion));
+    return std::nullopt;
+  }
+  // Plan once per distinct stale version before any flood: a campaign
+  // either fully plans or does not run.
+  std::map<int, size_t> BytesFor;
+  for (size_t Node = 1; Node < NodeVersions.size(); ++Node) {
+    int V = NodeVersions[Node];
+    if (V == TargetVersion || BytesFor.count(V))
+      continue;
+    auto P = Store.plan(V, TargetVersion);
+    if (!P) {
+      Diag.error({}, format("cannot plan update %d -> %d", V,
+                            TargetVersion));
+      return std::nullopt;
+    }
+    BytesFor[V] = P->ScriptBytes;
+  }
+  return runUpdateCampaign(
+      T, NodeVersions, TargetVersion,
+      [&](int From) { return BytesFor.at(From); }, Fmt, Power, Channel);
+}

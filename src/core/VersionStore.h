@@ -1,0 +1,156 @@
+//===- core/VersionStore.h - versioned compilation artifacts --------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sink's long-lived state: every version it ever deployed, as a chain
+/// of compilation artifacts (image + compilation record + data layout +
+/// parent link). The paper's workflow is inherently stateful — the sink
+/// "keeps the record of previous compilation" across an open-ended stream
+/// of updates — and this store makes that state first class instead of
+/// leaving it implicit in caller-managed CompileOutput variables.
+///
+/// On top of the store sits the planner: an update between ANY two stored
+/// versions is planned either as a fresh endpoint diff (Direct) or as the
+/// composition of the per-step scripts along the parent chain (Chained),
+/// whichever costs fewer edit-script bytes on air. An UpdateSession wraps
+/// the commit loop (compile against the latest record, store the result),
+/// and planFleetCampaign binds the planner into the net layer's
+/// mixed-version fleet campaign.
+///
+/// A store is either purely in-memory (default constructed) or backed by a
+/// directory (`open`), where it persists a JSON manifest plus one image and
+/// one record file per version, so a sink process can be restarted without
+/// losing the chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_CORE_VERSIONSTORE_H
+#define UCC_CORE_VERSIONSTORE_H
+
+#include "core/Compiler.h"
+#include "net/Network.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ucc {
+
+/// One deployed version held by the sink.
+struct StoredVersion {
+  int Id = -1;     ///< dense version number (0 = initial)
+  int Parent = -1; ///< version this one was recompiled against (-1 = root)
+  std::string SourceHash; ///< FNV-1a of the source text (hex)
+  /// Edit-script bytes of the update Parent -> this (0 for the root).
+  size_t ScriptBytesFromParent = 0;
+  BinaryImage Image;
+  CompilationRecord Record;
+  DataLayoutMap Layout;
+};
+
+/// A planned update between two stored versions.
+struct UpdatePlan {
+  int From = -1;
+  int To = -1;
+  /// How the winning package was built: one fresh endpoint diff, or the
+  /// composition of the stepwise scripts along the parent chain.
+  enum class RouteKind { Direct, Chained };
+  RouteKind Route = RouteKind::Direct;
+  ImageUpdate Update;      ///< the winning package
+  size_t ScriptBytes = 0;  ///< its size on air
+  size_t DirectBytes = 0;  ///< cost of the fresh endpoint diff
+  size_t ChainedBytes = 0; ///< cost of the composed chain (0 if no chain)
+  int ChainSteps = 0;      ///< parent-link hops From -> To (0 if no chain)
+};
+
+/// The sink's version chain. Pointers returned by find()/latest() are
+/// invalidated by the next addInitial()/addUpdate().
+class VersionStore {
+public:
+  /// An in-memory store (nothing persisted).
+  VersionStore() = default;
+
+  /// Opens (or initializes) a store backed by \p Dir. Loads every version
+  /// recorded in the manifest; reports malformed manifests or unreadable
+  /// artifacts to \p Diag and returns nullopt.
+  static std::optional<VersionStore> open(const std::string &Dir,
+                                          DiagnosticEngine &Diag);
+
+  /// Compiles \p Source as version 0. Fails (returning -1) if the store is
+  /// non-empty or compilation fails.
+  int addInitial(const std::string &Source, const CompileOptions &Opts,
+                 DiagnosticEngine &Diag);
+
+  /// Recompiles \p Source against version \p ParentId (-1 = latest) and
+  /// stores the result as a new version. Returns the new id, or -1.
+  int addUpdate(const std::string &Source, const CompileOptions &Opts,
+                DiagnosticEngine &Diag, int ParentId = -1);
+
+  const StoredVersion *find(int Id) const;
+  const StoredVersion *latest() const;
+  size_t size() const { return Versions.size(); }
+  const std::vector<StoredVersion> &versions() const { return Versions; }
+  const std::string &directory() const { return Dir; }
+
+  /// Plans the update taking \p FromId to \p ToId: builds the fresh
+  /// endpoint diff, and — when \p ToId descends from \p FromId through
+  /// parent links — the composed stepwise chain, then picks whichever is
+  /// cheaper in edit-script bytes (ties go Direct, matching what a
+  /// chain-oblivious sink would ship). Returns nullopt for unknown ids or
+  /// a composition failure.
+  std::optional<UpdatePlan> plan(int FromId, int ToId) const;
+
+private:
+  bool persist(const StoredVersion &V, DiagnosticEngine &Diag);
+  bool writeManifest(DiagnosticEngine &Diag) const;
+
+  std::string Dir; ///< empty = in-memory only
+  std::vector<StoredVersion> Versions;
+};
+
+/// The stateful replacement for hand-rolled compile/recompile chains: each
+/// commit compiles the new source against the stored chain tip and appends
+/// the result.
+class UpdateSession {
+public:
+  UpdateSession(VersionStore &Store, CompileOptions Opts)
+      : Store(Store), Opts(std::move(Opts)) {}
+
+  /// Compiles \p Source (initial compile when the store is empty, update-
+  /// conscious recompile against the latest version otherwise) and stores
+  /// it. Returns the new version id, or -1.
+  int commit(const std::string &Source, DiagnosticEngine &Diag);
+
+  /// Plans previous-tip -> current-tip. Requires at least two versions.
+  std::optional<UpdatePlan> planFromPrevious() const;
+
+  VersionStore &store() { return Store; }
+
+private:
+  VersionStore &Store;
+  CompileOptions Opts;
+};
+
+/// Plans and runs a fleet campaign bringing a mixed-version network to
+/// \p TargetVersion: every distinct deployed version gets its own plan()
+/// against the target (so each cohort's flood carries the cheaper of the
+/// direct and chained scripts). Returns nullopt when any node runs a
+/// version the store cannot plan from.
+std::optional<CampaignResult>
+planFleetCampaign(const VersionStore &Store, const Topology &T,
+                  const std::vector<int> &NodeVersions, int TargetVersion,
+                  DiagnosticEngine &Diag,
+                  const PacketFormat &Fmt = PacketFormat(),
+                  const Mica2Power &Power = Mica2Power(),
+                  const RadioChannel &Channel = RadioChannel());
+
+/// FNV-1a hash of \p Text rendered as 16 hex digits (the store's source
+/// fingerprint; exposed for tests and tools).
+std::string sourceHash(const std::string &Text);
+
+} // namespace ucc
+
+#endif // UCC_CORE_VERSIONSTORE_H

@@ -136,9 +136,9 @@ ucc::alignWords(const std::vector<uint32_t> &Old,
   return Matches;
 }
 
-EditScript ucc::makeEditScript(const std::vector<uint32_t> &Old,
-                               const std::vector<uint32_t> &New) {
-  std::vector<std::pair<int, int>> Matches = alignWords(Old, New);
+EditScript ucc::scriptFromMatches(
+    const std::vector<uint32_t> &Old, const std::vector<uint32_t> &New,
+    const std::vector<std::pair<int, int>> &Matches) {
   EditScript Script;
 
   auto push = [&](EditOp Op, uint32_t Count,
@@ -186,6 +186,12 @@ EditScript ucc::makeEditScript(const std::vector<uint32_t> &Old,
     ++NewPos;
   }
   emitGap(Old.size(), New.size());
+  return Script;
+}
+
+EditScript ucc::makeEditScript(const std::vector<uint32_t> &Old,
+                               const std::vector<uint32_t> &New) {
+  EditScript Script = scriptFromMatches(Old, New, alignWords(Old, New));
 
   if (Telemetry *T = currentTelemetry()) {
     static const char *OpKey[] = {"diff.bytes.copy", "diff.bytes.remove",
@@ -206,6 +212,106 @@ EditScript ucc::makeEditScript(const std::vector<uint32_t> &Old,
     }
   }
   return Script;
+}
+
+bool ucc::composeEditScripts(const std::vector<uint32_t> &Base,
+                             const EditScript &First,
+                             const EditScript &Second, EditScript &Out) {
+  Out = EditScript();
+
+  // Replay First over Base, tracking per-output-word provenance: the Base
+  // index a copied word came from, or -1 for inserted/replaced literals.
+  std::vector<uint32_t> Mid;
+  std::vector<int> MidSrc;
+  {
+    size_t Pos = 0;
+    for (const EditPrim &P : First.Prims) {
+      switch (P.Op) {
+      case EditOp::Copy:
+        if (Pos + P.Count > Base.size())
+          return false;
+        for (uint32_t K = 0; K < P.Count; ++K) {
+          Mid.push_back(Base[Pos + K]);
+          MidSrc.push_back(static_cast<int>(Pos + K));
+        }
+        Pos += P.Count;
+        break;
+      case EditOp::Remove:
+        if (Pos + P.Count > Base.size())
+          return false;
+        Pos += P.Count;
+        break;
+      case EditOp::Insert:
+      case EditOp::Replace:
+        if (P.Words.size() != P.Count)
+          return false;
+        if (P.Op == EditOp::Replace) {
+          if (Pos + P.Count > Base.size())
+            return false;
+          Pos += P.Count;
+        }
+        for (uint32_t Word : P.Words) {
+          Mid.push_back(Word);
+          MidSrc.push_back(-1);
+        }
+        break;
+      }
+    }
+    if (Pos != Base.size())
+      return false;
+  }
+
+  // Replay Second over Mid: the final words, each carrying the Base index
+  // it was copied from end to end (or -1 once either step synthesized it).
+  std::vector<uint32_t> Final;
+  std::vector<int> FinalSrc;
+  {
+    size_t Pos = 0;
+    for (const EditPrim &P : Second.Prims) {
+      switch (P.Op) {
+      case EditOp::Copy:
+        if (Pos + P.Count > Mid.size())
+          return false;
+        for (uint32_t K = 0; K < P.Count; ++K) {
+          Final.push_back(Mid[Pos + K]);
+          FinalSrc.push_back(MidSrc[Pos + K]);
+        }
+        Pos += P.Count;
+        break;
+      case EditOp::Remove:
+        if (Pos + P.Count > Mid.size())
+          return false;
+        Pos += P.Count;
+        break;
+      case EditOp::Insert:
+      case EditOp::Replace:
+        if (P.Words.size() != P.Count)
+          return false;
+        if (P.Op == EditOp::Replace) {
+          if (Pos + P.Count > Mid.size())
+            return false;
+          Pos += P.Count;
+        }
+        for (uint32_t Word : P.Words) {
+          Final.push_back(Word);
+          FinalSrc.push_back(-1);
+        }
+        break;
+      }
+    }
+    if (Pos != Mid.size())
+      return false;
+  }
+
+  // The surviving provenance is a valid alignment: both scripts copy in
+  // order, so Base indices appear strictly increasing along Final.
+  std::vector<std::pair<int, int>> Matches;
+  for (size_t K = 0; K < FinalSrc.size(); ++K)
+    if (FinalSrc[K] >= 0)
+      Matches.push_back({FinalSrc[K], static_cast<int>(K)});
+  Out = scriptFromMatches(Base, Final, Matches);
+  telemetryCount("diff.compositions");
+  return true;
 }
 
 bool ucc::applyEditScript(const std::vector<uint32_t> &Old,

@@ -58,6 +58,27 @@ alignWords(const std::vector<uint32_t> &Old, const std::vector<uint32_t> &New);
 EditScript makeEditScript(const std::vector<uint32_t> &Old,
                           const std::vector<uint32_t> &New);
 
+/// Builds a script from an explicit alignment: \p Matches are (OldIdx,
+/// NewIdx) pairs, strictly increasing in both, with Old[OldIdx] ==
+/// New[NewIdx]. makeEditScript is this with the LCS alignment; the chain
+/// composer passes the (generally sparser) alignment that survives a whole
+/// version chain.
+EditScript scriptFromMatches(const std::vector<uint32_t> &Old,
+                             const std::vector<uint32_t> &New,
+                             const std::vector<std::pair<int, int>> &Matches);
+
+/// Composes two scripts into one: \p Out transforms \p Base directly into
+/// the sequence that applying \p First to \p Base and then \p Second to
+/// that result yields. A word is copied by \p Out only if *both* steps
+/// copied it (reuse provenance intersects along the chain), so the
+/// composed script models stepwise chain delivery and is never smaller
+/// than a fresh endpoint diff — comparing the two is exactly the planner's
+/// direct-vs-chained decision. Returns false when either script does not
+/// apply.
+bool composeEditScripts(const std::vector<uint32_t> &Base,
+                        const EditScript &First, const EditScript &Second,
+                        EditScript &Out);
+
 /// The sensor-side patcher (paper Fig. 2): interprets \p Script against
 /// \p Old. Returns false on a malformed script (wrong lengths).
 bool applyEditScript(const std::vector<uint32_t> &Old,

@@ -184,6 +184,63 @@ ImageUpdate ucc::makeImageUpdate(const BinaryImage &Old,
   return U;
 }
 
+bool ucc::composeImageUpdates(const BinaryImage &Base,
+                              const ImageUpdate &First,
+                              const ImageUpdate &Second, ImageUpdate &Out) {
+  Out = ImageUpdate();
+  BinaryImage Mid;
+  if (!applyUpdate(Base, First, Mid))
+    return false;
+
+  // First's entries are the functions of Mid, in Mid's order.
+  auto firstEntry =
+      [&](const std::string &Name) -> const ImageUpdate::FunctionUpdate * {
+    for (const ImageUpdate::FunctionUpdate &F : First.Functions)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  };
+
+  Out.EntryFunc = Second.EntryFunc;
+  for (const ImageUpdate::FunctionUpdate &F2 : Second.Functions) {
+    ImageUpdate::FunctionUpdate FU;
+    FU.Name = F2.Name;
+    if (F2.IsNew) {
+      // Introduced by the second step: ships whole either way.
+      FU.IsNew = true;
+      FU.NewCode = F2.NewCode;
+    } else {
+      const ImageUpdate::FunctionUpdate *F1 = firstEntry(F2.Name);
+      int MidIdx = Mid.findFunction(F2.Name);
+      if (!F1 || MidIdx < 0)
+        return false;
+      if (F1->IsNew) {
+        // Introduced by the first step: relative to Base it is still new;
+        // push it forward through the second step's script.
+        std::vector<uint32_t> FinalCode;
+        if (!applyEditScript(Mid.functionCode(MidIdx), F2.Script,
+                             FinalCode))
+          return false;
+        FU.IsNew = true;
+        FU.NewCode = std::move(FinalCode);
+      } else {
+        int BaseIdx = Base.findFunction(F2.Name);
+        if (BaseIdx < 0 ||
+            !composeEditScripts(Base.functionCode(BaseIdx), F1->Script,
+                                F2.Script, FU.Script))
+          return false;
+      }
+    }
+    Out.Functions.push_back(std::move(FU));
+  }
+
+  std::vector<uint32_t> BaseData(Base.DataInit.size());
+  for (size_t K = 0; K < Base.DataInit.size(); ++K)
+    BaseData[K] = static_cast<uint16_t>(Base.DataInit[K]);
+  return composeEditScripts(BaseData, First.DataScript, Second.DataScript,
+                            Out.DataScript);
+}
+
 std::vector<UpdateGroup> ucc::splitIntoGroups(const ImageUpdate &Update) {
   int Total = static_cast<int>(Update.Functions.size()) + 1;
   std::vector<UpdateGroup> Groups;

@@ -79,6 +79,16 @@ struct ImageUpdate {
 /// Builds the update package turning \p Old into \p New.
 ImageUpdate makeImageUpdate(const BinaryImage &Old, const BinaryImage &New);
 
+/// Composes two update packages: \p Out turns \p Base directly into the
+/// image that applying \p First and then \p Second yields. Per-function
+/// scripts compose pairwise (composeEditScripts), so a word ships only if
+/// it survived the whole chain; functions introduced mid-chain ship as
+/// full code. This is the stepwise route a version-chain planner compares
+/// against a fresh endpoint diff. Returns false when either package does
+/// not apply.
+bool composeImageUpdates(const BinaryImage &Base, const ImageUpdate &First,
+                         const ImageUpdate &Second, ImageUpdate &Out);
+
 /// Sensor-side reprogramming: applies \p Update to \p Old. Returns false if
 /// the package does not fit the old image.
 bool applyUpdate(const BinaryImage &Old, const ImageUpdate &Update,

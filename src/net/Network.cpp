@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <map>
 
 using namespace ucc;
 
@@ -214,6 +215,79 @@ DisseminationResult ucc::disseminate(const Topology &T, size_t ScriptBytes,
     Tel->addCounter("net.failed_packets", R.FailedPackets);
     Tel->addGauge("net.tx_joules", R.TotalTxJoules);
     Tel->addGauge("net.rx_joules", R.TotalRxJoules);
+  }
+  return R;
+}
+
+double CampaignResult::totalJoules() const {
+  double J = 0.0;
+  for (const UpdateCohort &C : Cohorts)
+    J += C.Flood.totalJoules();
+  return J;
+}
+
+size_t CampaignResult::totalBytesOnAir() const {
+  size_t Bytes = 0;
+  for (const UpdateCohort &C : Cohorts)
+    Bytes += C.Flood.BytesOnAir;
+  return Bytes;
+}
+
+CampaignResult
+ucc::runUpdateCampaign(const Topology &T,
+                       const std::vector<int> &NodeVersions,
+                       int TargetVersion,
+                       const std::function<size_t(int)> &ScriptBytesFor,
+                       const PacketFormat &Fmt, const Mica2Power &Power,
+                       const RadioChannel &Channel) {
+  assert(static_cast<int>(NodeVersions.size()) == T.NumNodes &&
+         "one deployed version per node");
+  ScopedSpan Span("campaign");
+  CampaignResult R;
+  R.TargetVersion = TargetVersion;
+
+  // Group stale nodes by deployed version (ordered: cohorts come out
+  // deterministically, oldest version first). Node 0 is the sink.
+  std::map<int, std::vector<int>> ByVersion;
+  for (int Node = 1; Node < T.NumNodes; ++Node) {
+    int V = NodeVersions[static_cast<size_t>(Node)];
+    if (V == TargetVersion) {
+      ++R.NodesCurrent;
+      continue;
+    }
+    ByVersion[V].push_back(Node);
+  }
+
+  Telemetry *Ev = eventTelemetry();
+  int CohortIdx = 0;
+  for (auto &[From, Nodes] : ByVersion) {
+    UpdateCohort C;
+    C.FromVersion = From;
+    C.Nodes = std::move(Nodes);
+    C.ScriptBytes = ScriptBytesFor(From);
+    // Every cohort gets its own whole-network flood (all nodes relay; only
+    // the cohort applies the script). Offsetting the seed decorrelates
+    // packet loss between the floods.
+    RadioChannel CohortChannel = Channel;
+    CohortChannel.Seed = Channel.Seed + static_cast<uint64_t>(CohortIdx);
+    C.Flood = disseminate(T, C.ScriptBytes, Fmt, Power, CohortChannel);
+    R.NodesUpdated += static_cast<int>(C.Nodes.size());
+    if (Ev)
+      Ev->recordEvent(TelemetryEvent::Phase::Instant, "campaign",
+                      "campaign.cohort", 0,
+                      {{"from", static_cast<double>(From)},
+                       {"to", static_cast<double>(TargetVersion)},
+                       {"nodes", static_cast<double>(C.Nodes.size())},
+                       {"script_bytes", static_cast<double>(C.ScriptBytes)},
+                       {"joules", C.Flood.totalJoules()}});
+    R.Cohorts.push_back(std::move(C));
+    ++CohortIdx;
+  }
+
+  if (Telemetry *Tel = currentTelemetry()) {
+    Tel->addCounter("net.campaigns");
+    Tel->addCounter("net.cohorts", static_cast<int64_t>(R.Cohorts.size()));
+    Tel->addGauge("net.campaign_joules", R.totalJoules());
   }
   return R;
 }

@@ -22,6 +22,7 @@
 #include "energy/EnergyModel.h"
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace ucc {
@@ -93,6 +94,52 @@ DisseminationResult disseminate(const Topology &T, size_t ScriptBytes,
                                 const PacketFormat &Fmt = PacketFormat(),
                                 const Mica2Power &Power = Mica2Power(),
                                 const RadioChannel &Channel = RadioChannel());
+
+//===----------------------------------------------------------------------===//
+// Fleet update campaigns
+//===----------------------------------------------------------------------===//
+//
+// After a few incremental updates a deployed network is rarely uniform:
+// nodes that slept through a round still run an older version. A campaign
+// brings every node to one target version by flooding, per deployed-version
+// cohort, the script that takes exactly that version to the target. The
+// script for each cohort is supplied by a callback so this layer stays
+// ignorant of how patches are planned (the compilation core binds its
+// version-store planner into it).
+
+/// The nodes sharing one deployed version, and the flood that updates them.
+struct UpdateCohort {
+  int FromVersion = -1;         ///< version this cohort currently runs
+  std::vector<int> Nodes;       ///< node ids in the cohort
+  size_t ScriptBytes = 0;       ///< script taking FromVersion -> target
+  DisseminationResult Flood;    ///< outcome of this cohort's flood
+};
+
+/// Outcome of one whole fleet campaign.
+struct CampaignResult {
+  int TargetVersion = -1;
+  std::vector<UpdateCohort> Cohorts; ///< one per distinct stale version
+  int NodesUpdated = 0;              ///< nodes brought to the target
+  int NodesCurrent = 0;              ///< nodes already at the target
+
+  double totalJoules() const;
+  size_t totalBytesOnAir() const;
+};
+
+/// Brings every node of \p T to \p TargetVersion. \p NodeVersions[i] is the
+/// version node i currently runs (the sink, node 0, is assumed current and
+/// its entry is ignored). \p ScriptBytesFor maps a deployed version to the
+/// byte size of the script taking it to the target; every distinct stale
+/// version triggers one network-wide flood of that script (all nodes relay,
+/// but only the cohort applies it). Cohort floods get decorrelated loss by
+/// offsetting Channel.Seed per cohort.
+CampaignResult
+runUpdateCampaign(const Topology &T, const std::vector<int> &NodeVersions,
+                  int TargetVersion,
+                  const std::function<size_t(int)> &ScriptBytesFor,
+                  const PacketFormat &Fmt = PacketFormat(),
+                  const Mica2Power &Power = Mica2Power(),
+                  const RadioChannel &Channel = RadioChannel());
 
 } // namespace ucc
 

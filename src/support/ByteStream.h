@@ -119,6 +119,12 @@ public:
   bool atEnd() const { return Pos == Size; }
   bool hadError() const { return Error; }
 
+  /// Latches the error state from outside: deserializers call this when a
+  /// successfully *read* value is semantically invalid (bad enum value,
+  /// negative size, out-of-range index), so one check at the end covers
+  /// both truncation and corruption.
+  void markError() { Error = true; }
+
 private:
   bool ensure(size_t N) {
     if (Error || Size - Pos < N) {

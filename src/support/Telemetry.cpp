@@ -76,12 +76,17 @@ void Telemetry::declareStandardCounters() {
       // diff: edit scripts (section 2.2).
       "diff.scripts", "diff.prims", "diff.script_bytes", "diff.bytes.copy",
       "diff.bytes.remove", "diff.bytes.insert", "diff.bytes.replace",
+      "diff.compositions",
+      // store: the sink-side version chain and its update planner.
+      "store.commits", "store.loads", "store.plans", "store.plans_direct",
+      "store.plans_chained",
       // sim: the SAVR simulator (section 5.1's Avrora stand-in).
       "sim.runs", "sim.steps", "sim.cycles", "sim.radio_packets",
       "sim.radio_words",
       // net: multi-hop dissemination (section 2.2).
       "net.floods", "net.packets", "net.bytes_on_air", "net.transmitters",
-      "net.retransmissions", "net.failed_packets"};
+      "net.retransmissions", "net.failed_packets", "net.campaigns",
+      "net.cohorts"};
   for (const char *Name : Standard)
     declareCounter(Name);
 }

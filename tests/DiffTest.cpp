@@ -127,6 +127,68 @@ TEST_P(ScriptRoundTrip, PatchReproducesNew) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScriptRoundTrip, ::testing::Range(0, 30));
 
+/// Chain composition: compose(A->B, B->C) patches A straight to C, and is
+/// never cheaper than a fresh A->C diff (reuse provenance only shrinks
+/// along a chain).
+class ScriptComposition : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScriptComposition, ComposedScriptPatchesEndToEnd) {
+  RNG Rng(static_cast<uint64_t>(GetParam()) * 11 + 5);
+  std::vector<uint32_t> V1 = randomWords(Rng, Rng.below(250));
+  std::vector<uint32_t> V2 =
+      mutate(Rng, V1, static_cast<int>(Rng.below(40)));
+  std::vector<uint32_t> V3 =
+      mutate(Rng, V2, static_cast<int>(Rng.below(40)));
+
+  EditScript S12 = makeEditScript(V1, V2);
+  EditScript S23 = makeEditScript(V2, V3);
+  EditScript S13;
+  ASSERT_TRUE(composeEditScripts(V1, S12, S23, S13));
+
+  std::vector<uint32_t> Patched;
+  ASSERT_TRUE(applyEditScript(V1, S13, Patched));
+  EXPECT_EQ(Patched, V3);
+
+  // A fresh endpoint diff sees every accidental match; the composed chain
+  // only keeps words both steps copied.
+  EXPECT_GE(S13.encodedBytes(), makeEditScript(V1, V3).encodedBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScriptComposition, ::testing::Range(0, 30));
+
+TEST(EditScript, ComposeRejectsScriptsForTheWrongBase) {
+  std::vector<uint32_t> V1 = {1, 2, 3, 4, 5};
+  std::vector<uint32_t> V2 = {1, 2, 9, 4, 5};
+  EditScript S12 = makeEditScript(V1, V2);
+  EditScript S23 = makeEditScript({7, 7, 7, 7, 7, 7, 7, 7, 7}, {7});
+  EditScript Out;
+  EXPECT_FALSE(composeEditScripts(V1, S12, S23, Out))
+      << "second script expects a 9-word base, the first produces 5 words";
+  EXPECT_FALSE(composeEditScripts({1, 2}, S12, S23, Out))
+      << "first script does not apply to a 2-word base";
+}
+
+TEST(EditScript, ComposeAcrossThreeSteps) {
+  // Composition is associative enough to fold a whole chain: fold the
+  // per-step scripts left to right and patch the base once.
+  RNG Rng(99);
+  std::vector<uint32_t> Versions[4];
+  Versions[0] = randomWords(Rng, 120);
+  for (int K = 1; K < 4; ++K)
+    Versions[K] = mutate(Rng, Versions[K - 1], 25);
+
+  EditScript Acc = makeEditScript(Versions[0], Versions[1]);
+  for (int K = 2; K < 4; ++K) {
+    EditScript Step = makeEditScript(Versions[K - 1], Versions[K]);
+    EditScript Next;
+    ASSERT_TRUE(composeEditScripts(Versions[0], Acc, Step, Next));
+    Acc = std::move(Next);
+  }
+  std::vector<uint32_t> Patched;
+  ASSERT_TRUE(applyEditScript(Versions[0], Acc, Patched));
+  EXPECT_EQ(Patched, Versions[3]);
+}
+
 TEST(Alignment, FindsLongestCommonRun) {
   std::vector<uint32_t> Old = {9, 1, 2, 3, 4, 9, 9};
   std::vector<uint32_t> New = {1, 2, 3, 4, 8};

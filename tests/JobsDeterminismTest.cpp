@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Compiler.h"
+#include "core/VersionStore.h"
 #include "diff/ImageDiff.h"
 #include "workloads/Workloads.h"
 
@@ -91,6 +92,54 @@ TEST(JobsDeterminism, RegAllocStatsOrderedByFunction) {
               Out8.RegAllocStats[F].IlpPivots)
         << "function " << F;
   }
+}
+
+TEST(JobsDeterminism, VersionStoreChainMatchesManualChainAcrossJobs) {
+  // Driving v1 -> v2 -> v3 through the store must be byte-identical to
+  // the hand-rolled compile/recompile chain, at every job count — the
+  // store is bookkeeping, never a different pipeline.
+  const UpdateCase &Case = updateCases()[2];
+  for (int Jobs : {1, 8}) {
+    VersionStore Store;
+    DiagnosticEngine Diag;
+    ASSERT_EQ(Store.addInitial(Case.OldSource, uccOptions(Jobs), Diag), 0)
+        << Diag.str();
+    ASSERT_EQ(Store.addUpdate(Case.NewSource, uccOptions(Jobs), Diag), 1)
+        << Diag.str();
+    ASSERT_EQ(Store.addUpdate(Case.OldSource, uccOptions(Jobs), Diag), 2)
+        << Diag.str();
+
+    CompileOutput V1 = mustCompile(Case.OldSource, uccOptions(Jobs));
+    CompileOutput V2 =
+        mustRecompile(Case.NewSource, V1.Record, uccOptions(Jobs));
+    CompileOutput V3 =
+        mustRecompile(Case.OldSource, V2.Record, uccOptions(Jobs));
+
+    EXPECT_EQ(Store.find(0)->Image.serialize(), V1.Image.serialize())
+        << "jobs=" << Jobs;
+    EXPECT_EQ(Store.find(1)->Image.serialize(), V2.Image.serialize())
+        << "jobs=" << Jobs;
+    EXPECT_EQ(Store.find(2)->Image.serialize(), V3.Image.serialize())
+        << "jobs=" << Jobs;
+    EXPECT_EQ(Store.find(2)->Record.serialize(), V3.Record.serialize())
+        << "jobs=" << Jobs;
+  }
+
+  // And the planned packages agree across job counts.
+  VersionStore S1, S8;
+  for (auto [Store, Jobs] : {std::pair<VersionStore *, int>{&S1, 1},
+                             {&S8, 8}}) {
+    DiagnosticEngine Diag;
+    ASSERT_EQ(Store->addInitial(Case.OldSource, uccOptions(Jobs), Diag),
+              0);
+    ASSERT_EQ(Store->addUpdate(Case.NewSource, uccOptions(Jobs), Diag), 1);
+    ASSERT_EQ(Store->addUpdate(Case.OldSource, uccOptions(Jobs), Diag), 2);
+  }
+  auto P1 = S1.plan(0, 2);
+  auto P8 = S8.plan(0, 2);
+  ASSERT_TRUE(P1.has_value() && P8.has_value());
+  EXPECT_EQ(P1->Route, P8->Route);
+  EXPECT_EQ(P1->Update.serialize(), P8->Update.serialize());
 }
 
 } // namespace

@@ -115,6 +115,76 @@ TEST(Serialization, RecordSurvivesFullRoundTripAndStillCompiles) {
   EXPECT_EQ(FromMem->Image.DataInit, FromDisk->Image.DataInit);
 }
 
+TEST(Serialization, RecordRejectsEveryTruncation) {
+  // No proper prefix of a record may parse: the format embeds its element
+  // counts, so running out of bytes mid-structure must latch an error.
+  CompileOutput Out = mustCompile(workloadSource("Blink"));
+  std::vector<uint8_t> Bytes = Out.Record.serialize();
+  for (size_t Cut = 0; Cut < Bytes.size(); ++Cut) {
+    std::vector<uint8_t> Trunc(Bytes.begin(),
+                               Bytes.begin() + static_cast<long>(Cut));
+    CompilationRecord Back;
+    EXPECT_FALSE(CompilationRecord::deserialize(Trunc, Back))
+        << "accepted a record truncated to " << Cut << " of "
+        << Bytes.size() << " bytes";
+  }
+}
+
+TEST(Serialization, RecordBitFlipFuzzNeverCrashes) {
+  // Single-bit corruption anywhere in the record must either be rejected
+  // or decode to *some* record — never crash or read out of bounds. Most
+  // flips land in counts, opcodes or sizes and are caught by the semantic
+  // validation; flips inside name bytes or operand values legitimately
+  // survive.
+  CompileOutput Out = mustCompile(workloadSource("CntToLedsAndRfm"));
+  std::vector<uint8_t> Bytes = Out.Record.serialize();
+  RNG Rng(7);
+  int Rejected = 0;
+  const int Trials = 500;
+  for (int Trial = 0; Trial < Trials; ++Trial) {
+    std::vector<uint8_t> Flipped = Bytes;
+    size_t Byte = Rng.below(static_cast<uint32_t>(Flipped.size()));
+    Flipped[Byte] ^= static_cast<uint8_t>(1u << Rng.below(8));
+    CompilationRecord Back;
+    if (!CompilationRecord::deserialize(Flipped, Back))
+      ++Rejected;
+  }
+  // The validation must actually bite: a decoder that swallowed every
+  // flip would be accepting corrupt opcodes and counts.
+  EXPECT_GT(Rejected, 0);
+}
+
+TEST(Serialization, RecordRejectsCorruptOpcode) {
+  CompileOutput Out = mustCompile(workloadSource("Blink"));
+  CompilationRecord Rec = Out.Record;
+  ASSERT_FALSE(Rec.FinalCode.empty());
+  ASSERT_FALSE(Rec.FinalCode[0].Blocks.empty());
+  ASSERT_FALSE(Rec.FinalCode[0].Blocks[0].Instrs.empty());
+  Rec.FinalCode[0].Blocks[0].Instrs[0].Op = static_cast<MOp>(0xee);
+  CompilationRecord Back;
+  EXPECT_FALSE(CompilationRecord::deserialize(Rec.serialize(), Back));
+}
+
+TEST(Serialization, RecordRejectsOutOfRangeSuccessor) {
+  CompileOutput Out = mustCompile(workloadSource("Blink"));
+  CompilationRecord Rec = Out.Record;
+  ASSERT_FALSE(Rec.FinalCode.empty());
+  ASSERT_FALSE(Rec.FinalCode[0].Blocks.empty());
+  Rec.FinalCode[0].Blocks[0].Succs.push_back(9999);
+  CompilationRecord Back;
+  EXPECT_FALSE(CompilationRecord::deserialize(Rec.serialize(), Back));
+}
+
+TEST(Serialization, RecordRejectsMismatchedTables) {
+  // FinalCode and FrameOffsets must stay parallel to FunctionNames — the
+  // compiler indexes one by the other.
+  CompileOutput Out = mustCompile(workloadSource("Blink"));
+  CompilationRecord Rec = Out.Record;
+  Rec.FunctionNames.push_back("phantom");
+  CompilationRecord Back;
+  EXPECT_FALSE(CompilationRecord::deserialize(Rec.serialize(), Back));
+}
+
 TEST(Serialization, RandomGarbageNeverCrashesTheDecoders) {
   RNG Rng(2024);
   for (int Trial = 0; Trial < 200; ++Trial) {

@@ -272,4 +272,156 @@ TEST_F(ToolFixture, BaselineFlagProducesBiggerScript) {
   EXPECT_LE(readFile("ucc.pkg").size(), readFile("base.pkg").size());
 }
 
+TEST_F(ToolFixture, CliUsageErrorsExitTwoWithAMessage) {
+  writeFile("v1.mc", SourceV1);
+
+  // Unknown command.
+  EXPECT_EQ(uccc("frobnicate"), 2);
+  EXPECT_NE(capturedOutput().find("unknown command"), std::string::npos)
+      << capturedOutput();
+
+  // Unknown flag — must be rejected, not silently ignored.
+  EXPECT_EQ(uccc("compile " + path("v1.mc") + " -o " + path("v1.img") +
+                 " --bogus-flag"),
+            2);
+  EXPECT_NE(capturedOutput().find("unknown argument '--bogus-flag'"),
+            std::string::npos)
+      << capturedOutput();
+
+  // A value flag at the end of the line has no value.
+  EXPECT_EQ(uccc("compile " + path("v1.mc") + " -o"), 2);
+  EXPECT_NE(capturedOutput().find("option '-o' expects a value"),
+            std::string::npos)
+      << capturedOutput();
+
+  // Malformed numbers are diagnosed instead of atoi'd to zero.
+  writeFile("dummy.img", "x");
+  EXPECT_EQ(uccc("run " + path("dummy.img") + " --steps banana"), 2);
+  EXPECT_NE(capturedOutput().find("--steps expects an integer"),
+            std::string::npos)
+      << capturedOutput();
+
+  // A stray positional is rejected too.
+  EXPECT_EQ(uccc("compile " + path("v1.mc") + " extra.mc -o " +
+                 path("v1.img")),
+            2);
+  EXPECT_NE(capturedOutput().find("unknown argument"), std::string::npos)
+      << capturedOutput();
+}
+
+TEST_F(ToolFixture, RecordLoadFailureIsDiagnosed) {
+  writeFile("v2.mc", SourceV2);
+  writeFile("broken.rec", "not a record at all");
+  writeFile("v1.img", "x");
+  EXPECT_EQ(uccc("update " + path("v2.mc") + " --record " +
+                 path("broken.rec") + " --image " + path("v1.img") +
+                 " -o " + path("out.img")),
+            1);
+  EXPECT_NE(capturedOutput().find("not a valid compilation record"),
+            std::string::npos)
+      << capturedOutput();
+
+  EXPECT_EQ(uccc("update " + path("v2.mc") + " --record " +
+                 path("missing.rec") + " --image " + path("v1.img") +
+                 " -o " + path("out.img")),
+            1);
+  EXPECT_NE(capturedOutput().find("cannot open"), std::string::npos)
+      << capturedOutput();
+}
+
+TEST_F(ToolFixture, StoreWorkflowCommitHistoryPlanCampaign) {
+  writeFile("v1.mc", SourceV1);
+  writeFile("v2.mc", SourceV2);
+  std::string Store = " --store " + path("store");
+
+  // Three commits: v0 (initial), v1, v2 (back to the old source).
+  ASSERT_EQ(uccc("commit " + path("v1.mc") + Store), 0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("committed v0"), std::string::npos);
+  ASSERT_EQ(uccc("commit " + path("v2.mc") + Store), 0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("committed v1"), std::string::npos);
+  ASSERT_EQ(uccc("commit " + path("v1.mc") + Store), 0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("committed v2"), std::string::npos);
+
+  // The artifacts live on disk.
+  EXPECT_FALSE(readFile("store/manifest.json").empty());
+  EXPECT_FALSE(readFile("store/v2.img").empty());
+  EXPECT_FALSE(readFile("store/v2.rec").empty());
+
+  ASSERT_EQ(uccc("history" + Store), 0) << capturedOutput();
+  EXPECT_NE(capturedOutput().find("3 version(s)"), std::string::npos)
+      << capturedOutput();
+
+  // Plan across the whole chain and write the package; it must patch v0's
+  // stored image to v2's, byte for byte.
+  ASSERT_EQ(uccc("plan" + Store + " --from 0 --to 2 -o " +
+                 path("plan.pkg")),
+            0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("direct diff:"), std::string::npos);
+  EXPECT_NE(capturedOutput().find("composed chain:"), std::string::npos);
+  ASSERT_EQ(uccc("patch " + path("store/v0.img") + " " + path("plan.pkg") +
+                 " -o " + path("patched.img")),
+            0)
+      << capturedOutput();
+  EXPECT_EQ(readFile("patched.img"), readFile("store/v2.img"));
+
+  // A campaign over a mixed-version line fleet reports per-cohort floods.
+  ASSERT_EQ(uccc("campaign" + Store +
+                 " --target 2 --deployed 2,0,0,1,1,2 --loss 0.1"),
+            0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("cohort v0"), std::string::npos)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("cohort v1"), std::string::npos);
+  EXPECT_NE(capturedOutput().find("4 node(s) updated, 1 already current"),
+            std::string::npos)
+      << capturedOutput();
+
+  // Planning to a downgrade target still works (direct route).
+  ASSERT_EQ(uccc("plan" + Store + " --from 2 --to 0"), 0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("not an ancestor"), std::string::npos)
+      << capturedOutput();
+}
+
+TEST_F(ToolFixture, StoreCliDiagnostics) {
+  writeFile("v1.mc", SourceV1);
+  // --store is required.
+  EXPECT_EQ(uccc("history"), 2);
+  EXPECT_NE(capturedOutput().find("requires --store"), std::string::npos)
+      << capturedOutput();
+
+  // Planning in an empty store is an operational error.
+  EXPECT_EQ(uccc("plan --store " + path("empty") + " --from 0 --to 1"), 1);
+  EXPECT_NE(capturedOutput().find("cannot plan"), std::string::npos)
+      << capturedOutput();
+
+  // --parent on the very first commit is meaningless.
+  EXPECT_EQ(uccc("commit " + path("v1.mc") + " --store " + path("fresh") +
+                 " --parent 0"),
+            2);
+  EXPECT_NE(capturedOutput().find("initial commit"), std::string::npos)
+      << capturedOutput();
+
+  // A corrupt manifest is reported, not crashed on.
+  ASSERT_EQ(uccc("commit " + path("v1.mc") + " --store " + path("store")),
+            0);
+  writeFile("store/manifest.json", "{ broken");
+  EXPECT_EQ(uccc("history --store " + path("store")), 1);
+  EXPECT_NE(capturedOutput().find("cannot open version store"),
+            std::string::npos)
+      << capturedOutput();
+
+  // Campaign argument validation: deployed list must match the topology.
+  EXPECT_EQ(uccc("campaign --store " + path("store") +
+                 " --target 0 --deployed 0,0 --topology line:5"),
+            2);
+  EXPECT_NE(capturedOutput().find("2 versions but the topology has 5"),
+            std::string::npos)
+      << capturedOutput();
+}
+
 } // namespace

@@ -57,7 +57,8 @@ const char *const BenchNames[] = {
     "fig12_energy_savings",     "fig13_constraints",
     "fig14_iterations",         "fig15_solve_time",
     "fig16_data_alloc",         "ablation_chunk_threshold",
-    "ablation_minlp_vs_ilp",    "ablation_splits"};
+    "ablation_minlp_vs_ilp",    "ablation_splits",
+    "version_chain"};
 
 [[noreturn]] void die(const std::string &Message) {
   std::fprintf(stderr, "ucc-report: %s\n", Message.c_str());

@@ -17,15 +17,28 @@
 ///   uccc dis      app.img
 ///   uccc diff     old.img new.img
 ///
+/// and the stateful sink workflow over an on-disk version store:
+///
+///   uccc commit   app_vN.mc --store dir [--parent K] [--baseline] ...
+///   uccc history  --store dir
+///   uccc plan     --store dir --from K --to N [-o update.pkg]
+///   uccc campaign --store dir --target N --deployed v,v,...
+///                 [--topology line:40|grid:8x5|star:20] [--loss p]
+///
 /// Every command additionally accepts `--trace-json <file>` (write the
 /// telemetry registry as JSON, schema in docs/OBSERVABILITY.md),
 /// `--trace-events <file>` (write a Chrome trace-event JSON file of the
 /// structured event timeline — load it in Perfetto / chrome://tracing) and
 /// `--stats` (print a human-readable telemetry summary after the command).
 ///
+/// Exit codes: 0 success, 1 operational failure (bad input file, failed
+/// compile), 2 command-line usage error (unknown flag/command, missing
+/// option value, malformed number).
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/Compiler.h"
+#include "core/VersionStore.h"
 #include "sim/Simulator.h"
 #include "support/Format.h"
 #include "support/Telemetry.h"
@@ -47,6 +60,14 @@ namespace {
   std::exit(1);
 }
 
+/// Usage errors (malformed command line, as opposed to bad input files)
+/// exit with 2, like usage() itself.
+[[noreturn]] void dieCli(const std::string &Message) {
+  std::fprintf(stderr, "uccc: %s\n", Message.c_str());
+  std::fprintf(stderr, "uccc: run 'uccc' without arguments for usage\n");
+  std::exit(2);
+}
+
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
@@ -61,6 +82,16 @@ namespace {
       "  uccc run     <img> [--steps <n>] [--sensor v,v,...] [--profile]\n"
       "  uccc dis     <img>\n"
       "  uccc diff    <old-img> <new-img>\n"
+      "  uccc commit  <src> --store <dir> [--parent <id>] [-o <img>]\n"
+      "               [--record <rec>] [--baseline] [--cnt <n>]\n"
+      "               [--spacet <n>] [--k <n>]\n"
+      "               [--strategy greedy|ilp|hybrid]\n"
+      "               [--ilp-max-binaries <n>]\n"
+      "  uccc history --store <dir>\n"
+      "  uccc plan    --store <dir> --from <id> --to <id> [-o <pkg>]\n"
+      "  uccc campaign --store <dir> --target <id> --deployed v,v,...\n"
+      "               [--topology line:<n>|grid:<w>x<h>|star:<n>]\n"
+      "               [--loss <p>] [--seed <n>]\n"
       "global flags (any command):\n"
       "  --jobs <n>            worker threads for parallel phases\n"
       "                        (default: hardware concurrency, or the\n"
@@ -70,6 +101,23 @@ namespace {
       "  --trace-events <file> write a Chrome trace-event JSON timeline\n"
       "  --stats               print a telemetry summary to stdout\n");
   std::exit(2);
+}
+
+/// Strict integer parse: the whole string must be a number.
+int parseInt(const std::string &Text, const char *What) {
+  char *End = nullptr;
+  long V = std::strtol(Text.c_str(), &End, 10);
+  if (Text.empty() || *End != '\0')
+    dieCli(format("%s expects an integer, got '%s'", What, Text.c_str()));
+  return static_cast<int>(V);
+}
+
+double parseDouble(const std::string &Text, const char *What) {
+  char *End = nullptr;
+  double V = std::strtod(Text.c_str(), &End);
+  if (Text.empty() || *End != '\0')
+    dieCli(format("%s expects a number, got '%s'", What, Text.c_str()));
+  return V;
 }
 
 std::string readTextFile(const std::string &Path) {
@@ -112,10 +160,14 @@ CompilationRecord loadRecord(const std::string &Path) {
   return Rec;
 }
 
-/// Simple flag cursor over argv.
+/// Simple flag cursor over argv. Commands pull their flags and
+/// positionals, then call finish(), which rejects anything left over —
+/// so a typoed flag is an error rather than silently ignored.
 class Args {
 public:
-  Args(int Argc, char **Argv) : Argv(Argv), Argc(Argc) {}
+  Args(int Argc, char **Argv)
+      : Argv(Argv), Argc(Argc),
+        Consumed(static_cast<size_t>(Argc), false) {}
 
   /// Next positional argument, or empty when none remain.
   std::string positional() {
@@ -141,13 +193,23 @@ public:
   }
 
   std::string option(const char *Name, const std::string &Default = "") {
-    for (int K = 0; K + 1 < Argc; ++K)
+    for (int K = 0; K < Argc; ++K)
       if (std::strcmp(Argv[K], Name) == 0) {
+        if (K + 1 >= Argc)
+          dieCli(format("option '%s' expects a value", Name));
         Consumed[static_cast<size_t>(K)] = true;
         Consumed[static_cast<size_t>(K + 1)] = true;
         return Argv[K + 1];
       }
     return Default;
+  }
+
+  /// Rejects every argument no command consumed: unknown flags, stray
+  /// positionals, values of unrecognized options.
+  void finish() const {
+    for (int K = 0; K < Argc; ++K)
+      if (!Consumed[static_cast<size_t>(K)])
+        dieCli(format("unknown argument '%s'", Argv[K]));
   }
 
 private:
@@ -160,7 +222,11 @@ private:
                                       "--strategy",  "--trace-json",
                                       "--trace-events",
                                       "--ilp-max-binaries",
-                                      "--jobs"};
+                                      "--jobs",      "--store",
+                                      "--parent",    "--from",
+                                      "--to",        "--target",
+                                      "--deployed",  "--topology",
+                                      "--loss",      "--seed"};
     for (const char *F : WithValue)
       if (std::strcmp(Flag, F) == 0)
         return true;
@@ -170,21 +236,66 @@ private:
   char **Argv;
   int Argc;
   int Pos = 0;
-  std::vector<bool> Consumed = std::vector<bool>(256, false);
+  std::vector<bool> Consumed;
 };
 
 void reportDiagnostics(const DiagnosticEngine &Diag) {
   std::fprintf(stderr, "%s", Diag.str().c_str());
 }
 
+/// The UCC-vs-baseline knobs shared by `update` and `commit`.
+CompileOptions parseCompileKnobs(Args &A) {
+  CompileOptions Opts;
+  if (!A.flag("--baseline")) {
+    Opts.RA = RegAllocKind::UpdateConscious;
+    Opts.DA = DataAllocKind::UpdateConscious;
+  }
+  std::string Cnt = A.option("--cnt");
+  if (!Cnt.empty())
+    Opts.Ucc.Cnt = parseDouble(Cnt, "--cnt");
+  std::string SpaceT = A.option("--spacet");
+  if (!SpaceT.empty())
+    Opts.UccDa.SpaceT = parseInt(SpaceT, "--spacet");
+  std::string K = A.option("--k");
+  if (!K.empty())
+    Opts.Ucc.ChunkK = parseInt(K, "--k");
+  std::string Strategy = A.option("--strategy");
+  if (Strategy == "greedy")
+    Opts.Ucc.Strategy = UccStrategy::Greedy;
+  else if (Strategy == "ilp")
+    Opts.Ucc.Strategy = UccStrategy::Ilp;
+  else if (Strategy == "hybrid")
+    Opts.Ucc.Strategy = UccStrategy::Hybrid;
+  else if (!Strategy.empty())
+    dieCli("unknown --strategy '" + Strategy + "'");
+  std::string IlpBudget = A.option("--ilp-max-binaries");
+  if (!IlpBudget.empty())
+    Opts.Ucc.IlpMaxBinaries = parseInt(IlpBudget, "--ilp-max-binaries");
+  return Opts;
+}
+
+VersionStore openStoreOrDie(const std::string &Dir) {
+  DiagnosticEngine Diag;
+  auto Store = VersionStore::open(Dir, Diag);
+  if (!Store) {
+    reportDiagnostics(Diag);
+    die("cannot open version store '" + Dir + "'");
+  }
+  return std::move(*Store);
+}
+
 int cmdCompile(Args &A) {
   std::string Src = A.positional();
   std::string OutPath = A.option("-o");
+  std::string RecPath = A.option("--record");
+  bool O0 = A.flag("--O0");
+  bool Dis = A.flag("--dis");
   if (Src.empty() || OutPath.empty())
     usage();
+  A.finish();
 
   CompileOptions Opts;
-  if (A.flag("--O0"))
+  if (O0)
     Opts.Opt = OptLevel::O0;
 
   DiagnosticEngine Diag;
@@ -194,10 +305,9 @@ int cmdCompile(Args &A) {
     return 1;
   }
   writeBinaryFile(OutPath, Out->Image.serialize());
-  std::string RecPath = A.option("--record");
   if (!RecPath.empty())
     writeBinaryFile(RecPath, Out->Record.serialize());
-  if (A.flag("--dis"))
+  if (Dis)
     std::printf("%s", Out->Image.disassemble().c_str());
   std::printf("compiled %s: %zu instructions, %zu data words -> %s\n",
               Src.c_str(), Out->Image.Code.size(),
@@ -210,38 +320,15 @@ int cmdUpdate(Args &A) {
   std::string RecPath = A.option("--record");
   std::string ImgPath = A.option("--image");
   std::string OutPath = A.option("-o");
+  std::string NewRecPath = A.option("--new-record");
+  std::string ScriptPath = A.option("--script");
+  CompileOptions Opts = parseCompileKnobs(A);
   if (Src.empty() || RecPath.empty() || ImgPath.empty() || OutPath.empty())
     usage();
+  A.finish();
 
   CompilationRecord OldRec = loadRecord(RecPath);
   BinaryImage OldImg = loadImage(ImgPath);
-
-  CompileOptions Opts;
-  if (!A.flag("--baseline")) {
-    Opts.RA = RegAllocKind::UpdateConscious;
-    Opts.DA = DataAllocKind::UpdateConscious;
-  }
-  std::string Cnt = A.option("--cnt");
-  if (!Cnt.empty())
-    Opts.Ucc.Cnt = std::atof(Cnt.c_str());
-  std::string SpaceT = A.option("--spacet");
-  if (!SpaceT.empty())
-    Opts.UccDa.SpaceT = std::atoi(SpaceT.c_str());
-  std::string K = A.option("--k");
-  if (!K.empty())
-    Opts.Ucc.ChunkK = std::atoi(K.c_str());
-  std::string Strategy = A.option("--strategy");
-  if (Strategy == "greedy")
-    Opts.Ucc.Strategy = UccStrategy::Greedy;
-  else if (Strategy == "ilp")
-    Opts.Ucc.Strategy = UccStrategy::Ilp;
-  else if (Strategy == "hybrid")
-    Opts.Ucc.Strategy = UccStrategy::Hybrid;
-  else if (!Strategy.empty())
-    die("unknown --strategy '" + Strategy + "'");
-  std::string IlpBudget = A.option("--ilp-max-binaries");
-  if (!IlpBudget.empty())
-    Opts.Ucc.IlpMaxBinaries = std::atoi(IlpBudget.c_str());
 
   DiagnosticEngine Diag;
   auto Out = Compiler::recompile(readTextFile(Src), OldRec, Opts, Diag);
@@ -250,14 +337,11 @@ int cmdUpdate(Args &A) {
     return 1;
   }
   writeBinaryFile(OutPath, Out->Image.serialize());
-
-  std::string NewRecPath = A.option("--new-record");
   if (!NewRecPath.empty())
     writeBinaryFile(NewRecPath, Out->Record.serialize());
 
   ImageUpdate Update = makeImageUpdate(OldImg, Out->Image);
   ImageDiff Diff = diffImages(OldImg, Out->Image);
-  std::string ScriptPath = A.option("--script");
   if (!ScriptPath.empty())
     writeBinaryFile(ScriptPath, Update.serialize());
 
@@ -279,6 +363,7 @@ int cmdPatch(Args &A) {
   std::string OutPath = A.option("-o");
   if (ImgPath.empty() || PkgPath.empty() || OutPath.empty())
     usage();
+  A.finish();
 
   BinaryImage Old = loadImage(ImgPath);
   ImageUpdate Update;
@@ -296,24 +381,28 @@ int cmdPatch(Args &A) {
 
 int cmdRun(Args &A) {
   std::string ImgPath = A.positional();
+  std::string Steps = A.option("--steps");
+  std::string Sensor = A.option("--sensor");
+  bool Profile = A.flag("--profile");
   if (ImgPath.empty())
     usage();
-  BinaryImage Img = loadImage(ImgPath);
+  A.finish();
 
+  // Validate the whole command line before touching the image file.
   SimOptions Opts;
-  std::string Steps = A.option("--steps");
   if (!Steps.empty())
-    Opts.MaxSteps = static_cast<uint64_t>(std::atoll(Steps.c_str()));
-  std::string Sensor = A.option("--sensor");
+    Opts.MaxSteps = static_cast<uint64_t>(parseInt(Steps, "--steps"));
   for (size_t At = 0; At < Sensor.size();) {
     size_t Comma = Sensor.find(',', At);
     if (Comma == std::string::npos)
       Comma = Sensor.size();
     Opts.SensorInput.push_back(static_cast<int16_t>(
-        std::atoi(Sensor.substr(At, Comma - At).c_str())));
+        parseInt(Sensor.substr(At, Comma - At), "--sensor")));
     At = Comma + 1;
   }
-  Opts.CollectProfile = A.flag("--profile");
+  Opts.CollectProfile = Profile;
+
+  BinaryImage Img = loadImage(ImgPath);
 
   RunResult R = runImage(Img, Opts);
   if (R.Trapped) {
@@ -360,6 +449,7 @@ int cmdDis(Args &A) {
   std::string ImgPath = A.positional();
   if (ImgPath.empty())
     usage();
+  A.finish();
   std::printf("%s", loadImage(ImgPath).disassemble().c_str());
   return 0;
 }
@@ -369,6 +459,7 @@ int cmdDiff(Args &A) {
   std::string NewPath = A.positional();
   if (OldPath.empty() || NewPath.empty())
     usage();
+  A.finish();
   BinaryImage Old = loadImage(OldPath);
   BinaryImage New = loadImage(NewPath);
   ImageDiff D = diffImages(Old, New);
@@ -379,6 +470,178 @@ int cmdDiff(Args &A) {
                 F.NewCount, F.Matched, F.diffInst());
   std::printf("total Diff_inst: %d (data words changed: %d)\n",
               D.totalDiffInst(), D.DataWordsChanged);
+  return 0;
+}
+
+int cmdCommit(Args &A) {
+  std::string Src = A.positional();
+  std::string ParentArg = A.option("--parent");
+  std::string OutPath = A.option("-o");
+  std::string RecPath = A.option("--record");
+  CompileOptions Opts = parseCompileKnobs(A);
+  std::string StoreDir = A.option("--store");
+  if (StoreDir.empty())
+    dieCli("this command requires --store <dir>");
+  if (Src.empty())
+    usage();
+  A.finish();
+  VersionStore Store = openStoreOrDie(StoreDir);
+
+  std::string Source = readTextFile(Src);
+  DiagnosticEngine Diag;
+  int Id;
+  if (Store.size() == 0) {
+    if (!ParentArg.empty())
+      dieCli("--parent makes no sense for the initial commit");
+    Id = Store.addInitial(Source, Opts, Diag);
+  } else {
+    int Parent = ParentArg.empty() ? -1 : parseInt(ParentArg, "--parent");
+    Id = Store.addUpdate(Source, Opts, Diag, Parent);
+  }
+  if (Id < 0) {
+    reportDiagnostics(Diag);
+    return 1;
+  }
+  const StoredVersion *V = Store.find(Id);
+  if (!OutPath.empty())
+    writeBinaryFile(OutPath, V->Image.serialize());
+  if (!RecPath.empty())
+    writeBinaryFile(RecPath, V->Record.serialize());
+  if (V->Parent < 0)
+    std::printf("committed v%d (initial, %zu instructions) -> %s\n", V->Id,
+                V->Image.Code.size(), Store.directory().c_str());
+  else
+    std::printf("committed v%d (parent v%d, script %zu bytes) -> %s\n",
+                V->Id, V->Parent, V->ScriptBytesFromParent,
+                Store.directory().c_str());
+  return 0;
+}
+
+int cmdHistory(Args &A) {
+  std::string StoreDir = A.option("--store");
+  if (StoreDir.empty())
+    dieCli("this command requires --store <dir>");
+  A.finish();
+  VersionStore Store = openStoreOrDie(StoreDir);
+  std::printf("%-4s %-6s %-16s %10s %8s %8s\n", "id", "parent",
+              "source-hash", "script", "code", "data");
+  for (const StoredVersion &V : Store.versions()) {
+    std::string Parent = V.Parent < 0 ? "-" : format("v%d", V.Parent);
+    std::string Script =
+        V.Parent < 0 ? "-" : format("%zu", V.ScriptBytesFromParent);
+    std::printf("v%-3d %-6s %-16s %10s %8zu %8zu\n", V.Id, Parent.c_str(),
+                V.SourceHash.c_str(), Script.c_str(), V.Image.Code.size(),
+                V.Image.DataInit.size());
+  }
+  std::printf("%zu version(s)\n", Store.size());
+  return 0;
+}
+
+int cmdPlan(Args &A) {
+  std::string FromArg = A.option("--from");
+  std::string ToArg = A.option("--to");
+  std::string OutPath = A.option("-o");
+  std::string StoreDir = A.option("--store");
+  if (StoreDir.empty())
+    dieCli("this command requires --store <dir>");
+  if (FromArg.empty() || ToArg.empty())
+    dieCli("plan requires --from <id> and --to <id>");
+  int From = parseInt(FromArg, "--from");
+  int To = parseInt(ToArg, "--to");
+  A.finish();
+  VersionStore Store = openStoreOrDie(StoreDir);
+
+  auto P = Store.plan(From, To);
+  if (!P)
+    die(format("cannot plan update v%d -> v%d (unknown version?)", From,
+               To));
+  if (!OutPath.empty())
+    writeBinaryFile(OutPath, P->Update.serialize());
+  const char *Route =
+      P->Route == UpdatePlan::RouteKind::Direct ? "direct" : "chained";
+  std::printf("plan v%d -> v%d: %s, %zu bytes\n", P->From, P->To, Route,
+              P->ScriptBytes);
+  std::printf("  direct diff:    %zu bytes\n", P->DirectBytes);
+  if (P->ChainSteps > 0)
+    std::printf("  composed chain: %zu bytes (%d steps)\n",
+                P->ChainedBytes, P->ChainSteps);
+  else
+    std::printf("  composed chain: n/a (v%d is not an ancestor of v%d)\n",
+                P->From, P->To);
+  return 0;
+}
+
+int cmdCampaign(Args &A) {
+  std::string TargetArg = A.option("--target");
+  std::string Deployed = A.option("--deployed");
+  std::string TopoArg = A.option("--topology");
+  std::string LossArg = A.option("--loss");
+  std::string SeedArg = A.option("--seed");
+  std::string StoreDir = A.option("--store");
+  if (StoreDir.empty())
+    dieCli("this command requires --store <dir>");
+  if (TargetArg.empty() || Deployed.empty())
+    dieCli("campaign requires --target <id> and --deployed v,v,...");
+  int Target = parseInt(TargetArg, "--target");
+  A.finish();
+
+  std::vector<int> NodeVersions;
+  for (size_t At = 0; At < Deployed.size();) {
+    size_t Comma = Deployed.find(',', At);
+    if (Comma == std::string::npos)
+      Comma = Deployed.size();
+    NodeVersions.push_back(
+        parseInt(Deployed.substr(At, Comma - At), "--deployed"));
+    At = Comma + 1;
+  }
+
+  Topology T;
+  if (TopoArg.empty() || TopoArg.rfind("line:", 0) == 0) {
+    int N = TopoArg.empty()
+                ? static_cast<int>(NodeVersions.size())
+                : parseInt(TopoArg.substr(5), "--topology line:<n>");
+    T = Topology::line(N);
+  } else if (TopoArg.rfind("grid:", 0) == 0) {
+    std::string Spec = TopoArg.substr(5);
+    size_t X = Spec.find('x');
+    if (X == std::string::npos)
+      dieCli("--topology grid expects grid:<w>x<h>");
+    T = Topology::grid(parseInt(Spec.substr(0, X), "--topology grid:<w>"),
+                       parseInt(Spec.substr(X + 1), "--topology grid:<h>"));
+  } else if (TopoArg.rfind("star:", 0) == 0) {
+    T = Topology::star(parseInt(TopoArg.substr(5), "--topology star:<n>"));
+  } else {
+    dieCli("unknown --topology '" + TopoArg +
+           "' (expected line:<n>, grid:<w>x<h> or star:<n>)");
+  }
+  if (static_cast<int>(NodeVersions.size()) != T.NumNodes)
+    dieCli(format("--deployed lists %zu versions but the topology has %d "
+                  "nodes",
+                  NodeVersions.size(), T.NumNodes));
+
+  RadioChannel Channel;
+  if (!LossArg.empty())
+    Channel.LossRate = parseDouble(LossArg, "--loss");
+  if (!SeedArg.empty())
+    Channel.Seed = static_cast<uint64_t>(parseInt(SeedArg, "--seed"));
+
+  VersionStore Store = openStoreOrDie(StoreDir);
+  DiagnosticEngine Diag;
+  auto R = planFleetCampaign(Store, T, NodeVersions, Target, Diag,
+                             PacketFormat(), Mica2Power(), Channel);
+  if (!R) {
+    reportDiagnostics(Diag);
+    return 1;
+  }
+  std::printf("campaign to v%d: %d node(s) updated, %d already current\n",
+              R->TargetVersion, R->NodesUpdated, R->NodesCurrent);
+  for (const UpdateCohort &C : R->Cohorts)
+    std::printf("  cohort v%-3d %3zu node(s)  script %6zu bytes  "
+                "%4d packets  %.6f J\n",
+                C.FromVersion, C.Nodes.size(), C.ScriptBytes,
+                C.Flood.Packets, C.Flood.totalJoules());
+  std::printf("total: %zu bytes on air, %.6f J\n", R->totalBytesOnAir(),
+              R->totalJoules());
   return 0;
 }
 
@@ -417,7 +680,15 @@ int dispatch(const std::string &Cmd, Args &A) {
     return cmdDis(A);
   if (Cmd == "diff")
     return cmdDiff(A);
-  usage();
+  if (Cmd == "commit")
+    return cmdCommit(A);
+  if (Cmd == "history")
+    return cmdHistory(A);
+  if (Cmd == "plan")
+    return cmdPlan(A);
+  if (Cmd == "campaign")
+    return cmdCampaign(A);
+  dieCli("unknown command '" + Cmd + "'");
 }
 
 } // namespace
@@ -433,9 +704,9 @@ int main(int Argc, char **Argv) {
   bool WantStats = A.flag("--stats");
   std::string JobsArg = A.option("--jobs");
   if (!JobsArg.empty()) {
-    int Jobs = std::atoi(JobsArg.c_str());
+    int Jobs = parseInt(JobsArg, "--jobs");
     if (Jobs <= 0)
-      die("--jobs expects a positive integer");
+      dieCli("--jobs expects a positive integer");
     ThreadPool::setDefaultJobs(Jobs);
   }
 
