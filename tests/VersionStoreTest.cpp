@@ -1,0 +1,223 @@
+//===- tests/VersionStoreTest.cpp - the stateful version chain ------------===//
+//
+// The store is the sink's long-lived state: commits build a chain of
+// image+record+layout artifacts, the planner picks the cheaper of a fresh
+// endpoint diff and the composed stepwise chain, and a directory-backed
+// store survives a reopen bit for bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/VersionStore.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+using namespace ucc;
+
+namespace {
+
+CompileOptions uccOptions() {
+  CompileOptions Opts;
+  Opts.RA = RegAllocKind::UpdateConscious;
+  Opts.DA = DataAllocKind::UpdateConscious;
+  return Opts;
+}
+
+/// A three-version chain over a real workload update case: old source,
+/// new source, and back — so intermediate plans have real diffs.
+void buildChain(VersionStore &Store) {
+  const UpdateCase &Case = updateCases()[5];
+  DiagnosticEngine Diag;
+  ASSERT_EQ(Store.addInitial(Case.OldSource, uccOptions(), Diag), 0)
+      << Diag.str();
+  ASSERT_EQ(Store.addUpdate(Case.NewSource, uccOptions(), Diag), 1)
+      << Diag.str();
+  ASSERT_EQ(Store.addUpdate(Case.OldSource, uccOptions(), Diag), 2)
+      << Diag.str();
+}
+
+class ScratchDir : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "/tmp/ucc-store-XXXXXX";
+    ASSERT_NE(mkdtemp(Template), nullptr);
+    Dir = Template;
+  }
+  void TearDown() override { std::system(("rm -rf " + Dir).c_str()); }
+  std::string Dir;
+};
+
+TEST(VersionStore, ChainBookkeeping) {
+  VersionStore Store;
+  buildChain(Store);
+  ASSERT_EQ(Store.size(), 3u);
+  EXPECT_EQ(Store.find(0)->Parent, -1);
+  EXPECT_EQ(Store.find(1)->Parent, 0);
+  EXPECT_EQ(Store.find(2)->Parent, 1);
+  EXPECT_EQ(Store.latest()->Id, 2);
+  EXPECT_EQ(Store.find(0)->ScriptBytesFromParent, 0u);
+  EXPECT_GT(Store.find(1)->ScriptBytesFromParent, 0u);
+  // v0 and v2 share their source text; the hash must agree.
+  EXPECT_EQ(Store.find(0)->SourceHash, Store.find(2)->SourceHash);
+  EXPECT_NE(Store.find(0)->SourceHash, Store.find(1)->SourceHash);
+}
+
+TEST(VersionStore, RejectsDoubleInitialAndUnknownParent) {
+  VersionStore Store;
+  buildChain(Store);
+  DiagnosticEngine Diag;
+  EXPECT_EQ(Store.addInitial(updateCases()[5].OldSource, uccOptions(),
+                             Diag),
+            -1);
+  EXPECT_EQ(Store.addUpdate(updateCases()[5].NewSource, uccOptions(), Diag,
+                            42),
+            -1);
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(VersionStore, PlanPatchesAnyAncestorToDescendant) {
+  VersionStore Store;
+  buildChain(Store);
+  for (auto [From, To] : {std::pair{0, 1}, {1, 2}, {0, 2}}) {
+    auto P = Store.plan(From, To);
+    ASSERT_TRUE(P.has_value()) << From << "->" << To;
+    EXPECT_EQ(P->ChainSteps, To - From);
+    EXPECT_GT(P->DirectBytes, 0u);
+    // Whichever route won, the shipped package takes From's image exactly
+    // to To's image.
+    BinaryImage Patched;
+    ASSERT_TRUE(applyUpdate(Store.find(From)->Image, P->Update, Patched));
+    EXPECT_EQ(Patched.serialize(), Store.find(To)->Image.serialize());
+    // The winner is the cheaper route (ties go Direct).
+    if (P->Route == UpdatePlan::RouteKind::Chained) {
+      EXPECT_LT(P->ChainedBytes, P->DirectBytes);
+    } else if (P->ChainSteps > 0) {
+      EXPECT_LE(P->DirectBytes, P->ChainedBytes);
+    }
+    EXPECT_EQ(P->ScriptBytes, P->Update.scriptBytes());
+  }
+}
+
+TEST(VersionStore, PlanAgainstTheChainDirectionFallsBackToDirect) {
+  VersionStore Store;
+  buildChain(Store);
+  // v0 is an ancestor of v2, not the other way around: a downgrade has no
+  // stepwise chain, so only the direct diff is available.
+  auto P = Store.plan(2, 0);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->Route, UpdatePlan::RouteKind::Direct);
+  EXPECT_EQ(P->ChainSteps, 0);
+  BinaryImage Patched;
+  ASSERT_TRUE(applyUpdate(Store.find(2)->Image, P->Update, Patched));
+  EXPECT_EQ(Patched.serialize(), Store.find(0)->Image.serialize());
+}
+
+TEST(VersionStore, PlanRejectsUnknownVersions) {
+  VersionStore Store;
+  buildChain(Store);
+  EXPECT_FALSE(Store.plan(0, 7).has_value());
+  EXPECT_FALSE(Store.plan(-3, 0).has_value());
+}
+
+TEST_F(ScratchDir, OnDiskStoreSurvivesReopen) {
+  {
+    DiagnosticEngine Diag;
+    auto Store = VersionStore::open(Dir, Diag);
+    ASSERT_TRUE(Store.has_value()) << Diag.str();
+    buildChain(*Store);
+  }
+  DiagnosticEngine Diag;
+  auto Reopened = VersionStore::open(Dir, Diag);
+  ASSERT_TRUE(Reopened.has_value()) << Diag.str();
+  ASSERT_EQ(Reopened->size(), 3u);
+
+  // Compare against a fresh in-memory chain: artifacts must round-trip
+  // bit for bit, and the reloaded record must still steer recompilation
+  // (the planner exercises images; this checks records and layouts too).
+  VersionStore Fresh;
+  buildChain(Fresh);
+  for (int Id = 0; Id < 3; ++Id) {
+    const StoredVersion *A = Reopened->find(Id);
+    const StoredVersion *B = Fresh.find(Id);
+    EXPECT_EQ(A->Image.serialize(), B->Image.serialize()) << "v" << Id;
+    EXPECT_EQ(A->Record.serialize(), B->Record.serialize()) << "v" << Id;
+    EXPECT_EQ(A->Layout.GlobalOffsets, B->Layout.GlobalOffsets);
+    EXPECT_EQ(A->Layout.DataWords, B->Layout.DataWords);
+    EXPECT_EQ(A->Parent, B->Parent);
+    EXPECT_EQ(A->SourceHash, B->SourceHash);
+    EXPECT_EQ(A->ScriptBytesFromParent, B->ScriptBytesFromParent);
+  }
+
+  // And the chain keeps growing after the reopen.
+  DiagnosticEngine Diag2;
+  EXPECT_EQ(Reopened->addUpdate(updateCases()[5].NewSource, uccOptions(),
+                                Diag2),
+            3)
+      << Diag2.str();
+  auto P = Reopened->plan(0, 3);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->ChainSteps, 3);
+}
+
+TEST_F(ScratchDir, CorruptManifestIsRejected) {
+  {
+    DiagnosticEngine Diag;
+    auto Store = VersionStore::open(Dir, Diag);
+    ASSERT_TRUE(Store.has_value());
+    buildChain(*Store);
+  }
+  std::ofstream(Dir + "/manifest.json") << "{ not json";
+  DiagnosticEngine Diag;
+  EXPECT_FALSE(VersionStore::open(Dir, Diag).has_value());
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST_F(ScratchDir, MissingArtifactIsRejected) {
+  {
+    DiagnosticEngine Diag;
+    auto Store = VersionStore::open(Dir, Diag);
+    ASSERT_TRUE(Store.has_value());
+    buildChain(*Store);
+  }
+  std::remove((Dir + "/v1.rec").c_str());
+  DiagnosticEngine Diag;
+  EXPECT_FALSE(VersionStore::open(Dir, Diag).has_value());
+  EXPECT_TRUE(Diag.hasErrors());
+}
+
+TEST(UpdateSession, CommitLoopBuildsTheChain) {
+  VersionStore Store;
+  UpdateSession Session(Store, uccOptions());
+  const UpdateCase &Case = updateCases()[5];
+  DiagnosticEngine Diag;
+  EXPECT_EQ(Session.commit(Case.OldSource, Diag), 0) << Diag.str();
+  EXPECT_FALSE(Session.planFromPrevious().has_value());
+  EXPECT_EQ(Session.commit(Case.NewSource, Diag), 1) << Diag.str();
+  EXPECT_EQ(Session.commit(Case.OldSource, Diag), 2) << Diag.str();
+
+  auto P = Session.planFromPrevious();
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->From, 1);
+  EXPECT_EQ(P->To, 2);
+  EXPECT_EQ(P->ChainSteps, 1);
+
+  // The session is sugar over the store: the same three-step chain the
+  // manual API builds.
+  VersionStore Manual;
+  buildChain(Manual);
+  for (int Id = 0; Id < 3; ++Id)
+    EXPECT_EQ(Store.find(Id)->Image.serialize(),
+              Manual.find(Id)->Image.serialize())
+        << "v" << Id;
+}
+
+TEST(VersionStore, SourceHashIsStable) {
+  EXPECT_EQ(sourceHash(""), sourceHash(""));
+  EXPECT_NE(sourceHash("a"), sourceHash("b"));
+  EXPECT_EQ(sourceHash("abc").size(), 16u);
+}
+
+} // namespace
