@@ -254,10 +254,10 @@ ucc::profiledStatementFrequencies(const CompileOutput &Out,
 }
 
 UpdatePackage ucc::makeUpdate(const CompileOutput &Old,
-                              const CompileOutput &New) {
+                              const CompileOutput &New, int Jobs) {
   UpdatePackage Pkg;
-  Pkg.Update = makeImageUpdate(Old.Image, New.Image);
-  Pkg.Diff = diffImages(Old.Image, New.Image);
+  Pkg.Update = makeImageUpdate(Old.Image, New.Image, Jobs);
+  Pkg.Diff = diffImages(Old.Image, New.Image, Jobs);
   Pkg.ScriptBytes = Pkg.Update.scriptBytes();
   return Pkg;
 }

@@ -107,8 +107,11 @@ struct UpdatePackage {
   size_t ScriptBytes = 0;
 };
 
-/// Builds the update package from two compilations.
-UpdatePackage makeUpdate(const CompileOutput &Old, const CompileOutput &New);
+/// Builds the update package from two compilations. Per-function diffing
+/// runs on up to \p Jobs threads (0 = ThreadPool::defaultJobs()); the
+/// package is byte-identical for every job count.
+UpdatePackage makeUpdate(const CompileOutput &Old, const CompileOutput &New,
+                         int Jobs = 0);
 
 /// Converts a profiled simulator run of \p Out's image into measured
 /// `freq(s)` tables (per function name, indexed by IR statement), suitable

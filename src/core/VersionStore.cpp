@@ -248,7 +248,7 @@ int VersionStore::addUpdate(const std::string &Source,
   V.Parent = P->Id;
   V.SourceHash = sourceHash(Source);
   V.ScriptBytesFromParent =
-      makeImageUpdate(P->Image, Out->Image).scriptBytes();
+      makeImageUpdate(P->Image, Out->Image, Opts.Jobs).scriptBytes();
   V.Image = std::move(Out->Image);
   V.Record = std::move(Out->Record);
   V.Layout = std::move(Out->Layout);

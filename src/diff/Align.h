@@ -14,17 +14,28 @@
 #ifndef UCC_DIFF_ALIGN_H
 #define UCC_DIFF_ALIGN_H
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
 namespace ucc {
 
+/// Cell cap for lcsAlign's quadratic table, matching EditScript.h's
+/// ExactAlignCellCap. Callers with larger inputs must use the engine
+/// behind `alignWords` (or chunk the problem) instead.
+constexpr size_t LcsAlignCellCap = size_t(1) << 28;
+
 /// Computes an LCS alignment between sequences of lengths \p M and \p N
 /// under \p Equal(i, j). Returns matched index pairs, strictly increasing
-/// in both components. O(M*N) time and space.
+/// in both components. O(M*N) time and space; inputs must keep
+/// (M+1)*(N+1) within LcsAlignCellCap (asserted — callers at risk of
+/// larger inputs should pre-check or use `alignWords`).
 template <typename EqualFn>
 std::vector<std::pair<int, int>> lcsAlign(size_t M, size_t N, EqualFn Equal) {
+  assert(M + 1 <= LcsAlignCellCap / (N + 1) &&
+         "lcsAlign table above LcsAlignCellCap; use alignWords instead");
   std::vector<uint32_t> Table((M + 1) * (N + 1), 0);
   auto At = [&](size_t I, size_t J) -> uint32_t & {
     return Table[I * (N + 1) + J];

@@ -16,6 +16,7 @@
 
 #include "support/ByteStream.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 
@@ -49,12 +50,18 @@ const FunctionDiff *ImageDiff::find(const std::string &Name) const {
   return nullptr;
 }
 
-ImageDiff ucc::diffImages(const BinaryImage &Old, const BinaryImage &New) {
+ImageDiff ucc::diffImages(const BinaryImage &Old, const BinaryImage &New,
+                          int Jobs) {
   ImageDiff Out;
-  for (size_t F = 0; F < New.Functions.size(); ++F) {
-    FunctionDiff FD;
-    FD.Name = New.Functions[F].Name;
-    std::vector<uint32_t> NewCode = New.functionCode(static_cast<int>(F));
+  // Each function is an independent alignment problem; fan out over the
+  // pool, writing results by index so the order (and the telemetry merge,
+  // see support/ThreadPool.h) is deterministic for every job count.
+  int NumFns = static_cast<int>(New.Functions.size());
+  Out.Functions.resize(static_cast<size_t>(NumFns));
+  parallelFor(NumFns, Jobs, [&](int F) {
+    FunctionDiff &FD = Out.Functions[static_cast<size_t>(F)];
+    FD.Name = New.Functions[static_cast<size_t>(F)].Name;
+    std::vector<uint32_t> NewCode = New.functionCode(F);
     FD.NewCount = static_cast<int>(NewCode.size());
 
     int OldIdx = Old.findFunction(FD.Name);
@@ -63,8 +70,7 @@ ImageDiff ucc::diffImages(const BinaryImage &Old, const BinaryImage &New) {
       FD.OldCount = static_cast<int>(OldCode.size());
       FD.Matched = static_cast<int>(alignWords(OldCode, NewCode).size());
     }
-    Out.Functions.push_back(std::move(FD));
-  }
+  });
   // Removed functions (present old, absent new) need no transmission, but
   // record them for completeness.
   for (size_t F = 0; F < Old.Functions.size(); ++F) {
@@ -156,14 +162,19 @@ bool ImageUpdate::deserialize(const std::vector<uint8_t> &Bytes,
 }
 
 ImageUpdate ucc::makeImageUpdate(const BinaryImage &Old,
-                                 const BinaryImage &New) {
+                                 const BinaryImage &New, int Jobs) {
   ScopedSpan Span("diff");
   ImageUpdate U;
   U.EntryFunc = New.EntryFunc;
-  for (size_t F = 0; F < New.Functions.size(); ++F) {
-    ImageUpdate::FunctionUpdate FU;
-    FU.Name = New.Functions[F].Name;
-    std::vector<uint32_t> NewCode = New.functionCode(static_cast<int>(F));
+  // Per-function scripts are independent; diff them across the pool and
+  // land each in its slot. parallelFor merges the workers' telemetry in
+  // item order, so package bytes *and* diff.* counters match --jobs 1.
+  int NumFns = static_cast<int>(New.Functions.size());
+  U.Functions.resize(static_cast<size_t>(NumFns));
+  parallelFor(NumFns, Jobs, [&](int F) {
+    ImageUpdate::FunctionUpdate &FU = U.Functions[static_cast<size_t>(F)];
+    FU.Name = New.Functions[static_cast<size_t>(F)].Name;
+    std::vector<uint32_t> NewCode = New.functionCode(F);
     int OldIdx = Old.findFunction(FU.Name);
     if (OldIdx < 0) {
       FU.IsNew = true;
@@ -171,8 +182,7 @@ ImageUpdate ucc::makeImageUpdate(const BinaryImage &Old,
     } else {
       FU.Script = makeEditScript(Old.functionCode(OldIdx), NewCode);
     }
-    U.Functions.push_back(std::move(FU));
-  }
+  });
 
   auto toWords = [](const std::vector<int16_t> &Data) {
     std::vector<uint32_t> Words(Data.size());

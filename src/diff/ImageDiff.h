@@ -50,8 +50,11 @@ struct ImageDiff {
   const FunctionDiff *find(const std::string &Name) const;
 };
 
-/// Computes per-function diff metrics between two images.
-ImageDiff diffImages(const BinaryImage &Old, const BinaryImage &New);
+/// Computes per-function diff metrics between two images. Functions are
+/// aligned on up to \p Jobs threads (0 = ThreadPool::defaultJobs()); the
+/// result and all telemetry counters are independent of the job count.
+ImageDiff diffImages(const BinaryImage &Old, const BinaryImage &New,
+                     int Jobs = 0);
 
 /// The transmissible update package.
 struct ImageUpdate {
@@ -76,8 +79,13 @@ struct ImageUpdate {
                           ImageUpdate &Out);
 };
 
-/// Builds the update package turning \p Old into \p New.
-ImageUpdate makeImageUpdate(const BinaryImage &Old, const BinaryImage &New);
+/// Builds the update package turning \p Old into \p New. Per-function
+/// scripts are diffed on up to \p Jobs threads (0 =
+/// ThreadPool::defaultJobs()) and merged in function order, so the
+/// package bytes and the `diff.*` counters are identical for every job
+/// count.
+ImageUpdate makeImageUpdate(const BinaryImage &Old, const BinaryImage &New,
+                            int Jobs = 0);
 
 /// Composes two update packages: \p Out turns \p Base directly into the
 /// image that applying \p First and then \p Second yields. Per-function

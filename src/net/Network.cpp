@@ -26,7 +26,6 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
-#include <map>
 
 using namespace ucc;
 
@@ -35,6 +34,8 @@ Topology Topology::line(int N) {
   Topology T;
   T.NumNodes = N;
   T.Neighbors.assign(static_cast<size_t>(N), {});
+  for (auto &List : T.Neighbors)
+    List.reserve(2); // interior nodes have exactly two neighbors
   for (int K = 0; K + 1 < N; ++K) {
     T.Neighbors[static_cast<size_t>(K)].push_back(K + 1);
     T.Neighbors[static_cast<size_t>(K + 1)].push_back(K);
@@ -47,6 +48,8 @@ Topology Topology::grid(int W, int H) {
   Topology T;
   T.NumNodes = W * H;
   T.Neighbors.assign(static_cast<size_t>(T.NumNodes), {});
+  for (auto &List : T.Neighbors)
+    List.reserve(4); // four-connected interior
   auto Id = [&](int X, int Y) { return Y * W + X; };
   for (int Y = 0; Y < H; ++Y) {
     for (int X = 0; X < W; ++X) {
@@ -68,9 +71,10 @@ Topology Topology::star(int N) {
   Topology T;
   T.NumNodes = N;
   T.Neighbors.assign(static_cast<size_t>(N), {});
+  T.Neighbors[0].reserve(static_cast<size_t>(N) - 1); // hub sees everyone
   for (int K = 1; K < N; ++K) {
     T.Neighbors[0].push_back(K);
-    T.Neighbors[static_cast<size_t>(K)].push_back(0);
+    T.Neighbors[static_cast<size_t>(K)].push_back(0); // leaves: one edge
   }
   return T;
 }
@@ -246,17 +250,28 @@ ucc::runUpdateCampaign(const Topology &T,
   CampaignResult R;
   R.TargetVersion = TargetVersion;
 
-  // Group stale nodes by deployed version (ordered: cohorts come out
-  // deterministically, oldest version first). Node 0 is the sink.
-  std::map<int, std::vector<int>> ByVersion;
+  // Group stale nodes by deployed version. The handful of distinct
+  // versions makes a flat vector (linear probe per node, one sort at the
+  // end) cheaper than a node-count's worth of red-black tree churn;
+  // cohorts still come out deterministically, oldest version first, with
+  // nodes ascending within each cohort. Node 0 is the sink.
+  std::vector<std::pair<int, std::vector<int>>> ByVersion;
   for (int Node = 1; Node < T.NumNodes; ++Node) {
     int V = NodeVersions[static_cast<size_t>(Node)];
     if (V == TargetVersion) {
       ++R.NodesCurrent;
       continue;
     }
-    ByVersion[V].push_back(Node);
+    auto It = std::find_if(ByVersion.begin(), ByVersion.end(),
+                           [&](const auto &E) { return E.first == V; });
+    if (It == ByVersion.end()) {
+      ByVersion.push_back({V, {}});
+      It = ByVersion.end() - 1;
+    }
+    It->second.push_back(Node);
   }
+  std::sort(ByVersion.begin(), ByVersion.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
 
   Telemetry *Ev = eventTelemetry();
   int CohortIdx = 0;

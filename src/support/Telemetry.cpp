@@ -73,10 +73,11 @@ void Telemetry::declareStandardCounters() {
       // da: UCC-DA (section 4).
       "da.regions", "da.holes_filled", "da.hole_words", "da.relocated_vars",
       "da.region_words",
-      // diff: edit scripts (section 2.2).
+      // diff: edit scripts (section 2.2) and the alignment engine.
       "diff.scripts", "diff.prims", "diff.script_bytes", "diff.bytes.copy",
       "diff.bytes.remove", "diff.bytes.insert", "diff.bytes.replace",
-      "diff.compositions",
+      "diff.compositions", "diff.anchors", "diff.myers_d",
+      "diff.fallback_blocks", "diff.oracle_checks",
       // store: the sink-side version chain and its update planner.
       "store.commits", "store.loads", "store.plans", "store.plans_direct",
       "store.plans_chained",

@@ -3,6 +3,7 @@
 #include "diff/EditScript.h"
 #include "diff/ImageDiff.h"
 #include "support/RNG.h"
+#include "support/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -239,6 +240,173 @@ TEST(ImageDiffs, CountsPerFunction) {
   EXPECT_EQ(Helper->diffInst(), 0); // removals cost nothing on air
 
   EXPECT_EQ(D.totalDiffInst(), 3);
+}
+
+//===----------------------------------------------------------------------===//
+// The anchor-accelerated engine (EditScript.h section comment)
+//===----------------------------------------------------------------------===//
+
+/// Relocates random blocks — the edit pattern point mutations never
+/// produce and the patience anchor pass exists for.
+std::vector<uint32_t> moveBlocks(RNG &Rng, std::vector<uint32_t> Words,
+                                 int Moves) {
+  for (int K = 0; K < Moves && Words.size() > 8; ++K) {
+    size_t Len = 1 + Rng.below(Words.size() / 4);
+    size_t From = Rng.below(Words.size() - Len + 1);
+    std::vector<uint32_t> Block(
+        Words.begin() + static_cast<long>(From),
+        Words.begin() + static_cast<long>(From + Len));
+    Words.erase(Words.begin() + static_cast<long>(From),
+                Words.begin() + static_cast<long>(From + Len));
+    size_t To = Rng.below(Words.size() + 1);
+    Words.insert(Words.begin() + static_cast<long>(To), Block.begin(),
+                 Block.end());
+  }
+  return Words;
+}
+
+TEST(ExactAlignment, RefusesOversizedTables) {
+  // 20001^2 cells blows ExactAlignCellCap; the guard must refuse before
+  // touching memory (this test allocates two word vectors and nothing
+  // else).
+  std::vector<uint32_t> Old(20000, 1), New(20000, 2);
+  EXPECT_FALSE(alignWordsExact(Old, New).has_value());
+  // An asymmetric pair keeps the table affordable: only the product of
+  // the two sides is capped, not either side alone.
+  EXPECT_TRUE(alignWordsExact(Old, {1, 2, 3}).has_value());
+}
+
+TEST(DiffEngine, SmallInputsDispatchToTheExactBackend) {
+  RNG Rng(17);
+  std::vector<uint32_t> Old = randomWords(Rng, 200);
+  std::vector<uint32_t> New = mutate(Rng, Old, 40);
+  DiffStats Stats;
+  auto Engine = alignWords(Old, New, DiffOptions{}, &Stats);
+  EXPECT_TRUE(Stats.UsedExact);
+  auto Exact = alignWordsExact(Old, New);
+  ASSERT_TRUE(Exact.has_value());
+  EXPECT_EQ(Engine, *Exact) << "below ExactThreshold the dispatch must be "
+                               "bit-for-bit the seed LCS";
+}
+
+TEST(DiffEngine, MyersMatchesTheExactMatchCount) {
+  // With anchors disabled and an unconstrained D budget the engine is
+  // pure Myers + trimming, which is exact: the match count must equal the
+  // LCS length on every input.
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    RNG Rng(Seed * 13 + 1);
+    std::vector<uint32_t> Old = randomWords(Rng, 100 + Rng.below(300));
+    std::vector<uint32_t> New =
+        mutate(Rng, Old, static_cast<int>(Rng.below(80)));
+    DiffOptions Opts;
+    Opts.ForceEngine = true;
+    Opts.MaxAnchorDepth = 0;
+    Opts.MyersDCap = 1 << 20;
+    DiffStats Stats;
+    auto Engine = alignWords(Old, New, Opts, &Stats);
+    auto Exact = alignWordsExact(Old, New);
+    ASSERT_TRUE(Exact.has_value());
+    EXPECT_FALSE(Stats.UsedExact);
+    EXPECT_EQ(Engine.size(), Exact->size()) << "seed " << Seed;
+  }
+}
+
+/// The fuzz property of the engine: for random insert/delete/mutate/move
+/// mixes the script must patch Old into New exactly, and its size may
+/// exceed the exact oracle's script by at most the documented bound
+/// (25% + 32 bytes — anchors and the fallback trade optimality for
+/// near-linear cost; see docs/PERFORMANCE.md).
+class DiffEngineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffEngineFuzz, PatchesExactlyAndStaysNearTheOracle) {
+  RNG Rng(static_cast<uint64_t>(GetParam()) * 29 + 7);
+  std::vector<uint32_t> Old = randomWords(Rng, 200 + Rng.below(1200));
+  std::vector<uint32_t> New =
+      mutate(Rng, Old, static_cast<int>(Rng.below(120)));
+  New = moveBlocks(Rng, std::move(New), static_cast<int>(Rng.below(4)));
+
+  DiffOptions Opts;
+  Opts.ForceEngine = true;
+  EditScript S = makeEditScript(Old, New, Opts);
+  std::vector<uint32_t> Out;
+  ASSERT_TRUE(applyEditScript(Old, S, Out));
+  EXPECT_EQ(Out, New);
+
+  auto Exact = alignWordsExact(Old, New);
+  ASSERT_TRUE(Exact.has_value());
+  size_t OracleBytes = scriptFromMatches(Old, New, *Exact).encodedBytes();
+  EXPECT_LE(S.encodedBytes(), OracleBytes + OracleBytes / 4 + 32)
+      << "engine script too far above the " << OracleBytes
+      << "-byte oracle script";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffEngineFuzz, ::testing::Range(0, 40));
+
+TEST(DiffEngine, FallbackHandlesBudgetBlowout) {
+  // Heavily shuffled blocks over a wide alphabet: edit distance blows a
+  // tiny D budget immediately, so the block-copy fallback must carry the
+  // alignment — and the script must still patch exactly.
+  RNG Rng(4242);
+  std::vector<uint32_t> Old(3000);
+  for (size_t K = 0; K < Old.size(); ++K)
+    Old[K] = static_cast<uint32_t>(Rng.below(1u << 30));
+  std::vector<uint32_t> New = moveBlocks(Rng, Old, 12);
+
+  DiffOptions Opts;
+  Opts.ForceEngine = true;
+  Opts.MaxAnchorDepth = 0; // no anchor rescue: force Myers -> fallback
+  Opts.MyersDCap = 2;
+  Opts.SmallGap = 0;
+  DiffStats Stats;
+  auto Matches = alignWords(Old, New, Opts, &Stats);
+  EXPECT_GT(Stats.FallbackBlocks, 0) << "budget blowout must hit the "
+                                        "fallback";
+  EditScript S = scriptFromMatches(Old, New, Matches);
+  std::vector<uint32_t> Out;
+  ASSERT_TRUE(applyEditScript(Old, S, Out));
+  EXPECT_EQ(Out, New);
+}
+
+TEST(DiffEngine, AnchorsSplitRelocatedUniqueBlocks) {
+  // Unique words relocated wholesale are exactly what the patience pass
+  // anchors on.
+  RNG Rng(888);
+  std::vector<uint32_t> Old(2000);
+  for (size_t K = 0; K < Old.size(); ++K)
+    Old[K] = static_cast<uint32_t>(K); // every word unique
+  std::vector<uint32_t> New = moveBlocks(Rng, Old, 6);
+
+  DiffOptions Opts;
+  Opts.ForceEngine = true;
+  Opts.SmallGap = 64;
+  DiffStats Stats;
+  auto Matches = alignWords(Old, New, Opts, &Stats);
+  EXPECT_GT(Stats.Anchors, 0);
+  EditScript S = scriptFromMatches(Old, New, Matches);
+  std::vector<uint32_t> Out;
+  ASSERT_TRUE(applyEditScript(Old, S, Out));
+  EXPECT_EQ(Out, New);
+}
+
+TEST(DiffEngine, OracleCheckAndTelemetryCounters) {
+  RNG Rng(55);
+  std::vector<uint32_t> Old = randomWords(Rng, 600);
+  std::vector<uint32_t> New = mutate(Rng, Old, 60);
+
+  DiffOptions Opts;
+  Opts.ForceEngine = true;
+  Opts.OracleCheck = true;
+  Telemetry T;
+  DiffStats Stats;
+  {
+    TelemetryScope Scope(T);
+    alignWords(Old, New, Opts, &Stats);
+  }
+  EXPECT_EQ(Stats.OracleChecks, 1);
+  EXPECT_EQ(T.counter("diff.oracle_checks"), 1);
+  EXPECT_EQ(T.counter("diff.myers_d"), Stats.MyersD);
+  EXPECT_EQ(T.counter("diff.anchors"), Stats.Anchors);
+  EXPECT_EQ(T.counter("diff.fallback_blocks"), Stats.FallbackBlocks);
 }
 
 TEST(ImageDiffs, UpdatePackageRoundTrip) {

@@ -10,6 +10,8 @@
 #include "core/Compiler.h"
 #include "core/VersionStore.h"
 #include "diff/ImageDiff.h"
+#include "support/RNG.h"
+#include "support/Telemetry.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
@@ -92,6 +94,62 @@ TEST(JobsDeterminism, RegAllocStatsOrderedByFunction) {
               Out8.RegAllocStats[F].IlpPivots)
         << "function " << F;
   }
+}
+
+TEST(JobsDeterminism, ParallelDiffingBitIdenticalAcrossJobs) {
+  // Per-function diffing fans out over the pool; the update package and
+  // every diff.* counter (telemetry merges in item order) must be
+  // independent of the job count. Synthetic functions above the exact
+  // dispatch threshold make the engine counters (anchors, Myers D) carry
+  // real values, so this also pins the engine's determinism.
+  RNG Rng(2024);
+  auto makeImage = [&](bool Mutated) {
+    RNG Gen(7); // same base content for both images
+    BinaryImage Img;
+    Img.EntryFunc = 0;
+    for (int F = 0; F < 6; ++F) {
+      FunctionSpan Span;
+      Span.Name = "fn" + std::to_string(F);
+      Span.Start = static_cast<uint32_t>(Img.Code.size());
+      Span.Count = 6000;
+      for (int K = 0; K < 6000; ++K)
+        Img.Code.push_back(static_cast<uint32_t>(Gen.below(1u << 20)));
+      if (Mutated)
+        for (int K = 0; K < 200; ++K)
+          Img.Code[Span.Start + Rng.below(Span.Count)] =
+              static_cast<uint32_t>(Rng.below(1u << 20));
+      Img.Functions.push_back(std::move(Span));
+    }
+    return Img;
+  };
+  BinaryImage Old = makeImage(false);
+  BinaryImage New = makeImage(true);
+
+  std::vector<uint8_t> Packages[2];
+  std::map<std::string, int64_t> Counters[2];
+  int Idx = 0;
+  for (int Jobs : {1, 8}) {
+    Telemetry T;
+    T.declareStandardCounters();
+    {
+      TelemetryScope Scope(T);
+      Packages[Idx] = makeImageUpdate(Old, New, Jobs).serialize();
+      diffImages(Old, New, Jobs);
+    }
+    Counters[Idx] = T.counters();
+    ++Idx;
+  }
+  EXPECT_EQ(Packages[0], Packages[1])
+      << "edit scripts must be byte-identical across job counts";
+  EXPECT_GT(Counters[0].at("diff.scripts"), 0);
+  EXPECT_GT(Counters[0].at("diff.myers_d") +
+                Counters[0].at("diff.anchors") +
+                Counters[0].at("diff.fallback_blocks"),
+            0)
+      << "synthetic functions above ExactThreshold must exercise the "
+         "engine";
+  EXPECT_EQ(Counters[0], Counters[1])
+      << "diff.* counters must be identical across job counts";
 }
 
 TEST(JobsDeterminism, VersionStoreChainMatchesManualChainAcrossJobs) {
