@@ -14,6 +14,7 @@
 
 #include "core/VersionStore.h"
 #include "net/Network.h"
+#include "serve/PlanService.h"
 
 #include <cstdio>
 #include <string>
@@ -295,7 +296,11 @@ int main(int Argc, char **Argv) {
   Channel.LossRate = 0.1;
   Channel.Seed = 42;
   DiagnosticEngine Diag;
-  auto Campaign = planFleetCampaign(Ucc, T, Deployed, Head, Diag,
+  // The campaign runs through the serving layer, like the uccc tool and
+  // a real long-lived sink would; plans (and so every campaign metric)
+  // are byte-identical to the store-backed path.
+  PlanService Service(std::move(Ucc));
+  auto Campaign = planFleetCampaign(Service, T, Deployed, Head, Diag,
                                     PacketFormat(), Mica2Power(), Channel);
   if (!Campaign) {
     std::fprintf(stderr, "bench_version_chain: %s\n", Diag.str().c_str());

@@ -271,9 +271,11 @@ const StoredVersion *VersionStore::latest() const {
   return Versions.empty() ? nullptr : &Versions.back();
 }
 
-std::optional<UpdatePlan> VersionStore::plan(int FromId, int ToId) const {
-  const StoredVersion *From = find(FromId);
-  const StoredVersion *To = find(ToId);
+std::optional<UpdatePlan> ucc::planBetweenVersions(
+    const std::function<const StoredVersion *(int)> &Find, int FromId,
+    int ToId) {
+  const StoredVersion *From = Find(FromId);
+  const StoredVersion *To = Find(ToId);
   if (!From || !To)
     return std::nullopt;
 
@@ -288,10 +290,10 @@ std::optional<UpdatePlan> VersionStore::plan(int FromId, int ToId) const {
   // The chained route exists only when To descends from From: collect the
   // parent path To -> ... -> From, then compose the per-step packages.
   std::vector<int> Path;
-  for (int At = ToId; At != FromId && At >= 0; At = find(At)->Parent)
+  for (int At = ToId; At != FromId && At >= 0; At = Find(At)->Parent)
     Path.push_back(At);
   bool HasChain = ToId != FromId &&
-                  (Path.empty() || find(Path.back())->Parent == FromId);
+                  (Path.empty() || Find(Path.back())->Parent == FromId);
 
   ImageUpdate Chained;
   if (HasChain) {
@@ -300,7 +302,7 @@ std::optional<UpdatePlan> VersionStore::plan(int FromId, int ToId) const {
     bool First = true;
     for (int StepId : Path) {
       ImageUpdate Step =
-          makeImageUpdate(find(PrevId)->Image, find(StepId)->Image);
+          makeImageUpdate(Find(PrevId)->Image, Find(StepId)->Image);
       if (First) {
         Chained = std::move(Step);
         First = false;
@@ -335,6 +337,11 @@ std::optional<UpdatePlan> VersionStore::plan(int FromId, int ToId) const {
   return P;
 }
 
+std::optional<UpdatePlan> VersionStore::plan(int FromId, int ToId) const {
+  return planBetweenVersions([this](int Id) { return find(Id); }, FromId,
+                             ToId);
+}
+
 int UpdateSession::commit(const std::string &Source,
                           DiagnosticEngine &Diag) {
   return Store.size() == 0 ? Store.addInitial(Source, Opts, Diag)
@@ -360,11 +367,9 @@ ucc::planFleetCampaign(const VersionStore &Store, const Topology &T,
   }
   // Plan once per distinct stale version before any flood: a campaign
   // either fully plans or does not run.
+  std::vector<int> Stale = staleVersions(NodeVersions, TargetVersion);
   std::map<int, size_t> BytesFor;
-  for (size_t Node = 1; Node < NodeVersions.size(); ++Node) {
-    int V = NodeVersions[Node];
-    if (V == TargetVersion || BytesFor.count(V))
-      continue;
+  for (int V : Stale) {
     auto P = Store.plan(V, TargetVersion);
     if (!P) {
       Diag.error({}, format("cannot plan update %d -> %d", V,

@@ -33,6 +33,7 @@
 #include "core/Compiler.h"
 #include "net/Network.h"
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -110,6 +111,16 @@ private:
   std::string Dir; ///< empty = in-memory only
   std::vector<StoredVersion> Versions;
 };
+
+/// The direct-vs-chained planner over any dense version index: \p Find maps
+/// an id to its StoredVersion (nullptr = unknown). This is the single
+/// planning algorithm behind VersionStore::plan and serve/PlanService — the
+/// service plans on an immutable snapshot, the store on its live chain, and
+/// both produce byte-identical packages because they share this function.
+/// Counts store.plans / store.plans_direct / store.plans_chained.
+std::optional<UpdatePlan> planBetweenVersions(
+    const std::function<const StoredVersion *(int)> &Find, int FromId,
+    int ToId);
 
 /// The stateful replacement for hand-rolled compile/recompile chains: each
 /// commit compiles the new source against the stored chain tip and appends

@@ -237,6 +237,19 @@ size_t CampaignResult::totalBytesOnAir() const {
   return Bytes;
 }
 
+std::vector<int> ucc::staleVersions(const std::vector<int> &NodeVersions,
+                                    int TargetVersion) {
+  std::vector<int> Stale;
+  for (size_t Node = 1; Node < NodeVersions.size(); ++Node) {
+    int V = NodeVersions[Node];
+    if (V != TargetVersion &&
+        std::find(Stale.begin(), Stale.end(), V) == Stale.end())
+      Stale.push_back(V);
+  }
+  std::sort(Stale.begin(), Stale.end());
+  return Stale;
+}
+
 CampaignResult
 ucc::runUpdateCampaign(const Topology &T,
                        const std::vector<int> &NodeVersions,

@@ -126,6 +126,14 @@ struct CampaignResult {
   size_t totalBytesOnAir() const;
 };
 
+/// The distinct deployed versions in \p NodeVersions that still need an
+/// update to \p TargetVersion, sorted ascending. Node 0 (the sink) is
+/// skipped, matching runUpdateCampaign's cohort grouping — this is the set
+/// of scripts a campaign must plan before any flood, exposed so planners
+/// (store- or service-backed) and precompute passes agree on it.
+std::vector<int> staleVersions(const std::vector<int> &NodeVersions,
+                               int TargetVersion);
+
 /// Brings every node of \p T to \p TargetVersion. \p NodeVersions[i] is the
 /// version node i currently runs (the sink, node 0, is assumed current and
 /// its entry is ignored). \p ScriptBytesFor maps a deployed version to the

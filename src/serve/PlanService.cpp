@@ -1,0 +1,393 @@
+//===- serve/PlanService.cpp - the sink's update-distribution front end ---===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving mechanics. The snapshot is a vector of shared_ptr-owned
+/// StoredVersion copies plus one content hash per version; commit builds
+/// the successor snapshot by structural sharing (the old entries are
+/// reused, only the new version is copied) and publishes it with a single
+/// atomic pointer store. The cache follows regalloc/WindowCache: entries
+/// live in an intrusive LRU list and are found through a hash-keyed
+/// collision chain confirmed field by field, a miss inserts a not-yet-ready
+/// entry and computes outside the lock, and concurrent requests for the
+/// same pair block on a condition variable until the owner fills it.
+/// Entries are shared_ptr so an eviction can never pull a result out from
+/// under a waiter, and in-flight (not Ready) entries are never evicted.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/PlanService.h"
+
+#include "support/Format.h"
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <list>
+#include <map>
+#include <unordered_map>
+
+using namespace ucc;
+
+namespace {
+
+uint64_t fnv1aBytes(uint64_t H, const void *Data, size_t Len) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+uint64_t imageContentHash(const BinaryImage &Image) {
+  std::vector<uint8_t> Bytes = Image.serialize();
+  return fnv1aBytes(1469598103934665603ull, Bytes.data(), Bytes.size());
+}
+
+/// The canonical cache key: FNV-1a over the two endpoint content hashes,
+/// in order (plans are directional). Identity is confirmed against the
+/// exact (From, To) ids because distinct versions can share content — the
+/// store's own tests commit the same source twice.
+uint64_t pairKey(uint64_t FromHash, uint64_t ToHash) {
+  uint64_t H = fnv1aBytes(1469598103934665603ull, &FromHash,
+                          sizeof(FromHash));
+  return fnv1aBytes(H, &ToHash, sizeof(ToHash));
+}
+
+} // namespace
+
+/// The immutable version index one plan() call reads: dense ids, like the
+/// store, plus the per-version content hash the cache key is built from.
+struct PlanService::Snapshot {
+  std::vector<std::shared_ptr<const StoredVersion>> Versions;
+  std::vector<uint64_t> ImageHash;
+
+  const StoredVersion *find(int Id) const {
+    if (Id < 0 || static_cast<size_t>(Id) >= Versions.size())
+      return nullptr;
+    return Versions[static_cast<size_t>(Id)].get();
+  }
+};
+
+namespace {
+
+struct CacheEntry {
+  int From = -1;
+  int To = -1;
+  uint64_t Key = 0;
+  bool Ready = false;    ///< Plan is filled in; guarded by Cache::Lock
+  bool Resident = true;  ///< still in the LRU list (false after eviction)
+  std::optional<UpdatePlan> Plan;
+  std::list<std::shared_ptr<CacheEntry>>::iterator Self;
+};
+
+} // namespace
+
+struct PlanService::Cache {
+  std::mutex Lock;
+  std::condition_variable Filled;
+  /// Front = most recently used. shared_ptr entries keep evicted results
+  /// alive for whoever already holds them.
+  std::list<std::shared_ptr<CacheEntry>> Lru;
+  /// Canonical key -> collision chain (content-equal pairs with different
+  /// ids land in the same chain and are told apart by exact id match).
+  std::unordered_map<uint64_t, std::vector<std::shared_ptr<CacheEntry>>>
+      Map;
+
+  void removeFromMap(const std::shared_ptr<CacheEntry> &E) {
+    auto It = Map.find(E->Key);
+    if (It == Map.end())
+      return;
+    auto &Chain = It->second;
+    Chain.erase(std::remove(Chain.begin(), Chain.end(), E), Chain.end());
+    if (Chain.empty())
+      Map.erase(It);
+  }
+
+  /// Evicts least-recently-used Ready entries until the size bound holds.
+  /// In-flight entries are skipped — the cache may transiently exceed its
+  /// capacity while more than CacheCapacity pairs compute at once.
+  void evictExcess(size_t Capacity, const std::function<void()> &OnEvict) {
+    while (Lru.size() > Capacity) {
+      bool Evicted = false;
+      for (auto It = std::prev(Lru.end());; --It) {
+        if ((*It)->Ready) {
+          std::shared_ptr<CacheEntry> Victim = *It;
+          removeFromMap(Victim);
+          Victim->Resident = false;
+          Lru.erase(It);
+          OnEvict();
+          Evicted = true;
+          break;
+        }
+        if (It == Lru.begin())
+          break;
+      }
+      if (!Evicted)
+        break;
+    }
+  }
+};
+
+PlanService::PlanService(VersionStore S, PlanServiceOptions O)
+    : Store(std::move(S)), C(std::make_unique<Cache>()), Opts(O) {
+  auto Initial = std::make_shared<Snapshot>();
+  for (const StoredVersion &V : Store.versions()) {
+    Initial->Versions.push_back(std::make_shared<const StoredVersion>(V));
+    Initial->ImageHash.push_back(imageContentHash(V.Image));
+  }
+  Snap.store(std::shared_ptr<const Snapshot>(std::move(Initial)));
+}
+
+PlanService::~PlanService() = default;
+
+std::shared_ptr<const PlanService::Snapshot> PlanService::snapshot() const {
+  return Snap.load();
+}
+
+std::optional<UpdatePlan>
+PlanService::planOnSnapshot(const Snapshot &S, int FromId, int ToId) const {
+  return planBetweenVersions([&S](int Id) { return S.find(Id); }, FromId,
+                             ToId);
+}
+
+std::optional<UpdatePlan> PlanService::plan(int FromId, int ToId) const {
+  std::shared_ptr<const Snapshot> S = snapshot();
+  NPlans.fetch_add(1, std::memory_order_relaxed);
+  telemetryCount("serve.plans");
+
+  // Unknown ids are answered (nullopt) but never cached: the snapshot that
+  // rejects them today may know them after the next commit.
+  if (!S->find(FromId) || !S->find(ToId))
+    return std::nullopt;
+
+  if (Opts.CacheCapacity == 0) {
+    NMisses.fetch_add(1, std::memory_order_relaxed);
+    telemetryCount("serve.cache_misses");
+    return planOnSnapshot(*S, FromId, ToId);
+  }
+
+  uint64_t Key = pairKey(S->ImageHash[static_cast<size_t>(FromId)],
+                         S->ImageHash[static_cast<size_t>(ToId)]);
+  std::shared_ptr<CacheEntry> E;
+  {
+    std::unique_lock<std::mutex> Guard(C->Lock);
+    if (auto It = C->Map.find(Key); It != C->Map.end())
+      for (const std::shared_ptr<CacheEntry> &Cand : It->second)
+        if (Cand->From == FromId && Cand->To == ToId) {
+          E = Cand;
+          break;
+        }
+    if (E) {
+      if (!E->Ready) {
+        // Someone else is computing this exact pair: wait for the latch
+        // instead of solving it twice. The waiter still counts a hit —
+        // the result was (about to be) in the cache.
+        NInflightWaits.fetch_add(1, std::memory_order_relaxed);
+        telemetryCount("serve.inflight_waits");
+        C->Filled.wait(Guard, [&] { return E->Ready; });
+      }
+      NHits.fetch_add(1, std::memory_order_relaxed);
+      telemetryCount("serve.cache_hits");
+      if (E->Resident)
+        C->Lru.splice(C->Lru.begin(), C->Lru, E->Self);
+      return E->Plan;
+    }
+    E = std::make_shared<CacheEntry>();
+    E->From = FromId;
+    E->To = ToId;
+    E->Key = Key;
+    C->Map[Key].push_back(E);
+    C->Lru.push_front(E);
+    E->Self = C->Lru.begin();
+    NMisses.fetch_add(1, std::memory_order_relaxed);
+    telemetryCount("serve.cache_misses");
+    C->evictExcess(Opts.CacheCapacity, [this] {
+      NEvictions.fetch_add(1, std::memory_order_relaxed);
+      telemetryCount("serve.evictions");
+    });
+  }
+
+  // Compute outside the lock; composition failures are cached too — they
+  // are as immutable as any other answer for a committed pair.
+  std::optional<UpdatePlan> P = planOnSnapshot(*S, FromId, ToId);
+  {
+    std::lock_guard<std::mutex> Guard(C->Lock);
+    E->Plan = P;
+    E->Ready = true;
+  }
+  C->Filled.notify_all();
+  return P;
+}
+
+std::vector<std::optional<UpdatePlan>>
+PlanService::planBatch(const std::vector<std::pair<int, int>> &Pairs,
+                       int Jobs) const {
+  NBatches.fetch_add(1, std::memory_order_relaxed);
+  telemetryCount("serve.batches");
+
+  // Dedupe in first-seen order so a pair requested twice is planned (or
+  // latched on) once, and results map back positionally.
+  std::vector<std::pair<int, int>> Unique;
+  std::vector<size_t> Slot(Pairs.size());
+  std::map<std::pair<int, int>, size_t> Seen;
+  for (size_t I = 0; I < Pairs.size(); ++I) {
+    auto [It, Inserted] = Seen.try_emplace(Pairs[I], Unique.size());
+    if (Inserted)
+      Unique.push_back(Pairs[I]);
+    Slot[I] = It->second;
+  }
+  uint64_t Duplicates =
+      static_cast<uint64_t>(Pairs.size() - Unique.size());
+  if (Duplicates) {
+    NBatchDeduped.fetch_add(Duplicates, std::memory_order_relaxed);
+    telemetryCount("serve.batch_deduped",
+                   static_cast<int64_t>(Duplicates));
+  }
+
+  std::vector<std::optional<UpdatePlan>> UniqueResults(Unique.size());
+  parallelFor(static_cast<int>(Unique.size()), Jobs, [&](int I) {
+    UniqueResults[static_cast<size_t>(I)] =
+        plan(Unique[static_cast<size_t>(I)].first,
+             Unique[static_cast<size_t>(I)].second);
+  });
+
+  std::vector<std::optional<UpdatePlan>> Out(Pairs.size());
+  for (size_t I = 0; I < Pairs.size(); ++I)
+    Out[I] = UniqueResults[Slot[I]];
+  return Out;
+}
+
+int PlanService::warm(const std::vector<int> &NodeVersions,
+                      int TargetVersion, int Jobs) const {
+  if (Opts.CacheCapacity == 0)
+    return 0; // nothing to warm when caching is off
+
+  // Histogram of stale deployed versions (node 0 is the sink, skipped to
+  // match campaign cohort grouping).
+  std::map<int, int> Count;
+  for (size_t Node = 1; Node < NodeVersions.size(); ++Node) {
+    int V = NodeVersions[Node];
+    if (V != TargetVersion)
+      ++Count[V];
+  }
+
+  // Hottest version first; ties go to the older version, which campaigns
+  // flood first anyway.
+  std::vector<std::pair<int, int>> ByHeat(Count.begin(), Count.end());
+  std::stable_sort(ByHeat.begin(), ByHeat.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second > B.second;
+                   });
+  size_t Take = std::min(ByHeat.size(), Opts.CacheCapacity);
+
+  std::vector<std::pair<int, int>> Pairs;
+  Pairs.reserve(Take);
+  for (size_t I = 0; I < Take; ++I)
+    Pairs.push_back({ByHeat[I].first, TargetVersion});
+  planBatch(Pairs, Jobs);
+  NPrecomputed.fetch_add(Pairs.size(), std::memory_order_relaxed);
+  telemetryCount("serve.precomputed", static_cast<int64_t>(Pairs.size()));
+  return static_cast<int>(Pairs.size());
+}
+
+int PlanService::commit(const std::string &Source,
+                        const CompileOptions &CompileOpts,
+                        DiagnosticEngine &Diag, int ParentId) {
+  std::lock_guard<std::mutex> Guard(CommitLock);
+  int Id = (Store.size() == 0 && ParentId < 0)
+               ? Store.addInitial(Source, CompileOpts, Diag)
+               : Store.addUpdate(Source, CompileOpts, Diag, ParentId);
+  if (Id < 0)
+    return -1;
+
+  // Publish the successor snapshot: reuse every existing entry, copy only
+  // the new version. Readers on the old snapshot are unaffected.
+  std::shared_ptr<const Snapshot> Old = Snap.load();
+  auto Next = std::make_shared<Snapshot>(*Old);
+  const StoredVersion &V = *Store.find(Id);
+  Next->Versions.push_back(std::make_shared<const StoredVersion>(V));
+  Next->ImageHash.push_back(imageContentHash(V.Image));
+  Snap.store(std::shared_ptr<const Snapshot>(std::move(Next)));
+
+  NCommits.fetch_add(1, std::memory_order_relaxed);
+  telemetryCount("serve.commits");
+  return Id;
+}
+
+size_t PlanService::versionCount() const { return snapshot()->Versions.size(); }
+
+int PlanService::latestId() const {
+  return static_cast<int>(snapshot()->Versions.size()) - 1;
+}
+
+PlanServiceStats PlanService::stats() const {
+  PlanServiceStats S;
+  S.Plans = NPlans.load(std::memory_order_relaxed);
+  S.Hits = NHits.load(std::memory_order_relaxed);
+  S.Misses = NMisses.load(std::memory_order_relaxed);
+  S.Evictions = NEvictions.load(std::memory_order_relaxed);
+  S.InflightWaits = NInflightWaits.load(std::memory_order_relaxed);
+  S.Batches = NBatches.load(std::memory_order_relaxed);
+  S.BatchDeduped = NBatchDeduped.load(std::memory_order_relaxed);
+  S.Precomputed = NPrecomputed.load(std::memory_order_relaxed);
+  S.Commits = NCommits.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Guard(C->Lock);
+  S.CacheEntries = C->Lru.size();
+  return S;
+}
+
+void PlanService::clearCache() const {
+  std::lock_guard<std::mutex> Guard(C->Lock);
+  // Drop Ready entries only; in-flight ones still have an owner that will
+  // fill them and waiters parked on the latch. A clear is a reset, not an
+  // eviction — serve.evictions counts capacity pressure only.
+  for (auto It = C->Lru.begin(); It != C->Lru.end();) {
+    if ((*It)->Ready) {
+      C->removeFromMap(*It);
+      (*It)->Resident = false;
+      It = C->Lru.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+std::optional<CampaignResult>
+ucc::planFleetCampaign(const PlanService &Service, const Topology &T,
+                       const std::vector<int> &NodeVersions,
+                       int TargetVersion, DiagnosticEngine &Diag,
+                       const PacketFormat &Fmt, const Mica2Power &Power,
+                       const RadioChannel &Channel) {
+  if (TargetVersion < 0 ||
+      static_cast<size_t>(TargetVersion) >= Service.versionCount()) {
+    Diag.error({}, format("unknown target version %d", TargetVersion));
+    return std::nullopt;
+  }
+  // One batched request covers every cohort; repeated campaigns over
+  // similar fleets serve straight from the cache.
+  std::vector<int> Stale = staleVersions(NodeVersions, TargetVersion);
+  std::vector<std::pair<int, int>> Pairs;
+  Pairs.reserve(Stale.size());
+  for (int V : Stale)
+    Pairs.push_back({V, TargetVersion});
+  std::vector<std::optional<UpdatePlan>> Plans = Service.planBatch(Pairs);
+
+  std::map<int, size_t> BytesFor;
+  for (size_t I = 0; I < Stale.size(); ++I) {
+    if (!Plans[I]) {
+      Diag.error({}, format("cannot plan update %d -> %d", Stale[I],
+                            TargetVersion));
+      return std::nullopt;
+    }
+    BytesFor[Stale[I]] = Plans[I]->ScriptBytes;
+  }
+  return runUpdateCampaign(
+      T, NodeVersions, TargetVersion,
+      [&](int From) { return BytesFor.at(From); }, Fmt, Power, Channel);
+}

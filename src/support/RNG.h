@@ -15,7 +15,9 @@
 #define UCC_SUPPORT_RNG_H
 
 #include <cassert>
+#include <cmath>
 #include <cstdint>
+#include <vector>
 
 namespace ucc {
 
@@ -70,6 +72,42 @@ private:
 
   uint64_t State0;
   uint64_t State1;
+};
+
+/// Draws ranks 1..N with P(rank) proportional to rank^-S (a Zipf law,
+/// precomputed as an inverse-CDF table). Fleet-version distributions are
+/// the motivating user: most nodes run the version just behind the target,
+/// a long tail lags several releases back, and serve-layer benches need
+/// that skew reproducibly from a seed.
+class ZipfSampler {
+public:
+  ZipfSampler(size_t N, double S) : Cdf(N) {
+    assert(N > 0 && "ZipfSampler requires at least one rank");
+    double Total = 0.0;
+    for (size_t Rank = 1; Rank <= N; ++Rank) {
+      Total += 1.0 / std::pow(static_cast<double>(Rank), S);
+      Cdf[Rank - 1] = Total;
+    }
+    for (double &C : Cdf)
+      C /= Total;
+  }
+
+  /// Returns a rank in [1, N]; rank 1 is the most probable.
+  size_t sample(RNG &Rng) const {
+    double U = Rng.unitReal();
+    size_t Lo = 0, Hi = Cdf.size() - 1;
+    while (Lo < Hi) {
+      size_t Mid = (Lo + Hi) / 2;
+      if (Cdf[Mid] < U)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Lo + 1;
+  }
+
+private:
+  std::vector<double> Cdf;
 };
 
 } // namespace ucc

@@ -424,4 +424,61 @@ TEST_F(ToolFixture, StoreCliDiagnostics) {
       << capturedOutput();
 }
 
+TEST_F(ToolFixture, BatchPlanAndServeBenchFlow) {
+  writeFile("v1.mc", SourceV1);
+  writeFile("v2.mc", SourceV2);
+  std::string Store = " --store " + path("store");
+  ASSERT_EQ(uccc("commit " + path("v1.mc") + Store), 0) << capturedOutput();
+  ASSERT_EQ(uccc("commit " + path("v2.mc") + Store), 0) << capturedOutput();
+  ASSERT_EQ(uccc("commit " + path("v1.mc") + Store), 0) << capturedOutput();
+
+  // Batch planning dedupes the repeated pair and reports one cache hit is
+  // not needed: the duplicate never reaches the planner at all.
+  ASSERT_EQ(uccc("plan" + Store + " --batch 0:2,1:2,0:2"), 0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("3 request(s)"), std::string::npos)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("2 planned"), std::string::npos);
+  EXPECT_NE(capturedOutput().find("1 deduped"), std::string::npos);
+
+  // The serving benchmark runs against the same store and reports
+  // throughput plus the service's cache accounting.
+  ASSERT_EQ(uccc("serve-bench" + Store + " --requests 50 --warm"), 0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("plans/sec"), std::string::npos)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("hits "), std::string::npos)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("misses "), std::string::npos);
+}
+
+TEST_F(ToolFixture, BatchPlanAndServeBenchDiagnostics) {
+  writeFile("v1.mc", SourceV1);
+  writeFile("v2.mc", SourceV2);
+  std::string Store = " --store " + path("store");
+  ASSERT_EQ(uccc("commit " + path("v1.mc") + Store), 0) << capturedOutput();
+
+  // Usage errors (exit 2): malformed batch specs, mixing --batch with the
+  // single-pair flags, and --cache outside batch mode.
+  EXPECT_EQ(uccc("plan" + Store + " --batch 0:zz"), 2);
+  EXPECT_NE(capturedOutput().find("--batch"), std::string::npos)
+      << capturedOutput();
+  EXPECT_EQ(uccc("plan" + Store + " --batch 0:1 --from 0"), 2);
+  EXPECT_EQ(uccc("plan" + Store + " --cache 4 --from 0 --to 1"), 2);
+  EXPECT_NE(capturedOutput().find("--cache requires --batch"),
+            std::string::npos)
+      << capturedOutput();
+  EXPECT_EQ(uccc("serve-bench" + Store + " --requests -2"), 2);
+  EXPECT_EQ(uccc("serve-bench --requests 50"), 2);
+  EXPECT_NE(capturedOutput().find("requires --store"), std::string::npos)
+      << capturedOutput();
+
+  // Operational errors (exit 1): a store too small to serve from, and a
+  // batch that names a version the store does not have.
+  EXPECT_EQ(uccc("serve-bench" + Store), 1);
+  EXPECT_NE(capturedOutput().find("at least two versions"), std::string::npos)
+      << capturedOutput();
+  EXPECT_EQ(uccc("plan" + Store + " --batch 0:9"), 1);
+}
+
 } // namespace

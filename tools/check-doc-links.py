@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Fail CI on dead intra-repo markdown links.
+
+Walks every tracked markdown file at the repo root and under docs/,
+extracts inline links and images, and checks that relative targets
+(after stripping #anchors) exist on disk. External links (a scheme or
+a bare domain) are ignored -- this is a rot check for the repo's own
+documentation graph, not a crawler.
+
+Usage: tools/check-doc-links.py [repo-root]
+Exit 0 when every intra-repo link resolves, 1 otherwise (listing each
+dead link as file:line).
+"""
+
+import os
+import re
+import sys
+
+# Inline markdown links/images: [text](target) / ![alt](target).
+# Reference-style definitions: [label]: target
+INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)")
+
+SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root):
+    files = [
+        os.path.join(root, f)
+        for f in sorted(os.listdir(root))
+        if f.endswith(".md")
+    ]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        files += [
+            os.path.join(docs, f)
+            for f in sorted(os.listdir(docs))
+            if f.endswith(".md")
+        ]
+    return files
+
+
+def targets_in(line):
+    for m in INLINE.finditer(line):
+        yield m.group(1)
+    m = REFDEF.match(line)
+    if m:
+        yield m.group(1)
+
+
+def is_external(target):
+    return target.startswith(SCHEMES) or target.startswith("#")
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    dead = []
+    checked = 0
+    for path in markdown_files(root):
+        base = os.path.dirname(path)
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                for target in targets_in(line):
+                    if is_external(target):
+                        continue
+                    resolved = target.split("#", 1)[0]
+                    if not resolved:
+                        continue
+                    checked += 1
+                    full = os.path.normpath(os.path.join(base, resolved))
+                    if not os.path.exists(full):
+                        rel = os.path.relpath(path, root)
+                        dead.append(
+                            "%s:%d: dead link -> %s" % (rel, lineno, target)
+                        )
+    if dead:
+        print("check-doc-links: %d dead intra-repo link(s):" % len(dead))
+        for d in dead:
+            print("  " + d)
+        return 1
+    print(
+        "check-doc-links: %d intra-repo link(s) across %d file(s), all alive"
+        % (checked, len(markdown_files(root)))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,8 +22,14 @@
 ///   uccc commit   app_vN.mc --store dir [--parent K] [--baseline] ...
 ///   uccc history  --store dir
 ///   uccc plan     --store dir --from K --to N [-o update.pkg]
+///   uccc plan     --store dir --batch F:T,F:T,... [--cache N]
 ///   uccc campaign --store dir --target N --deployed v,v,...
 ///                 [--topology line:40|grid:8x5|star:20] [--loss p]
+///   uccc serve-bench --store dir [--requests N] [--cache N] [--zipf s]
+///                 [--target K] [--seed n] [--warm]
+///
+/// The batch and serve-bench paths go through serve/PlanService: one store
+/// open, one service, every request against the same snapshot and cache.
 ///
 /// Every command additionally accepts `--trace-json <file>` (write the
 /// telemetry registry as JSON, schema in docs/OBSERVABILITY.md),
@@ -39,16 +45,21 @@
 
 #include "core/Compiler.h"
 #include "core/VersionStore.h"
+#include "serve/PlanService.h"
 #include "sim/Simulator.h"
 #include "support/Format.h"
+#include "support/RNG.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 using namespace ucc;
@@ -89,9 +100,13 @@ namespace {
       "               [--ilp-max-binaries <n>]\n"
       "  uccc history --store <dir>\n"
       "  uccc plan    --store <dir> --from <id> --to <id> [-o <pkg>]\n"
+      "  uccc plan    --store <dir> --batch <f>:<t>,<f>:<t>,...\n"
+      "               [--cache <n>] [--jobs <n>]\n"
       "  uccc campaign --store <dir> --target <id> --deployed v,v,...\n"
       "               [--topology line:<n>|grid:<w>x<h>|star:<n>]\n"
       "               [--loss <p>] [--seed <n>]\n"
+      "  uccc serve-bench --store <dir> [--requests <n>] [--cache <n>]\n"
+      "               [--zipf <s>] [--target <id>] [--seed <n>] [--warm]\n"
       "global flags (any command):\n"
       "  --jobs <n>            worker threads for parallel phases\n"
       "                        (default: hardware concurrency, or the\n"
@@ -226,7 +241,9 @@ private:
                                       "--parent",    "--from",
                                       "--to",        "--target",
                                       "--deployed",  "--topology",
-                                      "--loss",      "--seed"};
+                                      "--loss",      "--seed",
+                                      "--batch",     "--cache",
+                                      "--requests",  "--zipf"};
     for (const char *F : WithValue)
       if (std::strcmp(Flag, F) == 0)
         return true;
@@ -282,6 +299,19 @@ VersionStore openStoreOrDie(const std::string &Dir) {
     die("cannot open version store '" + Dir + "'");
   }
   return std::move(*Store);
+}
+
+/// Pulls --store for a store-backed command. Every such command parses and
+/// validates its whole command line first (usage errors exit 2 before any
+/// store I/O), then opens the manifest exactly once via openStoreOrDie and
+/// threads that one store through the rest of the command — batch plans
+/// and serve-bench share a single PlanService over it rather than
+/// re-opening per request.
+std::string storeDirArg(Args &A) {
+  std::string StoreDir = A.option("--store");
+  if (StoreDir.empty())
+    dieCli("this command requires --store <dir>");
+  return StoreDir;
 }
 
 int cmdCompile(Args &A) {
@@ -479,9 +509,7 @@ int cmdCommit(Args &A) {
   std::string OutPath = A.option("-o");
   std::string RecPath = A.option("--record");
   CompileOptions Opts = parseCompileKnobs(A);
-  std::string StoreDir = A.option("--store");
-  if (StoreDir.empty())
-    dieCli("this command requires --store <dir>");
+  std::string StoreDir = storeDirArg(A);
   if (Src.empty())
     usage();
   A.finish();
@@ -518,9 +546,7 @@ int cmdCommit(Args &A) {
 }
 
 int cmdHistory(Args &A) {
-  std::string StoreDir = A.option("--store");
-  if (StoreDir.empty())
-    dieCli("this command requires --store <dir>");
+  std::string StoreDir = storeDirArg(A);
   A.finish();
   VersionStore Store = openStoreOrDie(StoreDir);
   std::printf("%-4s %-6s %-16s %10s %8s %8s\n", "id", "parent",
@@ -537,15 +563,95 @@ int cmdHistory(Args &A) {
   return 0;
 }
 
+/// Parses a --batch spec "f:t,f:t,..." into version-id pairs; any
+/// malformed element is a usage error.
+std::vector<std::pair<int, int>> parseBatchSpec(const std::string &Spec) {
+  std::vector<std::pair<int, int>> Pairs;
+  for (size_t At = 0; At < Spec.size();) {
+    size_t Comma = Spec.find(',', At);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Item = Spec.substr(At, Comma - At);
+    size_t Colon = Item.find(':');
+    if (Colon == std::string::npos)
+      dieCli("--batch expects <from>:<to> pairs, got '" + Item + "'");
+    Pairs.push_back({parseInt(Item.substr(0, Colon), "--batch <from>"),
+                     parseInt(Item.substr(Colon + 1), "--batch <to>")});
+    At = Comma + 1;
+  }
+  if (Pairs.empty())
+    dieCli("--batch expects at least one <from>:<to> pair");
+  return Pairs;
+}
+
+int cmdPlanBatch(const std::string &StoreDir,
+                 const std::vector<std::pair<int, int>> &Pairs,
+                 size_t Cache) {
+  PlanService Service(openStoreOrDie(StoreDir),
+                      PlanServiceOptions{Cache});
+  std::vector<std::optional<UpdatePlan>> Plans = Service.planBatch(Pairs);
+
+  int Failures = 0;
+  std::printf("%-6s %-6s %-8s %10s %10s %10s\n", "from", "to", "route",
+              "script", "direct", "chained");
+  for (size_t I = 0; I < Pairs.size(); ++I) {
+    if (!Plans[I]) {
+      std::printf("v%-5d v%-5d %-8s %10s %10s %10s\n", Pairs[I].first,
+                  Pairs[I].second, "-", "-", "-", "-");
+      ++Failures;
+      continue;
+    }
+    const UpdatePlan &P = *Plans[I];
+    const char *Route =
+        P.Route == UpdatePlan::RouteKind::Direct ? "direct" : "chained";
+    std::string Chained =
+        P.ChainSteps > 0 ? format("%zu", P.ChainedBytes) : "n/a";
+    std::printf("v%-5d v%-5d %-8s %10zu %10zu %10s\n", P.From, P.To, Route,
+                P.ScriptBytes, P.DirectBytes, Chained.c_str());
+  }
+  PlanServiceStats S = Service.stats();
+  std::printf("%zu request(s), %llu planned, %llu deduped, %llu cache "
+              "hit(s)\n",
+              Pairs.size(),
+              static_cast<unsigned long long>(S.Misses),
+              static_cast<unsigned long long>(S.BatchDeduped),
+              static_cast<unsigned long long>(S.Hits));
+  if (Failures)
+    die(format("%d of %zu batch request(s) could not be planned "
+               "(unknown version?)",
+               Failures, Pairs.size()));
+  return 0;
+}
+
 int cmdPlan(Args &A) {
   std::string FromArg = A.option("--from");
   std::string ToArg = A.option("--to");
+  std::string BatchArg = A.option("--batch");
+  std::string CacheArg = A.option("--cache");
   std::string OutPath = A.option("-o");
-  std::string StoreDir = A.option("--store");
-  if (StoreDir.empty())
-    dieCli("this command requires --store <dir>");
+  std::string StoreDir = storeDirArg(A);
+
+  if (!BatchArg.empty()) {
+    if (!FromArg.empty() || !ToArg.empty())
+      dieCli("--batch cannot be combined with --from/--to");
+    if (!OutPath.empty())
+      dieCli("--batch does not write packages; drop -o");
+    std::vector<std::pair<int, int>> Pairs = parseBatchSpec(BatchArg);
+    size_t Cache = 256;
+    if (!CacheArg.empty()) {
+      int N = parseInt(CacheArg, "--cache");
+      if (N < 0)
+        dieCli("--cache expects a non-negative integer");
+      Cache = static_cast<size_t>(N);
+    }
+    A.finish();
+    return cmdPlanBatch(StoreDir, Pairs, Cache);
+  }
+
+  if (!CacheArg.empty())
+    dieCli("--cache requires --batch");
   if (FromArg.empty() || ToArg.empty())
-    dieCli("plan requires --from <id> and --to <id>");
+    dieCli("plan requires --from <id> and --to <id> (or --batch)");
   int From = parseInt(FromArg, "--from");
   int To = parseInt(ToArg, "--to");
   A.finish();
@@ -577,9 +683,7 @@ int cmdCampaign(Args &A) {
   std::string TopoArg = A.option("--topology");
   std::string LossArg = A.option("--loss");
   std::string SeedArg = A.option("--seed");
-  std::string StoreDir = A.option("--store");
-  if (StoreDir.empty())
-    dieCli("this command requires --store <dir>");
+  std::string StoreDir = storeDirArg(A);
   if (TargetArg.empty() || Deployed.empty())
     dieCli("campaign requires --target <id> and --deployed v,v,...");
   int Target = parseInt(TargetArg, "--target");
@@ -625,9 +729,12 @@ int cmdCampaign(Args &A) {
   if (!SeedArg.empty())
     Channel.Seed = static_cast<uint64_t>(parseInt(SeedArg, "--seed"));
 
-  VersionStore Store = openStoreOrDie(StoreDir);
+  // Campaigns run through the serving layer: one store open, one service,
+  // so repeated cohort pairs (and repeated campaigns in one process) plan
+  // once. Plans are byte-identical to the store-backed path.
+  PlanService Service(openStoreOrDie(StoreDir));
   DiagnosticEngine Diag;
-  auto R = planFleetCampaign(Store, T, NodeVersions, Target, Diag,
+  auto R = planFleetCampaign(Service, T, NodeVersions, Target, Diag,
                              PacketFormat(), Mica2Power(), Channel);
   if (!R) {
     reportDiagnostics(Diag);
@@ -642,6 +749,109 @@ int cmdCampaign(Args &A) {
                 C.Flood.Packets, C.Flood.totalJoules());
   std::printf("total: %zu bytes on air, %.6f J\n", R->totalBytesOnAir(),
               R->totalJoules());
+  return 0;
+}
+
+/// A one-process serving benchmark against an on-disk store: replays a
+/// Zipf-skewed request stream (most requests from the versions closest to
+/// the target, a long tail further back) through one PlanService and
+/// reports throughput, latency percentiles and cache accounting. The
+/// bench/bench_plan_service harness is the regression-gated variant; this
+/// command is for poking at a real store.
+int cmdServeBench(Args &A) {
+  std::string RequestsArg = A.option("--requests");
+  std::string CacheArg = A.option("--cache");
+  std::string ZipfArg = A.option("--zipf");
+  std::string TargetArg = A.option("--target");
+  std::string SeedArg = A.option("--seed");
+  bool Warm = A.flag("--warm");
+  std::string StoreDir = storeDirArg(A);
+
+  int Requests = RequestsArg.empty() ? 1000
+                                     : parseInt(RequestsArg, "--requests");
+  if (Requests <= 0)
+    dieCli("--requests expects a positive integer");
+  size_t Cache = 256;
+  if (!CacheArg.empty()) {
+    int N = parseInt(CacheArg, "--cache");
+    if (N < 0)
+      dieCli("--cache expects a non-negative integer");
+    Cache = static_cast<size_t>(N);
+  }
+  double ZipfS = ZipfArg.empty() ? 1.1 : parseDouble(ZipfArg, "--zipf");
+  if (ZipfS <= 0.0)
+    dieCli("--zipf expects a positive skew exponent");
+  uint64_t Seed = 1;
+  if (!SeedArg.empty())
+    Seed = static_cast<uint64_t>(parseInt(SeedArg, "--seed"));
+  A.finish();
+
+  VersionStore Store = openStoreOrDie(StoreDir);
+  if (Store.size() < 2)
+    die("serve-bench needs a store with at least two versions");
+  int Target = TargetArg.empty() ? Store.latest()->Id
+                                 : parseInt(TargetArg, "--target");
+  if (!Store.find(Target))
+    die(format("unknown target version %d", Target));
+  size_t NumVersions = Store.size();
+
+  // Stale versions ordered hottest first: distance from the target breaks
+  // the fleet into Zipf ranks, so rank 1 is the release right behind it.
+  std::vector<int> Candidates;
+  for (int Id = 0; Id < static_cast<int>(NumVersions); ++Id)
+    if (Id != Target)
+      Candidates.push_back(Id);
+  std::sort(Candidates.begin(), Candidates.end(), [&](int L, int R) {
+    int DL = std::abs(Target - L), DR = std::abs(Target - R);
+    return DL != DR ? DL < DR : L < R;
+  });
+
+  RNG Rng(Seed);
+  ZipfSampler Zipf(Candidates.size(), ZipfS);
+  std::vector<int> Fleet(1, Target); // node 0: the sink, already current
+  for (int K = 0; K < Requests; ++K)
+    Fleet.push_back(Candidates[Zipf.sample(Rng) - 1]);
+
+  PlanService Service(std::move(Store), PlanServiceOptions{Cache});
+  int Warmed = 0;
+  if (Warm)
+    Warmed = Service.warm(Fleet, Target);
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<double> LatencySeconds;
+  LatencySeconds.reserve(static_cast<size_t>(Requests));
+  Clock::time_point Begin = Clock::now();
+  for (int K = 0; K < Requests; ++K) {
+    Clock::time_point T0 = Clock::now();
+    auto P = Service.plan(Fleet[static_cast<size_t>(K) + 1], Target);
+    if (!P)
+      die(format("cannot plan update %d -> %d",
+                 Fleet[static_cast<size_t>(K) + 1], Target));
+    LatencySeconds.push_back(
+        std::chrono::duration<double>(Clock::now() - T0).count());
+  }
+  double TotalSeconds =
+      std::chrono::duration<double>(Clock::now() - Begin).count();
+
+  std::sort(LatencySeconds.begin(), LatencySeconds.end());
+  auto Percentile = [&](double Q) {
+    size_t At = static_cast<size_t>(Q * (LatencySeconds.size() - 1));
+    return LatencySeconds[At] * 1e6;
+  };
+  PlanServiceStats S = Service.stats();
+  std::printf("serve-bench: %zu version(s), target v%d, %d request(s), "
+              "zipf s=%.2f, cache %zu%s\n",
+              NumVersions, Target, Requests, ZipfS, Cache,
+              Warm ? format(" (%d pair(s) warmed)", Warmed).c_str() : "");
+  std::printf("  %.0f plans/sec, p50 %.1f us, p95 %.1f us\n",
+              Requests / TotalSeconds, Percentile(0.50), Percentile(0.95));
+  std::printf("  hits %llu  misses %llu  evictions %llu  inflight-waits "
+              "%llu  entries %zu\n",
+              static_cast<unsigned long long>(S.Hits),
+              static_cast<unsigned long long>(S.Misses),
+              static_cast<unsigned long long>(S.Evictions),
+              static_cast<unsigned long long>(S.InflightWaits),
+              S.CacheEntries);
   return 0;
 }
 
@@ -688,6 +898,8 @@ int dispatch(const std::string &Cmd, Args &A) {
     return cmdPlan(A);
   if (Cmd == "campaign")
     return cmdCampaign(A);
+  if (Cmd == "serve-bench")
+    return cmdServeBench(A);
   dieCli("unknown command '" + Cmd + "'");
 }
 
