@@ -27,10 +27,22 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <optional>
 
 using namespace ucc;
 
 namespace {
+
+/// Roots a trace for an externally-originated compilation when events are
+/// on and no context is active, so `compile.*`/phase spans in the export
+/// carry a trace id even outside the serving layer.
+struct CompileTrace {
+  std::optional<TraceContextScope> Scope;
+  CompileTrace() {
+    if (eventTelemetry() && !currentTraceContext())
+      Scope.emplace(TraceContext{nextTraceId(), 0});
+  }
+};
 
 /// Shared front half: parse, lower, verify, optimize, select.
 std::optional<std::pair<Module, MachineModule>>
@@ -195,6 +207,7 @@ CompileOutput backHalf(Module M, const CompileOptions &Opts,
 std::optional<CompileOutput> Compiler::compile(const std::string &Source,
                                                const CompileOptions &Opts,
                                                DiagnosticEngine &Diag) {
+  CompileTrace Trace;
   ScopedSpan Span("compile");
   auto Front = frontHalf(Source, Opts, Diag);
   if (!Front)
@@ -206,6 +219,7 @@ std::optional<CompileOutput>
 Compiler::recompile(const std::string &Source,
                     const CompilationRecord &OldRecord,
                     const CompileOptions &Opts, DiagnosticEngine &Diag) {
+  CompileTrace Trace;
   ScopedSpan Span("recompile");
   auto Front = frontHalf(Source, Opts, Diag);
   if (!Front)

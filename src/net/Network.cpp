@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <optional>
 
 using namespace ucc;
 
@@ -287,6 +288,15 @@ ucc::runUpdateCampaign(const Topology &T,
             [](const auto &A, const auto &B) { return A.first < B.first; });
 
   Telemetry *Ev = eventTelemetry();
+  // Each cohort's flood runs under its own trace context (one trace id
+  // for the campaign if the caller did not already establish one), so
+  // the per-node events of different cohorts are attributable in the
+  // exported trace.
+  TraceContext CampaignCtx;
+  if (const TraceContext *Ctx = currentTraceContext())
+    CampaignCtx = *Ctx;
+  else if (Ev)
+    CampaignCtx = {nextTraceId(), 0};
   int CohortIdx = 0;
   for (auto &[From, Nodes] : ByVersion) {
     UpdateCohort C;
@@ -298,16 +308,26 @@ ucc::runUpdateCampaign(const Topology &T,
     // packet loss between the floods.
     RadioChannel CohortChannel = Channel;
     CohortChannel.Seed = Channel.Seed + static_cast<uint64_t>(CohortIdx);
-    C.Flood = disseminate(T, C.ScriptBytes, Fmt, Power, CohortChannel);
+    {
+      std::optional<TraceContextScope> CohortTrace;
+      if (CampaignCtx.TraceId != 0)
+        CohortTrace.emplace(TraceContext{
+            CampaignCtx.TraceId, static_cast<uint64_t>(CohortIdx) + 1});
+      C.Flood = disseminate(T, C.ScriptBytes, Fmt, Power, CohortChannel);
+    }
     R.NodesUpdated += static_cast<int>(C.Nodes.size());
-    if (Ev)
+    if (Ev) {
+      std::vector<std::pair<std::string, double>> Args = {
+          {"from", static_cast<double>(From)},
+          {"to", static_cast<double>(TargetVersion)},
+          {"nodes", static_cast<double>(C.Nodes.size())},
+          {"script_bytes", static_cast<double>(C.ScriptBytes)},
+          {"joules", C.Flood.totalJoules()}};
+      if (CampaignCtx.TraceId != 0)
+        Args.push_back({"trace", static_cast<double>(CampaignCtx.TraceId)});
       Ev->recordEvent(TelemetryEvent::Phase::Instant, "campaign",
-                      "campaign.cohort", 0,
-                      {{"from", static_cast<double>(From)},
-                       {"to", static_cast<double>(TargetVersion)},
-                       {"nodes", static_cast<double>(C.Nodes.size())},
-                       {"script_bytes", static_cast<double>(C.ScriptBytes)},
-                       {"joules", C.Flood.totalJoules()}});
+                      "campaign.cohort", 0, std::move(Args));
+    }
     R.Cohorts.push_back(std::move(C));
     ++CohortIdx;
   }

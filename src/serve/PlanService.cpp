@@ -26,6 +26,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <list>
 #include <map>
@@ -58,6 +59,32 @@ uint64_t pairKey(uint64_t FromHash, uint64_t ToHash) {
                           sizeof(FromHash));
   return fnv1aBytes(H, &ToHash, sizeof(ToHash));
 }
+
+/// Records the enclosing scope's wall time into a latency histogram,
+/// early returns included.
+struct LatencyStopwatch {
+  LatencyHistogram &H;
+  std::chrono::steady_clock::time_point T0 =
+      std::chrono::steady_clock::now();
+  explicit LatencyStopwatch(LatencyHistogram &H) : H(H) {}
+  ~LatencyStopwatch() {
+    H.record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           T0)
+                 .count());
+  }
+};
+
+/// Installs a fresh TraceContext when events are being recorded and no
+/// context is active — the request is externally originated and becomes
+/// the root of its own trace. Requests arriving inside an active context
+/// (planBatch items, campaign cohorts) keep the caller's trace id.
+struct RequestTrace {
+  std::optional<TraceContextScope> Scope;
+  RequestTrace() {
+    if (eventTelemetry() && !currentTraceContext())
+      Scope.emplace(TraceContext{nextTraceId(), 0});
+  }
+};
 
 } // namespace
 
@@ -157,6 +184,9 @@ PlanService::planOnSnapshot(const Snapshot &S, int FromId, int ToId) const {
 }
 
 std::optional<UpdatePlan> PlanService::plan(int FromId, int ToId) const {
+  RequestTrace Trace;
+  ScopedSpan Span("serve.plan");
+  LatencyStopwatch Timer(Latency);
   std::shared_ptr<const Snapshot> S = snapshot();
   NPlans.fetch_add(1, std::memory_order_relaxed);
   telemetryCount("serve.plans");
@@ -228,6 +258,11 @@ std::optional<UpdatePlan> PlanService::plan(int FromId, int ToId) const {
 std::vector<std::optional<UpdatePlan>>
 PlanService::planBatch(const std::vector<std::pair<int, int>> &Pairs,
                        int Jobs) const {
+  // The whole batch is one trace: the context minted here rides through
+  // parallelFor into every item's worker thread, so the fan-out reads as
+  // one request lifeline in the exported trace.
+  RequestTrace Trace;
+  ScopedSpan Span("serve.batch");
   NBatches.fetch_add(1, std::memory_order_relaxed);
   telemetryCount("serve.batches");
 
@@ -299,6 +334,8 @@ int PlanService::warm(const std::vector<int> &NodeVersions,
 int PlanService::commit(const std::string &Source,
                         const CompileOptions &CompileOpts,
                         DiagnosticEngine &Diag, int ParentId) {
+  RequestTrace Trace;
+  ScopedSpan Span("serve.commit");
   std::lock_guard<std::mutex> Guard(CommitLock);
   int Id = (Store.size() == 0 && ParentId < 0)
                ? Store.addInitial(Source, CompileOpts, Diag)

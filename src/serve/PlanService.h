@@ -34,6 +34,7 @@
 #define UCC_SERVE_PLANSERVICE_H
 
 #include "core/VersionStore.h"
+#include "support/Metrics.h"
 
 #include <atomic>
 #include <cstdint>
@@ -118,6 +119,16 @@ public:
 
   PlanServiceStats stats() const;
 
+  /// Per-request latency distribution (every plan() call records into it,
+  /// cache hits and misses alike). Always on — two clock reads and a few
+  /// relaxed atomic increments per request — so `uccc monitor` and the
+  /// flight recorder can read p50/p95/p99 without enabling telemetry.
+  const LatencyHistogram &latency() const { return Latency; }
+
+  /// Clears the latency distribution (for phase-scoped measurements:
+  /// cold vs warm windows).
+  void resetLatency() const { Latency.reset(); }
+
   /// Drops every cached plan (the latch state of in-flight computations is
   /// preserved). For cold-vs-warm measurements.
   void clearCache() const;
@@ -143,6 +154,7 @@ private:
   mutable std::atomic<uint64_t> NPlans{0}, NHits{0}, NMisses{0},
       NEvictions{0}, NInflightWaits{0}, NBatches{0}, NBatchDeduped{0},
       NPrecomputed{0}, NCommits{0};
+  mutable LatencyHistogram Latency;
 };
 
 /// The serving-layer fleet campaign: plans every cohort's script through

@@ -1,0 +1,88 @@
+//===- support/Log.cpp - minimal leveled diagnostics logger --------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace ucc;
+
+namespace {
+// -1 = no override installed; otherwise a LogLevel value.
+std::atomic<int> LevelOverride{-1};
+
+LogLevel levelFromEnv() {
+  const char *Env = std::getenv("UCC_LOG");
+  if (!Env)
+    return LogLevel::Warn;
+  if (std::strcmp(Env, "debug") == 0)
+    return LogLevel::Debug;
+  if (std::strcmp(Env, "info") == 0)
+    return LogLevel::Info;
+  if (std::strcmp(Env, "warn") == 0)
+    return LogLevel::Warn;
+  if (std::strcmp(Env, "error") == 0)
+    return LogLevel::Error;
+  if (std::strcmp(Env, "off") == 0)
+    return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+double secondsSinceStart() {
+  static const auto Start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+const char *levelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug:
+    return "DEBUG";
+  case LogLevel::Info:
+    return "INFO";
+  case LogLevel::Warn:
+    return "WARN";
+  case LogLevel::Error:
+    return "ERROR";
+  case LogLevel::Off:
+    return "OFF";
+  }
+  return "?";
+}
+} // namespace
+
+LogLevel ucc::logLevel() {
+  int Override = LevelOverride.load(std::memory_order_relaxed);
+  if (Override >= 0)
+    return static_cast<LogLevel>(Override);
+  return levelFromEnv();
+}
+
+void ucc::setLogLevel(LogLevel Level) {
+  LevelOverride.store(static_cast<int>(Level), std::memory_order_relaxed);
+}
+
+bool ucc::logEnabled(LogLevel Level) {
+  return static_cast<int>(Level) >= static_cast<int>(logLevel());
+}
+
+void ucc::logf(LogLevel Level, const char *Fmt, ...) {
+  if (!logEnabled(Level))
+    return;
+  char Msg[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Msg, sizeof(Msg), Fmt, Args);
+  va_end(Args);
+  std::fprintf(stderr, "[%10.3f] %-5s %s\n", secondsSinceStart(),
+               levelName(Level), Msg);
+}

@@ -1,0 +1,48 @@
+//===- support/Log.h - minimal leveled diagnostics logger ----------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small stderr logger for the long-running paths
+/// (serving loop, campaigns, flight recorder): leveled, printf-style,
+/// timestamped relative to process start. Not a tracing system — traces
+/// and metrics live in support/Telemetry and support/Metrics; this is
+/// for the handful of operator-facing lines ("SLO breach, trace dumped
+/// to ...") that must reach a terminal even when telemetry is off.
+///
+/// The threshold defaults to Warn, is overridable with `UCC_LOG`
+/// (debug|info|warn|error|off) or programmatically, and filtered-out
+/// calls cost one integer compare.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_SUPPORT_LOG_H
+#define UCC_SUPPORT_LOG_H
+
+namespace ucc {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// The active threshold: an explicit setLogLevel() override if any, else
+/// the `UCC_LOG` environment variable, else Warn.
+LogLevel logLevel();
+
+/// Installs \p Level as the process-wide threshold.
+void setLogLevel(LogLevel Level);
+
+/// True when a message at \p Level would be emitted.
+bool logEnabled(LogLevel Level);
+
+/// Emits one printf-formatted line to stderr as
+/// `[<seconds-since-start>] <LEVEL> <message>` when \p Level passes the
+/// threshold.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel Level, const char *Fmt, ...);
+
+} // namespace ucc
+
+#endif // UCC_SUPPORT_LOG_H

@@ -17,9 +17,94 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cmath>
 
 using namespace ucc;
+
+uint16_t DurationDist::bucketFor(double Seconds) {
+  if (!(Seconds > 0.0))
+    return 0;
+  int Exp = 0;
+  double Frac = std::frexp(Seconds, &Exp); // Frac in [0.5, 1)
+  if (Exp < MinExp)
+    return 1; // underflow clamps into the lowest octave
+  if (Exp > MaxExp) {
+    Exp = MaxExp;
+    Frac = 1.0; // overflow clamps into the highest sub-bucket
+  }
+  int Sub = static_cast<int>((Frac - 0.5) * 2.0 * SubBuckets);
+  if (Sub >= SubBuckets)
+    Sub = SubBuckets - 1;
+  return static_cast<uint16_t>(1 + (Exp - MinExp) * SubBuckets + Sub);
+}
+
+double DurationDist::valueFor(uint16_t Bucket) {
+  if (Bucket == 0)
+    return 0.0;
+  int Idx = Bucket - 1;
+  int Exp = MinExp + Idx / SubBuckets;
+  int Sub = Idx % SubBuckets;
+  // The linear midpoint of the sub-bucket within its [0.5, 1) octave.
+  double Frac = 0.5 + (Sub + 0.5) / (2.0 * SubBuckets);
+  return std::ldexp(Frac, Exp);
+}
+
+void DurationDist::record(double Seconds) {
+  uint16_t B = bucketFor(Seconds);
+  auto It = std::lower_bound(
+      Buckets.begin(), Buckets.end(), B,
+      [](const std::pair<uint16_t, uint32_t> &E, uint16_t Key) {
+        return E.first < Key;
+      });
+  if (It != Buckets.end() && It->first == B)
+    ++It->second;
+  else
+    Buckets.insert(It, {B, 1});
+  ++Count;
+}
+
+void DurationDist::merge(const DurationDist &Other) {
+  if (Other.Buckets.empty())
+    return;
+  // Merge-join the two sorted bucket lists.
+  std::vector<std::pair<uint16_t, uint32_t>> Out;
+  Out.reserve(Buckets.size() + Other.Buckets.size());
+  size_t A = 0, B = 0;
+  while (A < Buckets.size() || B < Other.Buckets.size()) {
+    if (B == Other.Buckets.size() ||
+        (A < Buckets.size() && Buckets[A].first < Other.Buckets[B].first)) {
+      Out.push_back(Buckets[A++]);
+    } else if (A == Buckets.size() ||
+               Other.Buckets[B].first < Buckets[A].first) {
+      Out.push_back(Other.Buckets[B++]);
+    } else {
+      Out.push_back({Buckets[A].first,
+                     Buckets[A].second + Other.Buckets[B].second});
+      ++A;
+      ++B;
+    }
+  }
+  Buckets = std::move(Out);
+  Count += Other.Count;
+}
+
+double DurationDist::quantileSeconds(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  double Clamped = std::min(std::max(Q, 0.0), 1.0);
+  // The (0-based) rank of the requested entry, nearest-rank style.
+  uint64_t Rank = static_cast<uint64_t>(
+      Clamped * static_cast<double>(Count - 1) + 0.5);
+  uint64_t Seen = 0;
+  for (const auto &[Bucket, N] : Buckets) {
+    Seen += N;
+    if (Seen > Rank)
+      return valueFor(Bucket);
+  }
+  return valueFor(Buckets.back().first);
+}
 
 const TelemetrySpan *TelemetrySpan::find(const std::string &ChildName) const {
   for (const std::unique_ptr<TelemetrySpan> &C : Children)
@@ -29,15 +114,12 @@ const TelemetrySpan *TelemetrySpan::find(const std::string &ChildName) const {
 }
 
 double TelemetrySpan::quantileSeconds(double Q) const {
-  if (DurationSamples.empty())
+  if (Dist.Count == 0)
     return 0.0;
-  std::vector<double> Sorted(DurationSamples);
-  std::sort(Sorted.begin(), Sorted.end());
-  double Clamped = std::min(std::max(Q, 0.0), 1.0);
-  size_t Idx = static_cast<size_t>(Clamped *
-                                   static_cast<double>(Sorted.size() - 1) +
-                                   0.5);
-  return Sorted[Idx];
+  // The bucket midpoint can stick out past the exact envelope by a
+  // half-bucket; clamp so min <= p50 <= p95 <= max always holds.
+  return std::min(std::max(Dist.quantileSeconds(Q), MinSeconds),
+                  MaxSeconds);
 }
 
 Telemetry::Telemetry() : TraceEpoch(std::chrono::steady_clock::now()) {}
@@ -106,8 +188,16 @@ void Telemetry::beginSpan(const std::string &Name) {
     Node->Name = Name;
   }
   ++Node->Count;
-  if (EventsOn)
-    recordEvent(TelemetryEvent::Phase::Begin, "span", Name);
+  if (EventsOn) {
+    // Attribute the slice to the active request: the trace id rides in
+    // the args, so Perfetto queries can pull one request's lifeline out
+    // of a multi-request, multi-thread timeline.
+    std::vector<std::pair<std::string, double>> Args;
+    if (const TraceContext *Ctx = currentTraceContext())
+      Args.push_back({"trace", static_cast<double>(Ctx->TraceId)});
+    recordEvent(TelemetryEvent::Phase::Begin, "span", Name, DefaultTrack,
+                std::move(Args));
+  }
   Open.emplace_back(Node, std::chrono::steady_clock::now());
 }
 
@@ -121,40 +211,36 @@ void Telemetry::endSpan() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
   Node->Seconds += D;
-  if (Node->DurationSamples.empty()) {
+  if (Node->Dist.Count == 0) {
     Node->MinSeconds = D;
     Node->MaxSeconds = D;
   } else {
     Node->MinSeconds = std::min(Node->MinSeconds, D);
     Node->MaxSeconds = std::max(Node->MaxSeconds, D);
   }
-  if (Node->DurationSamples.size() < TelemetrySpan::MaxDurationSamples)
-    Node->DurationSamples.push_back(D);
+  Node->Dist.record(D);
   if (EventsOn)
-    recordEvent(TelemetryEvent::Phase::End, "span", Node->Name);
+    recordEvent(TelemetryEvent::Phase::End, "span", Node->Name,
+                DefaultTrack);
 }
 
 namespace {
 
 /// Folds \p From into \p Into: totals add, the duration distribution
-/// combines (exact min/max; samples concatenate up to the cap), children
-/// merge recursively by name.
+/// combines (exact min/max; bucket histograms merge-join), children merge
+/// recursively by name.
 void mergeSpanInto(TelemetrySpan &Into, const TelemetrySpan &From) {
   Into.Seconds += From.Seconds;
   Into.Count += From.Count;
-  if (!From.DurationSamples.empty()) {
-    if (Into.DurationSamples.empty()) {
+  if (From.Dist.Count != 0) {
+    if (Into.Dist.Count == 0) {
       Into.MinSeconds = From.MinSeconds;
       Into.MaxSeconds = From.MaxSeconds;
     } else {
       Into.MinSeconds = std::min(Into.MinSeconds, From.MinSeconds);
       Into.MaxSeconds = std::max(Into.MaxSeconds, From.MaxSeconds);
     }
-    for (double D : From.DurationSamples) {
-      if (Into.DurationSamples.size() >= TelemetrySpan::MaxDurationSamples)
-        break;
-      Into.DurationSamples.push_back(D);
-    }
+    Into.Dist.merge(From.Dist);
   }
   for (const std::unique_ptr<TelemetrySpan> &FromChild : From.Children) {
     TelemetrySpan *IntoChild =
@@ -245,6 +331,7 @@ void Telemetry::clear() {
   EventHead = 0;
   EventsDropped = 0;
   EventsOn = false;
+  DefaultTrack = 0;
   TraceEpoch = std::chrono::steady_clock::now();
 }
 
@@ -264,13 +351,15 @@ double Telemetry::microsSinceEpoch() const {
 void Telemetry::recordEvent(TelemetryEvent::Phase Ph,
                             const std::string &Category,
                             const std::string &Name, int32_t Track,
-                            std::vector<std::pair<std::string, double>> Args) {
+                            std::vector<std::pair<std::string, double>> Args,
+                            uint64_t FlowId) {
   if (!EventsOn)
     return;
   TelemetryEvent E;
   E.Ph = Ph;
   E.TsMicros = microsSinceEpoch();
   E.Track = Track;
+  E.FlowId = FlowId;
   E.Category = Category;
   E.Name = Name;
   E.Args = std::move(Args);
@@ -395,8 +484,13 @@ std::string Telemetry::toChromeTrace() const {
   append("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
          "\"args\":{\"name\":\"ucc\"}}");
   for (int32_t Track : Tracks) {
-    std::string Label =
-        Track == 0 ? std::string("pipeline") : format("node %d", Track);
+    // Worker rows are labeled by worker index so a Perfetto timeline
+    // reads "pipeline / node 3 / worker 0 / worker 1", not bare tids.
+    std::string Label = Track == 0 ? std::string("pipeline")
+                        : Track >= Telemetry::WorkerTrackBase
+                            ? format("worker %d",
+                                     Track - Telemetry::WorkerTrackBase)
+                            : format("node %d", Track);
     append(format("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
                   "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
                   Track, Label.c_str()));
@@ -416,6 +510,12 @@ std::string Telemetry::toChromeTrace() const {
     case TelemetryEvent::Phase::Counter:
       Ph = 'C';
       break;
+    case TelemetryEvent::Phase::FlowStart:
+      Ph = 's';
+      break;
+    case TelemetryEvent::Phase::FlowEnd:
+      Ph = 'f';
+      break;
     }
     std::string Ev = format(
         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,"
@@ -424,6 +524,15 @@ std::string Telemetry::toChromeTrace() const {
         E->TsMicros, E->Track);
     if (E->Ph == TelemetryEvent::Phase::Instant)
       Ev += ",\"s\":\"t\""; // thread-scoped instant marker
+    if (E->Ph == TelemetryEvent::Phase::FlowStart ||
+        E->Ph == TelemetryEvent::Phase::FlowEnd) {
+      Ev += format(",\"id\":%llu",
+                   static_cast<unsigned long long>(E->FlowId));
+      // Bind the arrow head to the enclosing slice rather than the next
+      // one, so the flow lands on the worker's task slice itself.
+      if (E->Ph == TelemetryEvent::Phase::FlowEnd)
+        Ev += ",\"bp\":\"e\"";
+    }
     if (!E->Args.empty() || E->Ph == TelemetryEvent::Phase::Counter) {
       Ev += ",\"args\":{";
       for (size_t K = 0; K < E->Args.size(); ++K) {
@@ -443,6 +552,8 @@ std::string Telemetry::toChromeTrace() const {
 
 namespace {
 thread_local Telemetry *CurrentTelemetry = nullptr;
+thread_local const TraceContext *CurrentTraceContext = nullptr;
+std::atomic<uint64_t> TraceIdCounter{1};
 } // namespace
 
 Telemetry *ucc::currentTelemetry() { return CurrentTelemetry; }
@@ -452,3 +563,18 @@ TelemetryScope::TelemetryScope(Telemetry &T) : Prev(CurrentTelemetry) {
 }
 
 TelemetryScope::~TelemetryScope() { CurrentTelemetry = Prev; }
+
+const TraceContext *ucc::currentTraceContext() {
+  return CurrentTraceContext;
+}
+
+uint64_t ucc::nextTraceId() {
+  return TraceIdCounter.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceContextScope::TraceContextScope(TraceContext C)
+    : Ctx(C), Prev(CurrentTraceContext) {
+  CurrentTraceContext = &Ctx;
+}
+
+TraceContextScope::~TraceContextScope() { CurrentTraceContext = Prev; }

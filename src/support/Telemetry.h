@@ -62,15 +62,48 @@
 
 namespace ucc {
 
+/// A log-bucketed duration distribution with bounded memory. Values map
+/// to log-linear buckets (16 linear sub-buckets per power-of-two octave,
+/// so a bucket's representative value is within ~3% of anything that
+/// landed in it) stored sparsely: a span that only ever sees a handful of
+/// distinct magnitudes holds a handful of (bucket, count) pairs, and even
+/// a pathological input saturates at NumBuckets entries — multi-minute
+/// serving runs cannot grow it without limit. Merging two distributions
+/// is a join on bucket indices, so parallel per-item telemetry folds
+/// losslessly.
+struct DurationDist {
+  /// (bucket index, entry count), sorted ascending by bucket index.
+  std::vector<std::pair<uint16_t, uint32_t>> Buckets;
+  uint64_t Count = 0; ///< total recorded entries
+
+  static constexpr int SubBuckets = 16; ///< linear steps per octave
+  static constexpr int MinExp = -64;    ///< ~5e-20 s floor
+  static constexpr int MaxExp = 63;     ///< ~9e18 s ceiling
+  /// Bucket 0 catches non-positive values; the rest cover the exponent
+  /// range at SubBuckets per octave.
+  static constexpr int NumBuckets = 1 + (MaxExp - MinExp + 1) * SubBuckets;
+
+  /// The bucket \p Seconds falls into.
+  static uint16_t bucketFor(double Seconds);
+  /// The representative (midpoint) value of \p Bucket.
+  static double valueFor(uint16_t Bucket);
+
+  void record(double Seconds);
+  void merge(const DurationDist &Other);
+  /// Quantile \p Q in [0,1] as the representative value of the bucket the
+  /// Q-th entry falls into (0 when empty).
+  double quantileSeconds(double Q) const;
+};
+
 /// One node of the span tree: an accumulated wall-clock phase. Entering
 /// the same name again under the same parent adds to Seconds/Count rather
 /// than growing the tree, so per-function loops aggregate naturally.
 ///
 /// Beyond the running total, every entry's individual duration feeds a
-/// distribution: exact min/max plus a bounded sample set (the first
-/// MaxDurationSamples entries) from which p50/p95 are estimated. Repeated
-/// phases — per-function RA, per-round dissemination — therefore report
-/// how their cost is distributed, not just how it sums.
+/// distribution: exact min/max plus a bounded log-bucket histogram
+/// (DurationDist) from which p50/p95 are estimated. Repeated phases —
+/// per-function RA, per-round dissemination — therefore report how their
+/// cost is distributed, not just how it sums, at fixed memory per node.
 struct TelemetrySpan {
   std::string Name;
   double Seconds = 0.0; ///< total wall time across all entries
@@ -79,17 +112,45 @@ struct TelemetrySpan {
 
   double MinSeconds = 0.0; ///< fastest single entry (exact)
   double MaxSeconds = 0.0; ///< slowest single entry (exact)
-  /// Per-entry durations, capped at MaxDurationSamples (first entries
-  /// win — deterministic, no RNG in the measurement substrate).
-  std::vector<double> DurationSamples;
-  static constexpr size_t MaxDurationSamples = 512;
+  /// Per-entry durations, log-bucketed (bounded memory).
+  DurationDist Dist;
 
-  /// Duration quantile \p Q in [0,1] estimated from the samples
-  /// (0 when the span never closed).
+  /// Duration quantile \p Q in [0,1] estimated from the bucket histogram,
+  /// clamped to the exact [MinSeconds, MaxSeconds] envelope (0 when the
+  /// span never closed).
   double quantileSeconds(double Q) const;
 
   /// Child with \p Name, or null.
   const TelemetrySpan *find(const std::string &ChildName) const;
+};
+
+/// A request-scoped trace identity: every span/event recorded while a
+/// context is installed is attributable to one logical request (a
+/// PlanService::plan call, one campaign cohort), even when the work fans
+/// out across worker threads. SpanId names the fan-out edge that carried
+/// the context to this thread (the flow id in the Chrome trace export).
+struct TraceContext {
+  uint64_t TraceId = 0;
+  uint64_t SpanId = 0;
+};
+
+/// The thread-current trace context, or null when none is installed.
+const TraceContext *currentTraceContext();
+
+/// Mints a process-unique trace id (never 0).
+uint64_t nextTraceId();
+
+/// RAII installer for a TraceContext (thread-local; scopes nest).
+class TraceContextScope {
+public:
+  explicit TraceContextScope(TraceContext Ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope &) = delete;
+  TraceContextScope &operator=(const TraceContextScope &) = delete;
+
+private:
+  TraceContext Ctx;
+  const TraceContext *Prev;
 };
 
 /// One entry of the bounded event trace: a timestamped point (or
@@ -97,14 +158,18 @@ struct TelemetrySpan {
 /// Chrome trace-event `ph` field so the export is a direct mapping.
 struct TelemetryEvent {
   enum class Phase : uint8_t {
-    Instant, ///< a point in time (`ph:"i"`)
-    Begin,   ///< opens a duration (`ph:"B"`)
-    End,     ///< closes the innermost open duration (`ph:"E"`)
-    Counter  ///< a sampled value on a counter track (`ph:"C"`)
+    Instant,   ///< a point in time (`ph:"i"`)
+    Begin,     ///< opens a duration (`ph:"B"`)
+    End,       ///< closes the innermost open duration (`ph:"E"`)
+    Counter,   ///< a sampled value on a counter track (`ph:"C"`)
+    FlowStart, ///< opens a flow arrow (`ph:"s"`), paired by FlowId
+    FlowEnd    ///< closes a flow arrow (`ph:"f"`, binds to the enclosing
+               ///< slice), paired by FlowId
   };
   Phase Ph = Phase::Instant;
   double TsMicros = 0.0; ///< microseconds since the registry's trace epoch
   int32_t Track = 0;     ///< Chrome `tid`: 0 = the pipeline, N = node N
+  uint64_t FlowId = 0;   ///< pairs FlowStart/FlowEnd across tracks
   std::string Category;  ///< subsystem prefix (`net`, `sim`, `span`, ...)
   std::string Name;
   /// Numeric payload, rendered as the Chrome `args` object.
@@ -161,10 +226,24 @@ public:
   bool eventsEnabled() const { return EventsOn; }
 
   /// Appends one event (no-op unless eventsEnabled()); the timestamp is
-  /// taken here, so events are monotone in buffer order.
+  /// taken here, so events are monotone in buffer order. \p FlowId is
+  /// meaningful only for FlowStart/FlowEnd phases.
   void recordEvent(TelemetryEvent::Phase Ph, const std::string &Category,
                    const std::string &Name, int32_t Track = 0,
-                   std::vector<std::pair<std::string, double>> Args = {});
+                   std::vector<std::pair<std::string, double>> Args = {},
+                   uint64_t FlowId = 0);
+
+  /// The track span Begin/End events (and other default-track emission)
+  /// land on. 0 — the pipeline — by default; parallelFor points each
+  /// worker's per-item registry at its worker track so a multi-threaded
+  /// trace shows per-thread timelines.
+  void setDefaultTrack(int32_t Track) { DefaultTrack = Track; }
+  int32_t defaultTrack() const { return DefaultTrack; }
+
+  /// Tracks at and above this value render as "worker N" rows in the
+  /// Chrome trace export (N = Track - WorkerTrackBase); below it they are
+  /// the pipeline (0) and per-node tracks.
+  static constexpr int32_t WorkerTrackBase = 1 << 20;
 
   /// The retained events, oldest first.
   std::vector<const TelemetryEvent *> eventsInOrder() const;
@@ -228,6 +307,7 @@ private:
   size_t EventHead = 0;
   uint64_t EventsDropped = 0;
   bool EventsOn = false;
+  int32_t DefaultTrack = 0;
   std::chrono::steady_clock::time_point TraceEpoch;
 };
 

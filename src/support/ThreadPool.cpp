@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -28,7 +29,16 @@ using namespace ucc;
 
 namespace {
 std::atomic<int> DefaultJobsOverride{0};
+
+// Flow-event ids must be unique across every parallelFor in the process:
+// a trace file can contain many fan-outs and Perfetto pairs s/f records
+// by id alone.
+std::atomic<uint64_t> FlowIdCounter{1};
+
+thread_local int CurrentWorkerId = 0;
 } // namespace
+
+int ThreadPool::currentWorker() { return CurrentWorkerId; }
 
 ThreadPool::ThreadPool(int Jobs) : NumJobs(Jobs > 0 ? Jobs : defaultJobs()) {}
 
@@ -90,7 +100,10 @@ void ThreadPool::parallelFor(int N, const std::function<void(int)> &Fn) {
   std::vector<std::thread> Threads;
   Threads.reserve(static_cast<size_t>(Workers - 1));
   for (int W = 1; W < Workers; ++W)
-    Threads.emplace_back(Work);
+    Threads.emplace_back([&Work, W] {
+      CurrentWorkerId = W;
+      Work();
+    });
   Work();
   for (std::thread &T : Threads)
     T.join();
@@ -122,11 +135,56 @@ void ucc::parallelFor(int N, int Jobs, const std::function<void(int)> &Fn) {
   // cannot depend on which worker ran which item.
   std::vector<Telemetry> Items(static_cast<size_t>(N));
   bool Events = Parent->eventsEnabled();
+
+  // The caller's trace context (if any) is propagated to every item so
+  // spans the items open carry the originating request's trace id; the
+  // item's flow id doubles as its span id.
+  TraceContext ParentCtx;
+  bool HasCtx = false;
+  if (const TraceContext *Ctx = currentTraceContext()) {
+    ParentCtx = *Ctx;
+    HasCtx = true;
+  }
+
+  // Fan-out arrows: one FlowStart per item on the caller's track before
+  // the fork, closed by a FlowEnd inside the item's `task` slice on its
+  // worker track. Events only — counters/gauges/spans must stay
+  // identical to the serial run.
+  uint64_t FlowBase = 0;
+  if (Events) {
+    FlowBase = FlowIdCounter.fetch_add(static_cast<uint64_t>(N),
+                                       std::memory_order_relaxed);
+    for (int I = 0; I < N; ++I)
+      Parent->recordEvent(TelemetryEvent::Phase::FlowStart, "flow", "task",
+                          Parent->defaultTrack(), {}, FlowBase + I);
+  }
+
   Pool.parallelFor(N, [&](int I) {
     Telemetry &T = Items[static_cast<size_t>(I)];
-    if (Events)
+    int32_t Track =
+        Telemetry::WorkerTrackBase + ThreadPool::currentWorker();
+    if (Events) {
       T.enableEvents();
+      T.setDefaultTrack(Track);
+      T.recordEvent(TelemetryEvent::Phase::Begin, "task", "task", Track,
+                    {{"item", static_cast<double>(I)}});
+      T.recordEvent(TelemetryEvent::Phase::FlowEnd, "flow", "task", Track, {},
+                    FlowBase + I);
+    }
     TelemetryScope Scope(T);
+    std::optional<TraceContextScope> Trace;
+    if (HasCtx)
+      Trace.emplace(TraceContext{ParentCtx.TraceId, FlowBase + I});
+    // Close the task slice even when Fn throws, so the registries of
+    // items that did complete merge into a well-nested trace.
+    struct EndTask {
+      Telemetry *T;
+      int32_t Track;
+      ~EndTask() {
+        if (T)
+          T->recordEvent(TelemetryEvent::Phase::End, "task", "task", Track);
+      }
+    } End{Events ? &T : nullptr, Track};
     Fn(I);
   });
   for (int I = 0; I < N; ++I)

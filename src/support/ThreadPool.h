@@ -58,6 +58,12 @@ public:
   /// std::thread::hardware_concurrency, clamped to at least 1.
   static int hardwareJobs();
 
+  /// The calling thread's worker index within the innermost active
+  /// parallelFor: 0 for the caller's own thread (and any thread outside a
+  /// parallel region), 1..Workers-1 for spawned workers. parallelFor uses
+  /// it to place per-item telemetry on per-worker trace tracks.
+  static int currentWorker();
+
   /// The session default: setDefaultJobs() override if any, else the
   /// UCC_JOBS environment variable, else hardwareJobs().
   static int defaultJobs();
@@ -77,6 +83,16 @@ private:
 /// item order after the join (see the file comment). With one job, one
 /// item, or no ambient registry this reduces to the obvious serial or
 /// raw-parallel loop.
+///
+/// Tracing: when the caller's registry records events, each item's
+/// registry lands on its worker's trace track ("worker N" in the Chrome
+/// export) wrapped in a `task` slice, and the fan-out edge is drawn as a
+/// flow arrow (FlowStart on the caller's track before the fork, FlowEnd
+/// on the worker's task slice). A thread-current TraceContext is
+/// propagated to every item (SpanId = the item's flow id), so spans the
+/// items open carry the originating request's trace id. All of this is
+/// event-layer only: counters, gauges and span aggregates stay identical
+/// to the serial run.
 void parallelFor(int N, int Jobs, const std::function<void(int)> &Fn);
 
 } // namespace ucc

@@ -1,0 +1,220 @@
+//===- tests/MetricsTest.cpp - time-series metrics over Telemetry ---------===//
+//
+// Contract of support/Metrics: a wait-free mergeable latency histogram
+// with DurationDist bucket geometry, a snapshotter whose windowed rates
+// and JSONL/Prometheus exposition are deterministic under an injected
+// clock, and a flight recorder that honors its threshold, cooldown, and
+// lifetime-cap policy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "TestJson.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace ucc;
+
+namespace {
+
+TEST(LatencyHistogram, RecordsExactEnvelopeAndBucketedQuantiles) {
+  LatencyHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.quantileSeconds(0.5), 0.0);
+
+  for (int K = 0; K < 90; ++K)
+    H.record(0.001);
+  for (int K = 0; K < 10; ++K)
+    H.record(0.1);
+
+  EXPECT_EQ(H.count(), 100u);
+  EXPECT_NEAR(H.minSeconds(), 0.001, 1e-6);
+  EXPECT_NEAR(H.maxSeconds(), 0.1, 1e-4);
+  EXPECT_NEAR(H.meanSeconds(), (90 * 0.001 + 10 * 0.1) / 100.0, 1e-5);
+  // p50 sits in the 1ms mass; p99 reaches the 100ms outliers.
+  EXPECT_NEAR(H.quantileSeconds(0.50), 0.001, 0.001 * 0.05);
+  EXPECT_NEAR(H.quantileSeconds(0.99), 0.1, 0.1 * 0.05);
+  // Quantiles never escape the exact [min, max] envelope.
+  EXPECT_GE(H.quantileSeconds(0.0), H.minSeconds());
+  EXPECT_LE(H.quantileSeconds(1.0), H.maxSeconds());
+}
+
+TEST(LatencyHistogram, MergeAndReset) {
+  LatencyHistogram A, B;
+  for (int K = 0; K < 10; ++K)
+    A.record(0.001);
+  for (int K = 0; K < 30; ++K)
+    B.record(1.0);
+
+  A.merge(B);
+  EXPECT_EQ(A.count(), 40u);
+  EXPECT_NEAR(A.minSeconds(), 0.001, 1e-6);
+  EXPECT_NEAR(A.maxSeconds(), 1.0, 1e-3);
+  // 75% of the merged mass is at 1s, so the median moved there.
+  EXPECT_NEAR(A.quantileSeconds(0.5), 1.0, 1.0 * 0.05);
+
+  A.reset();
+  EXPECT_EQ(A.count(), 0u);
+  EXPECT_EQ(A.minSeconds(), 0.0);
+  EXPECT_EQ(A.maxSeconds(), 0.0);
+  EXPECT_EQ(A.quantileSeconds(0.99), 0.0);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAllLand) {
+  LatencyHistogram H;
+  const int Threads = 4, PerThread = 5000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&H] {
+      for (int K = 0; K < PerThread; ++K)
+        H.record(0.0005);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(H.count(), static_cast<uint64_t>(Threads * PerThread));
+  EXPECT_NEAR(H.quantileSeconds(0.5), 0.0005, 0.0005 * 0.05);
+}
+
+TEST(MetricsSnapshotter, WindowedRatesUnderInjectedClock) {
+  Telemetry T;
+  MetricsSnapshotter S(T, /*WindowCapacity=*/4);
+  EXPECT_EQ(S.lastJsonLine(), "");
+  EXPECT_EQ(S.toPrometheus(), "");
+
+  T.addCounter("serve.plans", 100);
+  S.sample(1.0);
+  EXPECT_EQ(S.rate("serve.plans"), 0.0) << "one sample has no rate";
+
+  T.addCounter("serve.plans", 50);
+  S.sample(2.0);
+  EXPECT_DOUBLE_EQ(S.rate("serve.plans"), 50.0);
+  EXPECT_DOUBLE_EQ(S.windowRate("serve.plans"), 50.0);
+
+  T.addCounter("serve.plans", 200);
+  S.sample(4.0);
+  EXPECT_DOUBLE_EQ(S.rate("serve.plans"), 100.0);     // 200 over 2s
+  EXPECT_DOUBLE_EQ(S.windowRate("serve.plans"), 250.0 / 3.0);
+
+  // The window is bounded: after two more samples the t=1 snapshot ages
+  // out and windowRate re-bases on the oldest retained sample.
+  S.sample(5.0);
+  S.sample(6.0);
+  EXPECT_EQ(S.window().size(), 4u);
+  EXPECT_DOUBLE_EQ(S.window().front().TsSeconds, 2.0);
+  EXPECT_DOUBLE_EQ(S.windowRate("serve.plans"), 200.0 / 4.0);
+}
+
+TEST(MetricsSnapshotter, JsonLineCarriesCountersGaugesAndMovedRates) {
+  Telemetry T;
+  MetricsSnapshotter S(T);
+  T.addCounter("serve.plans", 10);
+  T.addCounter("serve.misses", 3);
+  T.setGauge("serve.p99_us", 420.5);
+  S.sample(1.0);
+  T.addCounter("serve.plans", 10); // misses stays put
+  S.sample(2.0);
+
+  auto Doc = testjson::parse(S.lastJsonLine());
+  ASSERT_TRUE(Doc.has_value()) << S.lastJsonLine();
+  EXPECT_DOUBLE_EQ(Doc->get("ts")->Num, 2.0);
+  ASSERT_NE(Doc->get("counters"), nullptr);
+  EXPECT_DOUBLE_EQ(Doc->get("counters")->get("serve.plans")->Num, 20.0);
+  ASSERT_NE(Doc->get("gauges"), nullptr);
+  EXPECT_DOUBLE_EQ(Doc->get("gauges")->get("serve.p99_us")->Num, 420.5);
+  const testjson::Value *Rates = Doc->get("rates");
+  ASSERT_NE(Rates, nullptr);
+  ASSERT_NE(Rates->get("serve.plans"), nullptr);
+  EXPECT_DOUBLE_EQ(Rates->get("serve.plans")->Num, 10.0);
+  EXPECT_EQ(Rates->get("serve.misses"), nullptr)
+      << "counters that did not move carry no rate entry";
+}
+
+TEST(MetricsSnapshotter, PrometheusExposition) {
+  Telemetry T;
+  MetricsSnapshotter S(T);
+  T.addCounter("serve.plans", 7);
+  T.setGauge("serve.p99_us", 12.5);
+  S.sample(1.0);
+
+  std::string Text = S.toPrometheus();
+  EXPECT_NE(Text.find("# TYPE ucc_serve_plans counter\n"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("ucc_serve_plans 7\n"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("# TYPE ucc_serve_p99_us gauge\n"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("ucc_serve_p99_us 12.5\n"), std::string::npos) << Text;
+}
+
+TEST(FlightRecorder, DumpsOnBreachWithCooldownAndCap) {
+  char Template[] = "/tmp/ucc-flight-XXXXXX";
+  ASSERT_NE(mkdtemp(Template), nullptr);
+  std::string TracePath = std::string(Template) + "/flight.json";
+
+  Telemetry T;
+  T.enableEvents();
+  T.recordEvent(TelemetryEvent::Phase::Instant, "test", "breach-marker", 0);
+
+  SloConfig Cfg;
+  Cfg.P99LatencyUs = 1000.0;
+  Cfg.TracePath = TracePath;
+  Cfg.CooldownSeconds = 5.0;
+  Cfg.MaxDumps = 2;
+  FlightRecorder R(T, Cfg);
+
+  EXPECT_FALSE(R.check(/*P99Us=*/500.0, /*Errors=*/0, /*Now=*/0.0));
+  EXPECT_EQ(R.breaches(), 0);
+
+  // First breach dumps immediately.
+  EXPECT_TRUE(R.check(2000.0, 0, 1.0));
+  EXPECT_EQ(R.breaches(), 1);
+  EXPECT_EQ(R.dumps(), 1);
+  {
+    std::ifstream In(TracePath, std::ios::binary);
+    std::string Trace((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    EXPECT_NE(Trace.find("breach-marker"), std::string::npos)
+        << "the dump must carry the registry's event ring";
+    EXPECT_NE(Trace.find("traceEvents"), std::string::npos);
+  }
+
+  // Inside the cooldown: the breach counts but does not dump.
+  EXPECT_FALSE(R.check(2000.0, 0, 3.0));
+  EXPECT_EQ(R.breaches(), 2);
+  EXPECT_EQ(R.dumps(), 1);
+
+  // Past the cooldown: second (and last allowed) dump.
+  EXPECT_TRUE(R.check(2000.0, 0, 7.0));
+  EXPECT_EQ(R.dumps(), 2);
+
+  // Lifetime cap: no third dump no matter how far apart.
+  EXPECT_FALSE(R.check(2000.0, 0, 100.0));
+  EXPECT_EQ(R.breaches(), 4);
+  EXPECT_EQ(R.dumps(), 2);
+
+  std::remove(TracePath.c_str());
+  rmdir(Template);
+}
+
+TEST(FlightRecorder, ErrorThresholdAndDisabledThresholds) {
+  Telemetry T;
+  SloConfig Cfg; // no TracePath: breaches are counted, never dumped
+  Cfg.MaxErrors = 2;
+  FlightRecorder R(T, Cfg);
+
+  EXPECT_FALSE(R.check(1e9, 2, 1.0)) << "p99 threshold left disabled";
+  EXPECT_EQ(R.breaches(), 0);
+  EXPECT_FALSE(R.check(0.0, 3, 2.0)) << "no trace path, so no dump";
+  EXPECT_EQ(R.breaches(), 1);
+  EXPECT_EQ(R.dumps(), 0);
+}
+
+} // namespace

@@ -124,6 +124,36 @@ TEST(PlanService, HitMissEvictionAccounting) {
   EXPECT_EQ(S.Evictions, 2u);
 }
 
+TEST(PlanService, LatencyHistogramCoversEveryRequest) {
+  PlanService Service(buildChain());
+  EXPECT_EQ(Service.latency().count(), 0u);
+
+  EXPECT_TRUE(Service.plan(0, 3).has_value()); // miss (slow path)
+  EXPECT_TRUE(Service.plan(0, 3).has_value()); // hit (fast path)
+  EXPECT_FALSE(Service.plan(0, 99).has_value()); // failure still counts
+  std::vector<std::pair<int, int>> Batch = {{0, 3}, {1, 3}};
+  Service.planBatch(Batch);
+
+  // One histogram entry per plan() call, batch items included.
+  const LatencyHistogram &H = Service.latency();
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_GT(H.maxSeconds(), 0.0);
+  double P50 = H.quantileSeconds(0.5);
+  double P99 = H.quantileSeconds(0.99);
+  EXPECT_GE(P50, H.minSeconds());
+  EXPECT_LE(P99, H.maxSeconds());
+  EXPECT_LE(P50, P99);
+
+  // resetLatency scopes the histogram to a measurement phase without
+  // disturbing the cumulative service stats.
+  uint64_t PlansBefore = Service.stats().Plans;
+  Service.resetLatency();
+  EXPECT_EQ(Service.latency().count(), 0u);
+  EXPECT_EQ(Service.stats().Plans, PlansBefore);
+  EXPECT_TRUE(Service.plan(1, 3).has_value());
+  EXPECT_EQ(Service.latency().count(), 1u);
+}
+
 TEST(PlanService, CapacityZeroDisablesCaching) {
   PlanServiceOptions Opts;
   Opts.CacheCapacity = 0;

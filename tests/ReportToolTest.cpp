@@ -142,6 +142,44 @@ TEST_F(ReportFixture, InjectedRegressionFailsWithMarkdownDiff) {
       << Md;
 }
 
+TEST_F(ReportFixture, TopMoversDigestRanksByPercentDelta) {
+  writeSyntheticReports();
+  std::string Reports = path("fig10.json") + " " + path("fig15.json");
+  ASSERT_EQ(uccReport(Reports + " --baseline " + path("baseline.json") +
+                      " --update-baseline"),
+            0);
+  // Move two metrics by different magnitudes: the digest must lead with
+  // the larger mover and print signed percent deltas.
+  writeFile("fig10.json",
+            "{\"schema_version\":1,\"bench\":\"fig10_dissemination\","
+            "\"profile\":\"full\",\"metrics\":{"
+            "\"diff_inst_gcc_total\":183,\"diff_inst_ucc_total\":100,"
+            "\"total_solve_seconds\":0.25}}\n");
+  writeFile("fig15.json",
+            "{\"schema_version\":1,\"bench\":\"fig15_solve_time\","
+            "\"profile\":\"full\",\"metrics\":{"
+            "\"pivots_total\":1230}}\n");
+  EXPECT_EQ(uccReport(Reports + " --baseline " + path("baseline.json") +
+                      " --report " + path("report.md")),
+            1);
+  std::string Md = readFile("report.md");
+  size_t Begin = Md.find("## Top movers");
+  ASSERT_NE(Begin, std::string::npos) << Md;
+  size_t End = Md.find("\n## ", Begin);
+  std::string Section = End == std::string::npos
+                            ? Md.substr(Begin)
+                            : Md.substr(Begin, End - Begin);
+  // 79 -> 100 is +26.6%; 1200 -> 1230 is +2.5%. Rank order and signs.
+  size_t Big = Section.find("+26.6%");
+  size_t Small = Section.find("+2.5%");
+  ASSERT_NE(Big, std::string::npos) << Section;
+  ASSERT_NE(Small, std::string::npos) << Section;
+  EXPECT_LT(Big, Small) << "largest |delta| first";
+  // Unchanged metrics stay out of the digest.
+  EXPECT_EQ(Section.find("diff_inst_gcc_total"), std::string::npos)
+      << Section;
+}
+
 TEST_F(ReportFixture, WallClockMetricsAreNeverCompared) {
   writeSyntheticReports();
   std::string Reports = path("fig10.json") + " " + path("fig15.json");

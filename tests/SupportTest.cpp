@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 using namespace ucc;
 
@@ -159,6 +160,57 @@ TEST(RNGTest, CoversTheRange) {
   for (int K = 0; K < 400; ++K)
     Seen.insert(Rng.below(8));
   EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(ZipfSamplerTest, RankFrequenciesDecreaseMonotonically) {
+  // With 50k draws the expected counts at s=1.1 are far enough apart that
+  // observed counts over the head ranks order strictly.
+  const size_t N = 8;
+  ZipfSampler Zipf(N, 1.1);
+  RNG Rng(42);
+  std::vector<int> Count(N, 0);
+  for (int K = 0; K < 50000; ++K) {
+    size_t Rank = Zipf.sample(Rng);
+    ASSERT_GE(Rank, 1u);
+    ASSERT_LE(Rank, N);
+    ++Count[Rank - 1];
+  }
+  for (size_t R = 1; R < N; ++R)
+    EXPECT_GE(Count[R - 1], Count[R])
+        << "rank " << R << " must be at least as hot as rank " << R + 1;
+  EXPECT_GT(Count[0], Count[3]) << "the head must clearly dominate";
+}
+
+TEST(ZipfSamplerTest, SkewMatchesTheAnalyticHead) {
+  // P(rank 1) at s=1.1 over 8 ranks is ~0.40; a 50k-draw estimate lands
+  // within a comfortable band, and higher skew concentrates more mass.
+  ZipfSampler Mild(8, 1.1), Sharp(8, 2.0);
+  RNG RngA(7), RngB(7);
+  int HeadMild = 0, HeadSharp = 0;
+  const int Draws = 50000;
+  for (int K = 0; K < Draws; ++K) {
+    HeadMild += Mild.sample(RngA) == 1;
+    HeadSharp += Sharp.sample(RngB) == 1;
+  }
+  double PMild = static_cast<double>(HeadMild) / Draws;
+  double PSharp = static_cast<double>(HeadSharp) / Draws;
+  EXPECT_NEAR(PMild, 0.40, 0.03);
+  EXPECT_GT(PSharp, PMild + 0.1)
+      << "a sharper exponent must concentrate the head";
+}
+
+TEST(ZipfSamplerTest, DeterministicAcrossRunsForAFixedSeed) {
+  ZipfSampler Zipf(16, 1.1);
+  RNG A(123), B(123);
+  std::vector<size_t> First, Second;
+  for (int K = 0; K < 256; ++K)
+    First.push_back(Zipf.sample(A));
+  for (int K = 0; K < 256; ++K)
+    Second.push_back(Zipf.sample(B));
+  EXPECT_EQ(First, Second)
+      << "serve-bench fleets must be reproducible from --seed alone";
+  // Not degenerate: several distinct ranks appear in the stream.
+  EXPECT_GT(std::set<size_t>(First.begin(), First.end()).size(), 3u);
 }
 
 } // namespace

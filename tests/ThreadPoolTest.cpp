@@ -12,7 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 using namespace ucc;
@@ -122,15 +127,106 @@ TEST(ThreadPool, MergedEventsStayChronological) {
     });
   }
   std::vector<const TelemetryEvent *> Events = T.eventsInOrder();
-  ASSERT_EQ(Events.size(), 24u);
   for (size_t I = 1; I < Events.size(); ++I)
     EXPECT_LE(Events[I - 1]->TsMicros, Events[I]->TsMicros);
-  // Every item's event arrived (tracks are the item indices here).
-  std::vector<bool> Seen(24, false);
+  // Every item's own event arrived (tracks are the item indices here);
+  // the fan-out also emits flow/task instrumentation, filtered out by
+  // category.
+  std::vector<const TelemetryEvent *> Ticks;
   for (const TelemetryEvent *E : Events)
+    if (E->Category == "test")
+      Ticks.push_back(E);
+  ASSERT_EQ(Ticks.size(), 24u);
+  std::vector<bool> Seen(24, false);
+  for (const TelemetryEvent *E : Ticks)
     Seen[static_cast<size_t>(E->Track)] = true;
   for (size_t I = 0; I < Seen.size(); ++I)
     EXPECT_TRUE(Seen[I]) << "missing event from item " << I;
+}
+
+TEST(ThreadPool, ParallelForEmitsFlowsAcrossWorkerTracks) {
+  Telemetry T;
+  T.enableEvents();
+  {
+    TelemetryScope Scope(T);
+    parallelFor(64, 4, [&](int) {
+      // Enough per-item work that several workers claim items.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+  }
+
+  int Starts = 0, Ends = 0;
+  std::set<uint64_t> StartIds, EndIds;
+  std::set<int32_t> WorkerTracks;
+  std::map<int32_t, int> OpenPerTrack;
+  for (const TelemetryEvent *E : T.eventsInOrder()) {
+    if (E->Ph == TelemetryEvent::Phase::FlowStart) {
+      ++Starts;
+      StartIds.insert(E->FlowId);
+      EXPECT_EQ(E->Track, 0) << "fan-out arrows start on the caller track";
+    } else if (E->Ph == TelemetryEvent::Phase::FlowEnd) {
+      ++Ends;
+      EndIds.insert(E->FlowId);
+      EXPECT_GE(E->Track, Telemetry::WorkerTrackBase)
+          << "arrows terminate on a worker track";
+    } else if (E->Category == "task") {
+      if (E->Ph == TelemetryEvent::Phase::Begin)
+        ++OpenPerTrack[E->Track];
+      else if (E->Ph == TelemetryEvent::Phase::End)
+        --OpenPerTrack[E->Track];
+      WorkerTracks.insert(E->Track);
+    }
+  }
+  EXPECT_EQ(Starts, 64);
+  EXPECT_EQ(Ends, 64);
+  EXPECT_EQ(StartIds, EndIds) << "every arrow must pair by id";
+  EXPECT_EQ(StartIds.size(), 64u) << "flow ids are per-item unique";
+  EXPECT_GE(WorkerTracks.size(), 2u)
+      << "64 slow items over 4 workers must land on >=2 tracks";
+  for (const auto &[Track, Open] : OpenPerTrack)
+    EXPECT_EQ(Open, 0) << "unbalanced task slice on track " << Track;
+}
+
+TEST(ThreadPool, ParallelForPropagatesTraceContext) {
+  Telemetry T;
+  T.enableEvents();
+  std::mutex Lock;
+  std::map<int, TraceContext> PerItem;
+  {
+    TelemetryScope Scope(T);
+    TraceContextScope Trace(TraceContext{99, 0});
+    parallelFor(16, 4, [&](int I) {
+      const TraceContext *Ctx = currentTraceContext();
+      ASSERT_NE(Ctx, nullptr) << "item " << I << " lost the trace";
+      std::lock_guard<std::mutex> Guard(Lock);
+      PerItem[I] = *Ctx;
+    });
+    // The caller thread also runs items; its own context must be
+    // restored once the loop joins.
+    ASSERT_NE(currentTraceContext(), nullptr);
+    EXPECT_EQ(currentTraceContext()->TraceId, 99u);
+    EXPECT_EQ(currentTraceContext()->SpanId, 0u);
+  }
+  ASSERT_EQ(PerItem.size(), 16u);
+  std::set<uint64_t> SpanIds;
+  for (const auto &[I, Ctx] : PerItem) {
+    EXPECT_EQ(Ctx.TraceId, 99u) << "item " << I;
+    SpanIds.insert(Ctx.SpanId);
+  }
+  EXPECT_EQ(SpanIds.size(), 16u)
+      << "each item gets its own span id under the shared trace";
+}
+
+TEST(ThreadPool, ParallelForWithoutEventsAddsNoEvents) {
+  // The tracing layer is events-only: with events off, the fan-out must
+  // leave the registry's event state untouched.
+  Telemetry T;
+  {
+    TelemetryScope Scope(T);
+    parallelFor(16, 4, [&](int) {});
+  }
+  EXPECT_TRUE(T.eventsInOrder().empty());
+  EXPECT_EQ(T.eventsDropped(), 0u);
 }
 
 TEST(ThreadPool, FreeParallelForWorksWithoutRegistry) {

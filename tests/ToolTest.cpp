@@ -12,7 +12,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -479,6 +481,178 @@ TEST_F(ToolFixture, BatchPlanAndServeBenchDiagnostics) {
   EXPECT_NE(capturedOutput().find("at least two versions"), std::string::npos)
       << capturedOutput();
   EXPECT_EQ(uccc("plan" + Store + " --batch 0:9"), 1);
+}
+
+TEST_F(ToolFixture, ServeBenchMetricsFileAndMonitorConsole) {
+  writeFile("v1.mc", SourceV1);
+  writeFile("v2.mc", SourceV2);
+  std::string Store = " --store " + path("store");
+  ASSERT_EQ(uccc("commit " + path("v1.mc") + Store), 0) << capturedOutput();
+  ASSERT_EQ(uccc("commit " + path("v2.mc") + Store), 0) << capturedOutput();
+  ASSERT_EQ(uccc("commit " + path("v1.mc") + Store), 0) << capturedOutput();
+
+  std::string Metrics = path("metrics.jsonl");
+  ASSERT_EQ(uccc("serve-bench" + Store + " --requests 60 --warm --metrics " +
+                 Metrics + " --metrics-every 20"),
+            0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("p99 "), std::string::npos)
+      << capturedOutput();
+
+  // The JSONL file: a baseline sample plus periodic + final samples, each
+  // line a self-contained snapshot; the last one carries the whole run.
+  std::ifstream In(Metrics);
+  ASSERT_TRUE(In.good());
+  std::vector<std::string> Lines;
+  for (std::string L; std::getline(In, L);)
+    if (!L.empty())
+      Lines.push_back(L);
+  ASSERT_GE(Lines.size(), 3u) << readFile("metrics.jsonl");
+  for (const std::string &L : Lines)
+    EXPECT_TRUE(testjson::parse(L).has_value()) << L;
+  auto Last = testjson::parse(Lines.back());
+  ASSERT_TRUE(Last.has_value());
+  ASSERT_NE(Last->get("counters"), nullptr);
+  EXPECT_GE(Last->get("counters")->get("serve.plans")->Num, 60.0);
+  ASSERT_NE(Last->get("gauges"), nullptr);
+  ASSERT_NE(Last->get("gauges")->get("serve.p99_us"), nullptr);
+  EXPECT_GT(Last->get("gauges")->get("serve.p99_us")->Num, 0.0);
+  ASSERT_NE(Last->get("rates"), nullptr);
+
+  // The console renders the same file, one-shot and via the polling loop
+  // (which exits cleanly after two idle polls).
+  ASSERT_EQ(uccc("monitor --metrics " + Metrics + " --once"), 0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("plans/sec"), std::string::npos)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("hit rate"), std::string::npos);
+  EXPECT_NE(capturedOutput().find("p99"), std::string::npos);
+  ASSERT_EQ(uccc("monitor --metrics " + Metrics +
+                 " --interval-ms 10 --idle-exit 2"),
+            0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("plans/sec"), std::string::npos)
+      << capturedOutput();
+}
+
+TEST_F(ToolFixture, ServeBenchFlightRecorderDumpsOnSloBreach) {
+  writeFile("v1.mc", SourceV1);
+  writeFile("v2.mc", SourceV2);
+  std::string Store = " --store " + path("store");
+  ASSERT_EQ(uccc("commit " + path("v1.mc") + Store), 0) << capturedOutput();
+  ASSERT_EQ(uccc("commit " + path("v2.mc") + Store), 0) << capturedOutput();
+
+  // A sub-nanosecond p99 budget: every observation breaches, so the
+  // recorder must dump the event ring as a loadable Chrome trace.
+  std::string Flight = path("flight.json");
+  ASSERT_EQ(uccc("serve-bench" + Store +
+                 " --requests 20 --slo-p99-us 0.001 --flight-record " +
+                 Flight),
+            0)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("SLO"), std::string::npos)
+      << "the breach must be logged: " << capturedOutput();
+  std::string Trace = readFile("flight.json");
+  ASSERT_FALSE(Trace.empty());
+  auto Doc = testjson::parse(Trace);
+  ASSERT_TRUE(Doc.has_value()) << Trace;
+  EXPECT_NE(Doc->get("traceEvents"), nullptr);
+}
+
+TEST_F(ToolFixture, ServeBenchTracedBatchCrossesWorkerTracks) {
+  writeFile("v1.mc", SourceV1);
+  writeFile("v2.mc", SourceV2);
+  std::string Store = " --store " + path("store");
+  // Six versions so each batch dedupes to several unique pairs and the
+  // fan-out genuinely spreads across the pool.
+  for (int K = 0; K < 6; ++K)
+    ASSERT_EQ(uccc("commit " + path(K % 2 ? "v2.mc" : "v1.mc") + Store), 0)
+        << capturedOutput();
+
+  // The acceptance shape: a traced batched run whose per-request spans
+  // ride flow arrows from the pipeline track onto worker tracks. Items
+  // are handed out by an atomic counter, so a heavily loaded machine can
+  // let the caller thread drain a whole batch before the spawned workers
+  // are scheduled — retry a few independent runs before calling the
+  // >=2-track assertion failed.
+  std::string Trace = path("events.json");
+  std::string Text;
+  std::set<double> FlowStartIds, FlowEndIds, EndTids;
+  bool SawBatchSpan = false, SawPlanTraceArg = false;
+  for (int Attempt = 0; Attempt < 5 && EndTids.size() < 2; ++Attempt) {
+    FlowStartIds.clear();
+    FlowEndIds.clear();
+    EndTids.clear();
+    SawBatchSpan = SawPlanTraceArg = false;
+    ASSERT_EQ(uccc("serve-bench" + Store +
+                   " --requests 64 --batch 16 --jobs 4 --trace-events " +
+                   Trace),
+              0)
+        << capturedOutput();
+    Text = readFile("events.json");
+    auto Doc = testjson::parse(Text);
+    ASSERT_TRUE(Doc.has_value());
+    const testjson::Value *Events = Doc->get("traceEvents");
+    ASSERT_NE(Events, nullptr);
+    for (const auto &E : Events->Arr) {
+      const std::string &Ph = E->get("ph")->Str;
+      const std::string &Name = E->get("name")->Str;
+      if (Ph == "s")
+        FlowStartIds.insert(E->get("id")->Num);
+      if (Ph == "f") {
+        FlowEndIds.insert(E->get("id")->Num);
+        EndTids.insert(E->get("tid")->Num);
+      }
+      if (Name == "serve.batch" && Ph == "B")
+        SawBatchSpan = true;
+      if (Name == "serve.plan" && Ph == "B") {
+        const testjson::Value *Args = E->get("args");
+        if (Args && Args->get("trace"))
+          SawPlanTraceArg = true;
+      }
+    }
+  }
+  EXPECT_TRUE(SawBatchSpan) << Text.substr(0, 2000);
+  EXPECT_TRUE(SawPlanTraceArg)
+      << "per-request spans must carry the batch's trace id";
+  EXPECT_FALSE(FlowStartIds.empty());
+  EXPECT_EQ(FlowStartIds, FlowEndIds) << "every fan-out arrow must land";
+  EXPECT_GE(EndTids.size(), 2u)
+      << "64 requests over 4 workers must span >=2 worker tracks";
+  EXPECT_NE(Text.find("\"worker 0\""), std::string::npos)
+      << "worker tracks must be labeled for Perfetto";
+}
+
+TEST_F(ToolFixture, MonitorAndMetricsFlagDiagnostics) {
+  writeFile("v1.mc", SourceV1);
+  std::string Store = " --store " + path("store");
+  ASSERT_EQ(uccc("commit " + path("v1.mc") + Store), 0) << capturedOutput();
+
+  // Usage errors (exit 2): the observability flags validate before the
+  // store is even opened.
+  EXPECT_EQ(uccc("monitor"), 2);
+  EXPECT_NE(capturedOutput().find("requires --metrics"), std::string::npos)
+      << capturedOutput();
+  EXPECT_EQ(uccc("monitor --metrics x --once --interval-ms 5"), 2);
+  EXPECT_EQ(uccc("serve-bench" + Store + " --metrics-every 10"), 2);
+  EXPECT_NE(capturedOutput().find("requires --metrics"), std::string::npos)
+      << capturedOutput();
+  EXPECT_EQ(uccc("serve-bench" + Store + " --flight-record x.json"), 2);
+  EXPECT_NE(capturedOutput().find("requires --slo-p99-us"),
+            std::string::npos)
+      << capturedOutput();
+  EXPECT_EQ(uccc("serve-bench" + Store + " --slo-p99-us 5"), 2);
+  EXPECT_NE(capturedOutput().find("requires --flight-record"),
+            std::string::npos)
+      << capturedOutput();
+  EXPECT_EQ(uccc("serve-bench" + Store + " --batch 0"), 2);
+
+  // Operational error (exit 1): a one-shot monitor over a file with no
+  // samples.
+  writeFile("empty.jsonl", "");
+  EXPECT_EQ(uccc("monitor --metrics " + path("empty.jsonl") + " --once"), 1);
+  EXPECT_NE(capturedOutput().find("no metrics samples"), std::string::npos)
+      << capturedOutput();
 }
 
 } // namespace

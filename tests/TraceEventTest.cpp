@@ -175,6 +175,101 @@ TEST(TraceEvent, EmptyTraceIsStillValidJson) {
   checkChromeTrace(T.toChromeTrace());
 }
 
+TEST(TraceEvent, ChromeTraceCarriesProcessAndWorkerMetadata) {
+  Telemetry T;
+  T.enableEvents();
+  T.recordEvent(TelemetryEvent::Phase::Instant, "task", "on-worker",
+                Telemetry::WorkerTrackBase + 3);
+  std::string Trace = T.toChromeTrace();
+  EXPECT_NE(Trace.find("\"process_name\""), std::string::npos) << Trace;
+  EXPECT_NE(Trace.find("\"thread_name\""), std::string::npos) << Trace;
+  EXPECT_NE(Trace.find("\"worker 3\""), std::string::npos)
+      << "worker tracks must render a human label, not a bare tid";
+  checkChromeTrace(Trace);
+}
+
+TEST(TraceEvent, FlowEventsPairAcrossTracksById) {
+  Telemetry T;
+  T.enableEvents();
+  // A fan-out shaped by hand: the pipeline starts a flow that terminates
+  // inside a worker's task slice.
+  T.recordEvent(TelemetryEvent::Phase::FlowStart, "flow", "task", 0, {},
+                /*FlowId=*/77);
+  int32_t Worker = Telemetry::WorkerTrackBase;
+  T.recordEvent(TelemetryEvent::Phase::Begin, "task", "task", Worker);
+  T.recordEvent(TelemetryEvent::Phase::FlowEnd, "flow", "task", Worker, {},
+                /*FlowId=*/77);
+  T.recordEvent(TelemetryEvent::Phase::End, "task", "task", Worker);
+
+  std::string Trace = T.toChromeTrace();
+  auto Doc = testjson::parse(Trace);
+  ASSERT_TRUE(Doc.has_value()) << Trace;
+  const testjson::Value *Events = Doc->get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+
+  double StartId = -1.0, EndId = -2.0;
+  double StartTid = -1.0, EndTid = -1.0;
+  bool SawBindingPoint = false;
+  for (const auto &E : Events->Arr) {
+    const std::string &Ph = E->get("ph")->Str;
+    if (Ph == "s") {
+      ASSERT_NE(E->get("id"), nullptr);
+      StartId = E->get("id")->Num;
+      StartTid = E->get("tid")->Num;
+    } else if (Ph == "f") {
+      ASSERT_NE(E->get("id"), nullptr);
+      EndId = E->get("id")->Num;
+      EndTid = E->get("tid")->Num;
+      SawBindingPoint = E->get("bp") != nullptr && E->get("bp")->Str == "e";
+    }
+  }
+  EXPECT_EQ(StartId, 77.0);
+  EXPECT_EQ(EndId, StartId) << "s/f must share the flow id";
+  EXPECT_NE(StartTid, EndTid) << "the flow must cross tracks";
+  EXPECT_TRUE(SawBindingPoint)
+      << "f events bind to the enclosing slice (bp:e)";
+  checkChromeTrace(Trace);
+}
+
+TEST(TraceEvent, SpanBeginCarriesActiveTraceId) {
+  Telemetry T;
+  T.enableEvents();
+  {
+    TelemetryScope Scope(T);
+    TraceContextScope Trace(TraceContext{42, 0});
+    ScopedSpan Span("serve.plan");
+  }
+  bool SawTraceArg = false;
+  for (const TelemetryEvent *E : T.eventsInOrder())
+    if (E->Ph == TelemetryEvent::Phase::Begin && E->Name == "serve.plan")
+      for (const auto &Arg : E->Args)
+        if (Arg.first == "trace") {
+          SawTraceArg = true;
+          EXPECT_EQ(Arg.second, 42.0);
+        }
+  EXPECT_TRUE(SawTraceArg)
+      << "span Begin events must be taggable back to their request";
+}
+
+TEST(TraceEvent, TraceContextScopeNestsAndRestores) {
+  EXPECT_EQ(currentTraceContext(), nullptr);
+  {
+    TraceContextScope Outer(TraceContext{7, 0});
+    ASSERT_NE(currentTraceContext(), nullptr);
+    EXPECT_EQ(currentTraceContext()->TraceId, 7u);
+    {
+      TraceContextScope Inner(TraceContext{7, 3});
+      EXPECT_EQ(currentTraceContext()->SpanId, 3u);
+    }
+    EXPECT_EQ(currentTraceContext()->SpanId, 0u);
+  }
+  EXPECT_EQ(currentTraceContext(), nullptr);
+
+  uint64_t A = nextTraceId();
+  uint64_t B = nextTraceId();
+  EXPECT_GT(B, A) << "trace ids are process-unique and increasing";
+}
+
 uint32_t enc(MOp Op, int A = 0, int B = 0, uint16_t Imm = 0) {
   EncodedInstr E;
   E.Op = Op;

@@ -37,6 +37,7 @@
 #include "support/Format.h"
 #include "support/Json.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -281,11 +282,50 @@ std::string statusLabel(Delta::Status St) {
   return "?";
 }
 
-/// Markdown regression report: one table per bench, then a verdict line.
+/// The "top movers" digest: the metrics with the largest percent change
+/// against the baseline, so a reviewer does not have to eyeball the full
+/// per-bench tables. Wall-clock rows are included (labelled) — a big
+/// swing there is worth a look even though it is never gated.
+std::string renderTopMovers(const std::vector<Delta> &Rows, size_t Limit) {
+  struct Mover {
+    const Delta *D;
+    double Pct;
+  };
+  std::vector<Mover> Movers;
+  for (const Delta &D : Rows) {
+    if (D.St == Delta::NewInCurrent || D.St == Delta::MissingInCurrent)
+      continue;
+    if (D.Base == 0.0 || D.Cur == D.Base)
+      continue;
+    Movers.push_back({&D, (D.Cur - D.Base) / std::fabs(D.Base) * 100.0});
+  }
+  if (Movers.empty())
+    return "";
+  std::stable_sort(Movers.begin(), Movers.end(),
+                   [](const Mover &A, const Mover &B) {
+                     return std::fabs(A.Pct) > std::fabs(B.Pct);
+                   });
+  if (Movers.size() > Limit)
+    Movers.resize(Limit);
+  std::string Md = "## Top movers\n\n";
+  Md += "| bench | metric | baseline | current | change | status |\n";
+  Md += "|---|---|---:|---:|---:|---|\n";
+  for (const Mover &M : Movers)
+    Md += "| " + M.D->Bench + " | " + M.D->Metric + " | " +
+          format("%.6g", M.D->Base) + " | " + format("%.6g", M.D->Cur) +
+          " | " + format("%+.1f%%", M.Pct) + " | " + statusLabel(M.D->St) +
+          " |\n";
+  Md += "\n";
+  return Md;
+}
+
+/// Markdown regression report: the top-movers digest, one table per
+/// bench, then a verdict line.
 std::string renderMarkdown(const std::vector<Delta> &Rows,
                            const std::string &Profile, int Regressions) {
   std::string Md = "# ucc-report: bench comparison\n\n";
   Md += "Profile: `" + Profile + "`\n\n";
+  Md += renderTopMovers(Rows, 8);
   std::string LastBench;
   for (const Delta &D : Rows) {
     if (D.Bench != LastBench) {

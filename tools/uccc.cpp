@@ -26,10 +26,19 @@
 ///   uccc campaign --store dir --target N --deployed v,v,...
 ///                 [--topology line:40|grid:8x5|star:20] [--loss p]
 ///   uccc serve-bench --store dir [--requests N] [--cache N] [--zipf s]
-///                 [--target K] [--seed n] [--warm]
+///                 [--target K] [--seed n] [--warm] [--batch N]
+///                 [--metrics file] [--metrics-every N]
+///                 [--slo-p99-us V --flight-record file]
+///   uccc monitor  --metrics file [--once] [--interval-ms N]
+///                 [--idle-exit N]
 ///
 /// The batch and serve-bench paths go through serve/PlanService: one store
 /// open, one service, every request against the same snapshot and cache.
+/// serve-bench doubles as the observability producer: `--metrics`
+/// appends timestamped counter/gauge/rate snapshots (JSONL, one object per
+/// line — the support/Metrics schema) that `uccc monitor` renders live or
+/// once, and `--flight-record` dumps the event ring as a Chrome trace when
+/// the `--slo-p99-us` latency threshold is breached.
 ///
 /// Every command additionally accepts `--trace-json <file>` (write the
 /// telemetry registry as JSON, schema in docs/OBSERVABILITY.md),
@@ -48,6 +57,9 @@
 #include "serve/PlanService.h"
 #include "sim/Simulator.h"
 #include "support/Format.h"
+#include "support/Json.h"
+#include "support/Log.h"
+#include "support/Metrics.h"
 #include "support/RNG.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
@@ -58,7 +70,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -107,6 +121,11 @@ namespace {
       "               [--loss <p>] [--seed <n>]\n"
       "  uccc serve-bench --store <dir> [--requests <n>] [--cache <n>]\n"
       "               [--zipf <s>] [--target <id>] [--seed <n>] [--warm]\n"
+      "               [--batch <n>] [--metrics <file>]\n"
+      "               [--metrics-every <n>]\n"
+      "               [--slo-p99-us <us> --flight-record <file>]\n"
+      "  uccc monitor --metrics <file> [--once] [--interval-ms <n>]\n"
+      "               [--idle-exit <n>]\n"
       "global flags (any command):\n"
       "  --jobs <n>            worker threads for parallel phases\n"
       "                        (default: hardware concurrency, or the\n"
@@ -243,7 +262,12 @@ private:
                                       "--deployed",  "--topology",
                                       "--loss",      "--seed",
                                       "--batch",     "--cache",
-                                      "--requests",  "--zipf"};
+                                      "--requests",  "--zipf",
+                                      "--metrics",   "--metrics-every",
+                                      "--slo-p99-us",
+                                      "--flight-record",
+                                      "--interval-ms",
+                                      "--idle-exit"};
     for (const char *F : WithValue)
       if (std::strcmp(Flag, F) == 0)
         return true;
@@ -764,6 +788,11 @@ int cmdServeBench(Args &A) {
   std::string ZipfArg = A.option("--zipf");
   std::string TargetArg = A.option("--target");
   std::string SeedArg = A.option("--seed");
+  std::string BatchArg = A.option("--batch");
+  std::string MetricsPath = A.option("--metrics");
+  std::string EveryArg = A.option("--metrics-every");
+  std::string SloArg = A.option("--slo-p99-us");
+  std::string FlightPath = A.option("--flight-record");
   bool Warm = A.flag("--warm");
   std::string StoreDir = storeDirArg(A);
 
@@ -784,6 +813,22 @@ int cmdServeBench(Args &A) {
   uint64_t Seed = 1;
   if (!SeedArg.empty())
     Seed = static_cast<uint64_t>(parseInt(SeedArg, "--seed"));
+  int Batch = 0;
+  if (!BatchArg.empty()) {
+    Batch = parseInt(BatchArg, "--batch");
+    if (Batch <= 0)
+      dieCli("--batch expects a positive integer");
+  }
+  if (!EveryArg.empty() && MetricsPath.empty())
+    dieCli("--metrics-every requires --metrics");
+  int Every = EveryArg.empty() ? 200 : parseInt(EveryArg, "--metrics-every");
+  if (Every <= 0)
+    dieCli("--metrics-every expects a positive integer");
+  if (!FlightPath.empty() && SloArg.empty())
+    dieCli("--flight-record requires --slo-p99-us");
+  if (FlightPath.empty() && !SloArg.empty())
+    dieCli("--slo-p99-us requires --flight-record");
+  double SloP99Us = SloArg.empty() ? 0.0 : parseDouble(SloArg, "--slo-p99-us");
   A.finish();
 
   VersionStore Store = openStoreOrDie(StoreDir);
@@ -813,38 +858,116 @@ int cmdServeBench(Args &A) {
     Fleet.push_back(Candidates[Zipf.sample(Rng) - 1]);
 
   PlanService Service(std::move(Store), PlanServiceOptions{Cache});
+
+  // Observability session: metrics sampling and the flight recorder need
+  // a registry — reuse the ambient one (--trace-json/--trace-events/
+  // --stats) or install a command-local one. Events are only enabled
+  // when a flight recorder will dump them.
+  Telemetry Local;
+  std::optional<TelemetryScope> LocalScope;
+  Telemetry *Reg = currentTelemetry();
+  if (!Reg && (!MetricsPath.empty() || !FlightPath.empty())) {
+    if (!FlightPath.empty())
+      Local.enableEvents();
+    LocalScope.emplace(Local);
+    Reg = &Local;
+  }
+  std::ofstream MetricsOut;
+  std::optional<MetricsSnapshotter> Sampler;
+  if (!MetricsPath.empty()) {
+    MetricsOut.open(MetricsPath, std::ios::trunc);
+    if (!MetricsOut)
+      die("cannot write '" + MetricsPath + "'");
+    Sampler.emplace(*Reg);
+  }
+  std::optional<FlightRecorder> Recorder;
+  if (!FlightPath.empty()) {
+    SloConfig Cfg;
+    Cfg.P99LatencyUs = SloP99Us;
+    Cfg.TracePath = FlightPath;
+    Recorder.emplace(*Reg, Cfg);
+  }
+  // One observation: publish the latency/cache gauges, append a JSONL
+  // sample, and evaluate the SLO.
+  auto Observe = [&] {
+    if (!Reg)
+      return;
+    const LatencyHistogram &H = Service.latency();
+    PlanServiceStats St = Service.stats();
+    Reg->setGauge("serve.p50_us", H.quantileSeconds(0.50) * 1e6);
+    Reg->setGauge("serve.p95_us", H.quantileSeconds(0.95) * 1e6);
+    Reg->setGauge("serve.p99_us", H.quantileSeconds(0.99) * 1e6);
+    Reg->setGauge("serve.cache_entries",
+                  static_cast<double>(St.CacheEntries));
+    double Now = 0.0;
+    if (Sampler) {
+      Now = Sampler->sample().TsSeconds;
+      MetricsOut << Sampler->lastJsonLine() << "\n";
+      MetricsOut.flush();
+    }
+    if (Recorder && Recorder->check(H.quantileSeconds(0.99) * 1e6, 0, Now))
+      logf(LogLevel::Warn,
+           "serve-bench: p99 SLO (%g us) breached, trace dumped to %s",
+           SloP99Us, FlightPath.c_str());
+  };
+
   int Warmed = 0;
   if (Warm)
     Warmed = Service.warm(Fleet, Target);
+  // The measured window excludes warming: reset the request histogram and
+  // take the baseline sample so the JSONL's overall rate covers exactly
+  // the loop the printed aggregates cover.
+  Service.resetLatency();
+  Observe();
 
   using Clock = std::chrono::steady_clock;
-  std::vector<double> LatencySeconds;
-  LatencySeconds.reserve(static_cast<size_t>(Requests));
   Clock::time_point Begin = Clock::now();
-  for (int K = 0; K < Requests; ++K) {
-    Clock::time_point T0 = Clock::now();
-    auto P = Service.plan(Fleet[static_cast<size_t>(K) + 1], Target);
-    if (!P)
-      die(format("cannot plan update %d -> %d",
-                 Fleet[static_cast<size_t>(K) + 1], Target));
-    LatencySeconds.push_back(
-        std::chrono::duration<double>(Clock::now() - T0).count());
+  int SinceSample = 0;
+  auto Tick = [&](int Done) {
+    SinceSample += Done;
+    if (SinceSample >= Every) {
+      SinceSample = 0;
+      Observe();
+    }
+  };
+  if (Batch > 0) {
+    std::vector<std::pair<int, int>> Pairs;
+    for (int At = 0; At < Requests; At += Batch) {
+      int Len = std::min(Batch, Requests - At);
+      Pairs.clear();
+      for (int K = 0; K < Len; ++K)
+        Pairs.push_back({Fleet[static_cast<size_t>(At + K) + 1], Target});
+      std::vector<std::optional<UpdatePlan>> Plans =
+          Service.planBatch(Pairs);
+      for (int K = 0; K < Len; ++K)
+        if (!Plans[static_cast<size_t>(K)])
+          die(format("cannot plan update %d -> %d",
+                     Pairs[static_cast<size_t>(K)].first, Target));
+      Tick(Len);
+    }
+  } else {
+    for (int K = 0; K < Requests; ++K) {
+      auto P = Service.plan(Fleet[static_cast<size_t>(K) + 1], Target);
+      if (!P)
+        die(format("cannot plan update %d -> %d",
+                   Fleet[static_cast<size_t>(K) + 1], Target));
+      Tick(1);
+    }
   }
   double TotalSeconds =
       std::chrono::duration<double>(Clock::now() - Begin).count();
+  Observe();
 
-  std::sort(LatencySeconds.begin(), LatencySeconds.end());
-  auto Percentile = [&](double Q) {
-    size_t At = static_cast<size_t>(Q * (LatencySeconds.size() - 1));
-    return LatencySeconds[At] * 1e6;
-  };
+  const LatencyHistogram &H = Service.latency();
   PlanServiceStats S = Service.stats();
   std::printf("serve-bench: %zu version(s), target v%d, %d request(s), "
-              "zipf s=%.2f, cache %zu%s\n",
+              "zipf s=%.2f, cache %zu%s%s\n",
               NumVersions, Target, Requests, ZipfS, Cache,
-              Warm ? format(" (%d pair(s) warmed)", Warmed).c_str() : "");
-  std::printf("  %.0f plans/sec, p50 %.1f us, p95 %.1f us\n",
-              Requests / TotalSeconds, Percentile(0.50), Percentile(0.95));
+              Warm ? format(" (%d pair(s) warmed)", Warmed).c_str() : "",
+              Batch > 0 ? format(", batches of %d", Batch).c_str() : "");
+  std::printf("  %.0f plans/sec, p50 %.1f us, p95 %.1f us, p99 %.1f us\n",
+              Requests / TotalSeconds, H.quantileSeconds(0.50) * 1e6,
+              H.quantileSeconds(0.95) * 1e6, H.quantileSeconds(0.99) * 1e6);
   std::printf("  hits %llu  misses %llu  evictions %llu  inflight-waits "
               "%llu  entries %zu\n",
               static_cast<unsigned long long>(S.Hits),
@@ -853,6 +976,121 @@ int cmdServeBench(Args &A) {
               static_cast<unsigned long long>(S.InflightWaits),
               S.CacheEntries);
   return 0;
+}
+
+/// Reads every well-formed JSONL snapshot line from a metrics file (the
+/// support/Metrics schema); a trailing partially-written line is simply
+/// skipped until the producer finishes it.
+std::vector<json::Value> readMetricsLines(const std::string &Path) {
+  std::ifstream In(Path);
+  std::vector<json::Value> Lines;
+  if (!In)
+    return Lines;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    if (std::optional<json::Value> V = json::parse(Line))
+      Lines.push_back(std::move(*V));
+  }
+  return Lines;
+}
+
+double monitorField(const json::Value &Doc, const char *Section,
+                    const char *Name) {
+  if (const json::Value *S = Doc.find(Section))
+    return S->numberOr(Name, 0.0);
+  return 0.0;
+}
+
+/// Renders one console frame from the parsed snapshot history: the newest
+/// sample's gauges/counters plus rates derived across the whole file.
+void renderMonitor(const std::string &Path,
+                   const std::vector<json::Value> &Lines) {
+  const json::Value &Last = Lines.back();
+  const json::Value &First = Lines.front();
+  double Ts = Last.numberOr("ts", 0.0);
+  double Dt = Ts - First.numberOr("ts", 0.0);
+  double Plans = monitorField(Last, "counters", "serve.plans");
+  double WindowRate = monitorField(Last, "rates", "serve.plans");
+  double Overall =
+      Dt > 0.0
+          ? (Plans - monitorField(First, "counters", "serve.plans")) / Dt
+          : 0.0;
+  double Hits = monitorField(Last, "counters", "serve.cache_hits");
+  double Misses = monitorField(Last, "counters", "serve.cache_misses");
+  double HitRate =
+      Hits + Misses > 0.0 ? 100.0 * Hits / (Hits + Misses) : 0.0;
+  std::printf("ucc monitor - %s  (%zu sample(s), t=%.1fs)\n", Path.c_str(),
+              Lines.size(), Ts);
+  std::printf("  plans/sec   %10.0f window  %10.0f overall  (%.0f plans)\n",
+              WindowRate, Overall, Plans);
+  std::printf("  cache       %5.1f%% hit rate  hits %.0f  misses %.0f  "
+              "evictions %.0f  entries %.0f\n",
+              HitRate, Hits, Misses,
+              monitorField(Last, "counters", "serve.evictions"),
+              monitorField(Last, "gauges", "serve.cache_entries"));
+  std::printf("  latency     p50 %.1f us  p95 %.1f us  p99 %.1f us\n",
+              monitorField(Last, "gauges", "serve.p50_us"),
+              monitorField(Last, "gauges", "serve.p95_us"),
+              monitorField(Last, "gauges", "serve.p99_us"));
+  std::printf("  serving     in-flight waits %.0f  precomputed %.0f  "
+              "batches %.0f  commits %.0f\n",
+              monitorField(Last, "counters", "serve.inflight_waits"),
+              monitorField(Last, "counters", "serve.precomputed"),
+              monitorField(Last, "counters", "serve.batches"),
+              monitorField(Last, "counters", "serve.commits"));
+  if (const json::Value *G = Last.find("gauges"))
+    if (G->find("net.campaign_joules"))
+      std::printf("  energy      %.6f J across %.0f campaign(s)\n",
+                  monitorField(Last, "gauges", "net.campaign_joules"),
+                  monitorField(Last, "counters", "net.campaigns"));
+}
+
+/// The live console: renders a frame whenever the metrics file grows (or
+/// once with --once), in place via ANSI clear. `--idle-exit <n>` ends the
+/// session after n polls without new samples so scripted runs terminate.
+int cmdMonitor(Args &A) {
+  std::string Path = A.option("--metrics");
+  bool Once = A.flag("--once");
+  std::string IntervalArg = A.option("--interval-ms");
+  std::string IdleArg = A.option("--idle-exit");
+  if (Path.empty())
+    dieCli("monitor requires --metrics <file>");
+  if (Once && (!IntervalArg.empty() || !IdleArg.empty()))
+    dieCli("--once cannot be combined with --interval-ms/--idle-exit");
+  int IntervalMs =
+      IntervalArg.empty() ? 1000 : parseInt(IntervalArg, "--interval-ms");
+  if (IntervalMs <= 0)
+    dieCli("--interval-ms expects a positive integer");
+  int IdleExit = IdleArg.empty() ? 0 : parseInt(IdleArg, "--idle-exit");
+  if (IdleExit < 0)
+    dieCli("--idle-exit expects a non-negative integer");
+  A.finish();
+
+  if (Once) {
+    std::vector<json::Value> Lines = readMetricsLines(Path);
+    if (Lines.empty())
+      die("no metrics samples in '" + Path + "'");
+    renderMonitor(Path, Lines);
+    return 0;
+  }
+
+  size_t LastCount = 0;
+  int Idle = 0;
+  for (;;) {
+    std::vector<json::Value> Lines = readMetricsLines(Path);
+    if (!Lines.empty() && Lines.size() != LastCount) {
+      LastCount = Lines.size();
+      Idle = 0;
+      std::printf("\033[2J\033[H");
+      renderMonitor(Path, Lines);
+      std::fflush(stdout);
+    } else if (IdleExit > 0 && ++Idle >= IdleExit) {
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+  }
 }
 
 /// Prints a human-readable telemetry summary (the --stats flag).
@@ -900,6 +1138,8 @@ int dispatch(const std::string &Cmd, Args &A) {
     return cmdCampaign(A);
   if (Cmd == "serve-bench")
     return cmdServeBench(A);
+  if (Cmd == "monitor")
+    return cmdMonitor(A);
   dieCli("unknown command '" + Cmd + "'");
 }
 
