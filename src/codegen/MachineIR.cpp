@@ -55,31 +55,41 @@ Roles rolesFor(MOp Op) {
 
 } // namespace
 
-std::vector<int> ucc::minstrDefs(const MInstr &I) {
-  std::vector<int> Defs;
+void ucc::minstrDefs(const MInstr &I, RegList &Out) {
+  Out.clear();
   if (rolesFor(I.Op).DefA && I.A >= 0)
-    Defs.push_back(I.A);
+    Out.push_back(I.A);
   if (mopIsCall(I.Op))
     for (int R = 0; R < NumPhysRegs; ++R)
-      Defs.push_back(R);
-  return Defs;
+      Out.push_back(R);
+}
+
+void ucc::minstrUses(const MInstr &I, RegList &Out) {
+  Out.clear();
+  Roles R = rolesFor(I.Op);
+  if (R.UseA && I.A >= 0)
+    Out.push_back(I.A);
+  if (R.UseB && I.B >= 0)
+    Out.push_back(I.B);
+  if (R.UseC && I.C >= 0)
+    Out.push_back(I.C);
+  if (I.Op == MOp::RET)
+    Out.push_back(RetReg);
+  if (mopIsCall(I.Op))
+    for (int K = 0; K < NumArgRegs; ++K)
+      Out.push_back(K);
+}
+
+std::vector<int> ucc::minstrDefs(const MInstr &I) {
+  RegList L;
+  minstrDefs(I, L);
+  return std::vector<int>(L.begin(), L.end());
 }
 
 std::vector<int> ucc::minstrUses(const MInstr &I) {
-  Roles R = rolesFor(I.Op);
-  std::vector<int> Uses;
-  if (R.UseA && I.A >= 0)
-    Uses.push_back(I.A);
-  if (R.UseB && I.B >= 0)
-    Uses.push_back(I.B);
-  if (R.UseC && I.C >= 0)
-    Uses.push_back(I.C);
-  if (I.Op == MOp::RET)
-    Uses.push_back(RetReg);
-  if (mopIsCall(I.Op))
-    for (int K = 0; K < NumArgRegs; ++K)
-      Uses.push_back(K);
-  return Uses;
+  RegList L;
+  minstrUses(I, L);
+  return std::vector<int>(L.begin(), L.end());
 }
 
 int MachineFunction::makeFrameObject(const std::string &Name, int SizeWords,

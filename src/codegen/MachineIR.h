@@ -19,6 +19,7 @@
 #include "analysis/Dataflow.h"
 #include "codegen/SAVR.h"
 
+#include <cassert>
 #include <string>
 #include <vector>
 
@@ -44,11 +45,45 @@ struct MInstr {
   int IRIndex = -1;   ///< originating IR statement (frequency lookup)
 };
 
+/// Fixed-capacity register-operand list for the allocation-lean hot path.
+/// The worst case is CALL's clobber set (all NumPhysRegs physical
+/// registers plus the A slot), so a small inline buffer covers every
+/// instruction with no heap traffic — the def/use queries inside the
+/// liveness, validation, and UCC-RA inner loops run allocation-free.
+class RegList {
+public:
+  void push_back(int Reg) {
+    assert(Count < Cap && "operand list overflow");
+    Regs[Count++] = Reg;
+  }
+  void clear() { Count = 0; }
+  int size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  int operator[](int I) const { return Regs[I]; }
+  const int *begin() const { return Regs; }
+  const int *end() const { return Regs + Count; }
+  bool contains(int Reg) const {
+    for (int R : *this)
+      if (R == Reg)
+        return true;
+    return false;
+  }
+
+private:
+  static constexpr int Cap = 16; // >= NumPhysRegs + 1 (CALL's worst case)
+  int Count = 0;
+  int Regs[Cap];
+};
+
 /// Registers defined by \p I. CALL clobbers every physical register; the
 /// liveness adapter handles that separately via mopIsCall().
 std::vector<int> minstrDefs(const MInstr &I);
 /// Registers used by \p I.
 std::vector<int> minstrUses(const MInstr &I);
+/// Allocation-free variants: append the defs/uses of \p I to \p Out
+/// (cleared first). Same contents and order as the vector versions.
+void minstrDefs(const MInstr &I, RegList &Out);
+void minstrUses(const MInstr &I, RegList &Out);
 /// True when \p Op is CALL (clobbers all physical registers).
 inline bool mopIsCall(MOp Op) { return Op == MOp::CALL; }
 

@@ -1,0 +1,308 @@
+//===- core/CompileCache.cpp - function-level compilation cache -----------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CompileCache.h"
+
+#include <cstring>
+
+using namespace ucc;
+
+namespace {
+
+/// FNV-1a over a byte buffer (same constants as regalloc/WindowCache).
+uint64_t fnv1a(const std::vector<uint8_t> &Bytes) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (uint8_t B : Bytes) {
+    H ^= B;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// Appends fixed-width little-endian fields to a key buffer. The encoding
+/// is canonical: every field is length- or count-prefixed, so no two
+/// distinct inputs serialize to the same bytes.
+class KeyWriter {
+public:
+  explicit KeyWriter(std::vector<uint8_t> &Out) : Out(Out) {}
+
+  void u8(uint8_t V) { Out.push_back(V); }
+  void u32(uint32_t V) { raw(&V, sizeof V); }
+  void i32(int32_t V) { raw(&V, sizeof V); }
+  void i64(int64_t V) { raw(&V, sizeof V); }
+  void u64(uint64_t V) { raw(&V, sizeof V); }
+  void f64(double V) {
+    if (V == 0.0)
+      V = 0.0; // canonicalize -0.0
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof Bits);
+    u64(Bits);
+  }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Out.insert(Out.end(), S.begin(), S.end());
+  }
+  void ints(const std::vector<int> &V) {
+    u32(static_cast<uint32_t>(V.size()));
+    for (int X : V)
+      i32(X);
+  }
+  void doubles(const std::vector<double> &V) {
+    u32(static_cast<uint32_t>(V.size()));
+    for (double X : V)
+      f64(X);
+  }
+  void strs(const std::vector<std::string> &V) {
+    u32(static_cast<uint32_t>(V.size()));
+    for (const std::string &S : V)
+      str(S);
+  }
+
+private:
+  void raw(const void *P, size_t N) {
+    const uint8_t *B = static_cast<const uint8_t *>(P);
+    Out.insert(Out.end(), B, B + N);
+  }
+
+  std::vector<uint8_t> &Out;
+};
+
+/// Canonical encoding of a post-opt IR function. Source locations are
+/// deliberately excluded: they never influence generated code.
+void writeIRFunction(KeyWriter &W, const Function &F) {
+  W.str(F.Name);
+  W.ints(F.Params);
+  W.i32(F.NumVRegs);
+  W.strs(F.VRegNames);
+  W.u32(static_cast<uint32_t>(F.FrameObjects.size()));
+  for (const FrameObject &FO : F.FrameObjects) {
+    W.str(FO.Name);
+    W.i32(FO.SizeWords);
+  }
+  W.u32(static_cast<uint32_t>(F.Blocks.size()));
+  for (const BasicBlock &BB : F.Blocks) {
+    W.str(BB.Name);
+    W.u32(static_cast<uint32_t>(BB.Instrs.size()));
+    for (const Instr &I : BB.Instrs) {
+      W.u8(static_cast<uint8_t>(I.Op));
+      W.u8(static_cast<uint8_t>(I.BinK));
+      W.u8(static_cast<uint8_t>(I.UnK));
+      W.u8(static_cast<uint8_t>(I.PredK));
+      W.i32(I.Dst);
+      W.ints(I.Srcs);
+      W.i64(I.Imm);
+      W.i32(I.Global);
+      W.i32(I.Slot);
+      W.i32(I.Callee);
+      W.i32(I.TrueBB);
+      W.i32(I.FalseBB);
+    }
+  }
+}
+
+/// Canonical encoding of the previous version's final machine code for
+/// one function (the old-record slice UCC-RA aligns against).
+void writeOldFunction(KeyWriter &W, const MachineFunction &MF) {
+  W.str(MF.Name);
+  W.i32(MF.NextVReg);
+  W.strs(MF.VRegNames);
+  W.u32(static_cast<uint32_t>(MF.FrameObjects.size()));
+  for (const MFrameObject &FO : MF.FrameObjects) {
+    W.str(FO.Name);
+    W.i32(FO.SizeWords);
+    W.u8(FO.IsSpill ? 1 : 0);
+  }
+  W.u32(static_cast<uint32_t>(MF.Blocks.size()));
+  for (const MBlock &BB : MF.Blocks) {
+    W.str(BB.Name);
+    W.ints(BB.Succs);
+    W.u32(static_cast<uint32_t>(BB.Instrs.size()));
+    for (const MInstr &I : BB.Instrs) {
+      W.i32(static_cast<int32_t>(I.Op));
+      W.i32(I.A);
+      W.i32(I.B);
+      W.i32(I.C);
+      W.i32(I.VA);
+      W.i32(I.VB);
+      W.i32(I.VC);
+      W.i32(I.Imm);
+      W.i32(I.Target);
+      W.i32(I.Callee);
+      W.i32(I.GlobalIdx);
+      W.i32(I.FrameIdx);
+      W.i32(I.IRIndex);
+    }
+  }
+}
+
+} // namespace
+
+uint64_t ucc::digestNameTables(const std::vector<std::string> &GlobalNames,
+                               const std::vector<std::string> &FunctionNames) {
+  std::vector<uint8_t> Bytes;
+  KeyWriter W(Bytes);
+  W.strs(GlobalNames);
+  W.strs(FunctionNames);
+  return fnv1a(Bytes);
+}
+
+uint64_t ucc::digestModuleNames(const Module &M) {
+  std::vector<uint8_t> Bytes;
+  KeyWriter W(Bytes);
+  W.u32(static_cast<uint32_t>(M.Globals.size()));
+  for (const GlobalVar &G : M.Globals)
+    W.str(G.Name);
+  W.u32(static_cast<uint32_t>(M.Functions.size()));
+  for (const Function &F : M.Functions)
+    W.str(F.Name);
+  return fnv1a(Bytes);
+}
+
+CompileCache::Key CompileCache::buildKey(const CompileKeyInputs &In) {
+  Key K;
+  K.reserve(256);
+  KeyWriter W(K);
+  W.u8('C');
+  W.u8(1); // schema version
+  W.u8(In.RAKind);
+  W.u8(In.DAKind);
+  W.u8(In.UseUcc ? 1 : 0);
+  W.u8(In.UccFrames ? 1 : 0);
+  W.i32(In.SpaceT);
+  if (In.UseUcc) {
+    const UccAllocOptions &U = *In.Ucc;
+    W.i32(U.ChunkK);
+    W.f64(U.Cnt);
+    W.f64(U.EtransInstr);
+    W.f64(U.EexeCycle);
+    W.u8(U.EnableSplits ? 1 : 0);
+    W.u8(static_cast<uint8_t>(U.Strategy));
+    W.i32(U.IlpMaxBinaries);
+    W.f64(U.IlpTimeLimitSec);
+    W.u8(U.EnableWindowCache ? 1 : 0);
+    W.doubles(*In.Freq);
+  }
+  W.u64(In.NewNamesDigest);
+  writeIRFunction(W, *In.F);
+  if (In.OldFinal) {
+    W.u8(1);
+    writeOldFunction(W, *In.OldFinal);
+    W.u64(In.OldNamesDigest);
+    if (In.UccFrames && In.OldFrameOffsets) {
+      W.u8(1);
+      W.ints(*In.OldFrameOffsets);
+    } else {
+      W.u8(0);
+    }
+  } else {
+    W.u8(0);
+  }
+  return K;
+}
+
+CompiledFunction CompileCache::lookupOrCompute(
+    const Key &K, const std::function<CompiledFunction()> &Compute,
+    bool *WasHit) {
+  uint64_t H = fnv1a(K);
+  if (WasHit)
+    *WasHit = false;
+  std::unique_lock<std::mutex> Guard(Lock);
+  if (Capacity == 0) {
+    // Storage disabled: pure pass-through, still counted so cache-off
+    // baselines report comparable accounting.
+    ++Counts.Misses;
+    Guard.unlock();
+    return Compute();
+  }
+
+  std::list<Entry> &Chain = Buckets[H];
+  for (Entry &E : Chain) {
+    if (E.K != K)
+      continue;
+    ++Counts.Hits;
+    if (WasHit)
+      *WasHit = true;
+    if (!E.Ready) {
+      ++Counts.InflightWaits;
+      ++E.Waiters;
+      Filled.wait(Guard, [&] { return E.Ready; });
+      --E.Waiters;
+    }
+    E.LastUse = ++Tick;
+    return E.R;
+  }
+
+  // Miss: publish an in-flight entry, then compile outside the lock so
+  // other functions (and same-key waiters) make progress meanwhile.
+  ++Counts.Misses;
+  Chain.emplace_back();
+  Entry &E = Chain.back();
+  E.K = K;
+  E.LastUse = ++Tick;
+  ++Resident;
+  evictIfNeeded();
+  Guard.unlock();
+
+  CompiledFunction R = Compute();
+
+  Guard.lock();
+  E.R = R;
+  E.Ready = true;
+  Filled.notify_all();
+  return R;
+}
+
+void CompileCache::evictIfNeeded() {
+  while (Resident > Capacity) {
+    // Find the least-recently-used completed entry; in-flight entries and
+    // entries with waiters are pinned.
+    std::unordered_map<uint64_t, std::list<Entry>>::iterator VictimBucket =
+        Buckets.end();
+    std::list<Entry>::iterator Victim;
+    uint64_t Oldest = ~0ULL;
+    for (auto BI = Buckets.begin(); BI != Buckets.end(); ++BI) {
+      for (auto EI = BI->second.begin(); EI != BI->second.end(); ++EI) {
+        if (!EI->Ready || EI->Waiters > 0)
+          continue;
+        if (EI->LastUse < Oldest) {
+          Oldest = EI->LastUse;
+          VictimBucket = BI;
+          Victim = EI;
+        }
+      }
+    }
+    if (VictimBucket == Buckets.end())
+      return; // everything resident is in flight; let it overflow briefly
+    VictimBucket->second.erase(Victim);
+    if (VictimBucket->second.empty())
+      Buckets.erase(VictimBucket);
+    --Resident;
+    ++Counts.Evictions;
+  }
+}
+
+CompileCacheStats CompileCache::stats() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  CompileCacheStats S = Counts;
+  S.Entries = Resident;
+  return S;
+}
+
+void CompileCache::clear() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (auto BI = Buckets.begin(); BI != Buckets.end();) {
+    std::list<Entry> &Chain = BI->second;
+    for (auto EI = Chain.begin(); EI != Chain.end();) {
+      if (EI->Ready && EI->Waiters == 0) {
+        EI = Chain.erase(EI);
+        --Resident;
+      } else {
+        ++EI;
+      }
+    }
+    BI = Chain.empty() ? Buckets.erase(BI) : std::next(BI);
+  }
+}

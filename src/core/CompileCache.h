@@ -1,0 +1,162 @@
+//===- core/CompileCache.h - function-level compilation cache -------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function-level compilation cache for incremental recompilation. Each
+/// entry memoizes the whole per-function back-half pipeline result —
+/// instruction selection, register allocation, and frame layout — keyed by
+/// an FNV-1a content hash over a canonical byte encoding of everything
+/// that can influence that result:
+///
+///   * the function's post-opt IR (name, params, vregs, frame objects,
+///     blocks, every instruction field except source locations),
+///   * the back-half compile options (RA/DA kinds, every UccAllocOptions
+///     field including the energy-model-derived costs, UccDaOptions),
+///   * the per-statement frequency vector fed to UCC-RA,
+///   * a digest of the new module's global/function name tables (CALL and
+///     global accesses compare names across versions via these tables),
+///   * and the relevant slice of the old CompilationRecord: the previous
+///     final machine code for this function, its old frame offsets, and
+///     the old name-table digest — or an explicit "absent" marker.
+///
+/// The design generalizes regalloc/WindowCache: collision chains under a
+/// 64-bit hash confirmed by a full byte-compare of the canonical key, and
+/// an in-flight latch so that when two threads want the same function only
+/// one compiles while the other waits on a condition variable. Eviction is
+/// LRU with in-flight entries pinned (same policy as serve/PlanService).
+///
+/// Because the key captures every input, a hit returns a result that is
+/// byte-identical to what a fresh compile would produce — the determinism
+/// contract (same output at jobs 1 vs 8, cache on vs off) holds by
+/// construction and is enforced by JobsDeterminismTest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_CORE_COMPILECACHE_H
+#define UCC_CORE_COMPILECACHE_H
+
+#include "codegen/BinaryImage.h"
+#include "codegen/MachineIR.h"
+#include "ir/IR.h"
+#include "regalloc/UccAlloc.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace ucc {
+
+/// Exact cache accounting, mirrored into `compile.*` telemetry counters by
+/// the compiler back half.
+struct CompileCacheStats {
+  uint64_t Hits = 0;          ///< lookups answered from the cache
+  uint64_t Misses = 0;        ///< lookups that ran the pipeline
+  uint64_t Evictions = 0;     ///< entries dropped by the LRU policy
+  uint64_t InflightWaits = 0; ///< hits that waited on an in-flight compile
+  uint64_t Entries = 0;       ///< resident entries (including in-flight)
+};
+
+/// The memoized per-function pipeline result.
+struct CompiledFunction {
+  MachineFunction Final; ///< post-RA machine code (incl. spill slots)
+  FrameLayout Frame;     ///< frame layout for Final
+  UccAllocStats Stats;   ///< deterministic allocator statistics
+};
+
+/// Inputs to the canonical key encoding for one function. Pointers refer
+/// to the caller's data and must stay valid for the buildCompileKey call.
+struct CompileKeyInputs {
+  const Function *F = nullptr; ///< post-opt IR for this function
+  uint8_t RAKind = 0;          ///< RegAllocKind as integer
+  uint8_t DAKind = 0;          ///< DataAllocKind as integer
+  bool UseUcc = false;         ///< UCC-RA active (UC RA + old record)
+  bool UccFrames = false;      ///< update-conscious frame layout active
+  /// Effective UCC-RA options (energy costs already injected); read only
+  /// when UseUcc.
+  const UccAllocOptions *Ucc = nullptr;
+  int SpaceT = 0; ///< UccDaOptions::SpaceT
+  /// Per-statement frequency estimates fed to UCC-RA; null when !UseUcc.
+  const std::vector<double> *Freq = nullptr;
+  uint64_t NewNamesDigest = 0; ///< digest of the new module name tables
+  /// Old-record slice: previous final code for this function (null when
+  /// the function is new or there is no old record).
+  const MachineFunction *OldFinal = nullptr;
+  /// Previous frame offsets row; read only when UccFrames.
+  const std::vector<int> *OldFrameOffsets = nullptr;
+  uint64_t OldNamesDigest = 0; ///< digest of the old name tables (0 = none)
+};
+
+/// Digest of a module's global + function name tables (order-sensitive,
+/// length-prefixed FNV-1a). Computed once per compile and folded into
+/// every function's key.
+uint64_t digestNameTables(const std::vector<std::string> &GlobalNames,
+                          const std::vector<std::string> &FunctionNames);
+
+/// Same digest computed straight from a module's globals and functions
+/// (no intermediate string-table copies).
+uint64_t digestModuleNames(const Module &M);
+
+/// Thread-safe LRU cache of per-function pipeline results.
+class CompileCache {
+public:
+  /// Canonical key bytes; equality of keys implies equality of results.
+  using Key = std::vector<uint8_t>;
+
+  /// \p Capacity bounds resident entries; 0 disables storage (every
+  /// lookup misses — useful for cache-off baselines with identical code
+  /// paths).
+  explicit CompileCache(size_t Capacity = 1024) : Capacity(Capacity) {}
+
+  /// Builds the canonical key for \p In (serialize + FNV-1a happens in
+  /// lookupOrCompute; the key carries the full bytes so hash collisions
+  /// can never alias two functions).
+  static Key buildKey(const CompileKeyInputs &In);
+
+  /// Returns the cached result for \p K, computing it with \p Compute on
+  /// a miss. Concurrent callers with the same key are latched: one
+  /// computes, the rest wait and share the result. \p WasHit (optional)
+  /// reports whether this lookup was answered from the cache.
+  CompiledFunction
+  lookupOrCompute(const Key &K,
+                  const std::function<CompiledFunction()> &Compute,
+                  bool *WasHit = nullptr);
+
+  /// Exact accounting snapshot.
+  CompileCacheStats stats() const;
+
+  /// Drops every completed entry (in-flight entries survive) and resets
+  /// nothing else; accounting keeps accumulating.
+  void clear();
+
+private:
+  struct Entry {
+    Key K;
+    CompiledFunction R;
+    bool Ready = false;
+    int Waiters = 0; ///< threads blocked on this entry (pins it)
+    uint64_t LastUse = 0;
+  };
+
+  void evictIfNeeded(); // caller holds Lock
+
+  mutable std::mutex Lock;
+  std::condition_variable Filled;
+  /// Hash -> collision chain. std::list gives stable entry addresses while
+  /// other chains grow (threads block on entries across unlocks).
+  std::unordered_map<uint64_t, std::list<Entry>> Buckets;
+  size_t Capacity;
+  size_t Resident = 0;
+  uint64_t Tick = 0;
+  CompileCacheStats Counts;
+};
+
+} // namespace ucc
+
+#endif // UCC_CORE_COMPILECACHE_H

@@ -17,10 +17,12 @@
 
 #include "analysis/IRAnalysis.h"
 #include "codegen/ISel.h"
+#include "core/CompileCache.h"
 #include "frontend/IRGen.h"
 #include "ir/Verifier.h"
 #include "regalloc/LinearScan.h"
 #include "regalloc/Validator.h"
+#include "support/Interner.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
@@ -80,116 +82,182 @@ CompilationRecord buildRecord(const Module &M, const MachineModule &MM,
                               const DataLayoutMap &DL,
                               const std::vector<FrameLayout> &Frames) {
   CompilationRecord Rec;
+  Rec.FunctionNames.reserve(M.Functions.size());
   for (const Function &F : M.Functions)
     Rec.FunctionNames.push_back(F.Name);
+  Rec.GlobalNames.reserve(M.Globals.size());
   for (const GlobalVar &G : M.Globals)
     Rec.GlobalNames.push_back(G.Name);
   Rec.FinalCode = MM.Functions;
+  Rec.FrameOffsets.reserve(Frames.size());
   for (const FrameLayout &FL : Frames)
     Rec.FrameOffsets.push_back(FL.Offsets);
   Rec.GlobalLayout = toOldLayout(M, DL);
   return Rec;
 }
 
-/// Back half shared by compile and recompile: allocate registers, lay out
-/// data, encode, and assemble the output.
+/// Back half shared by compile and recompile: the per-function pipeline
+/// (isel -> RA -> frame layout), optionally served from the function-level
+/// compile cache, then module-level data layout, encoding, and record
+/// assembly.
 CompileOutput backHalf(Module M, const CompileOptions &Opts,
                        const CompilationRecord *OldRecord) {
   CompileOutput Out;
-  {
-    ScopedSpan Span("isel");
-    Out.MachineCode = selectModule(M);
+
+  bool UseUcc =
+      Opts.RA == RegAllocKind::UpdateConscious && OldRecord != nullptr;
+  bool UccFrames = UseUcc && Opts.DA == DataAllocKind::UpdateConscious;
+
+  // Interned name tables for cross-version symbol resolution: symbol ids
+  // instead of per-compile string-table copies, so the alignment inner
+  // loop (instrsSimilar) compares integers.
+  StringInterner &SI = StringInterner::global();
+  SymbolTable NewGlobalSyms, NewFunctionSyms;
+  NewGlobalSyms.reserve(M.Globals.size());
+  for (const GlobalVar &G : M.Globals)
+    NewGlobalSyms.push_back(SI.intern(G.Name));
+  NewFunctionSyms.reserve(M.Functions.size());
+  for (const Function &F : M.Functions)
+    NewFunctionSyms.push_back(SI.intern(F.Name));
+  SymbolTable OldGlobalSyms, OldFunctionSyms;
+  if (UseUcc) {
+    OldGlobalSyms = internNames(SI, OldRecord->GlobalNames);
+    OldFunctionSyms = internNames(SI, OldRecord->FunctionNames);
   }
 
-  // Name tables for cross-version symbol resolution.
-  std::vector<std::string> NewGlobalNames, NewFunctionNames;
-  for (const GlobalVar &G : M.Globals)
-    NewGlobalNames.push_back(G.Name);
-  for (const Function &F : M.Functions)
-    NewFunctionNames.push_back(F.Name);
+  // Name-table digests folded into every function's cache key.
+  uint64_t NewNamesDigest = 0, OldNamesDigest = 0;
+  uint64_t EvictionsBefore = 0;
+  if (Opts.Cache) {
+    NewNamesDigest = digestModuleNames(M);
+    if (OldRecord)
+      OldNamesDigest =
+          digestNameTables(OldRecord->GlobalNames, OldRecord->FunctionNames);
+    EvictionsBefore = Opts.Cache->stats().Evictions;
+  }
 
-  bool UseUcc = Opts.RA == RegAllocKind::UpdateConscious &&
-                OldRecord != nullptr;
-
-  // The per-function UCC-RA problems are independent (the only shared
-  // mutable state, the window memo cache, is internally synchronized), so
-  // they fan out over the thread pool. Each item runs under its own
-  // telemetry registry, merged back in function order, and every
-  // function's allocation depends only on its own inputs — the output is
-  // bit-identical for every Jobs value.
-  telemetryBeginSpan("ra");
-  int NumFns = static_cast<int>(Out.MachineCode.Functions.size());
+  int NumFns = static_cast<int>(M.Functions.size());
+  Out.MachineCode.EntryFunc = M.EntryFunc;
+  Out.MachineCode.Functions.resize(static_cast<size_t>(NumFns));
   Out.RegAllocStats.resize(static_cast<size_t>(NumFns));
-  parallelFor(NumFns, Opts.Jobs, [&](int F) {
-    MachineFunction &MF = Out.MachineCode.Functions[static_cast<size_t>(F)];
-    auto RaStart = std::chrono::steady_clock::now();
-    if (UseUcc) {
-      UccContext Ctx;
-      int OldIdx = OldRecord->findFunction(MF.Name);
-      Ctx.OldFinal =
-          OldIdx >= 0
-              ? &OldRecord->FinalCode[static_cast<size_t>(OldIdx)]
-              : nullptr;
-      Ctx.OldGlobalNames = &OldRecord->GlobalNames;
-      Ctx.OldFunctionNames = &OldRecord->FunctionNames;
-      Ctx.NewGlobalNames = &NewGlobalNames;
-      Ctx.NewFunctionNames = &NewFunctionNames;
+  std::vector<FrameLayout> Frames(static_cast<size_t>(NumFns));
 
-      UccAllocOptions UccOpts = Opts.Ucc;
+  // The per-function pipelines are independent (the shared mutable state
+  // — the window memo cache and the compile cache — is internally
+  // synchronized), so they fan out over the thread pool. Each item runs
+  // under its own telemetry registry, merged back in function order, and
+  // every function's result depends only on its own inputs — the output
+  // is bit-identical for every Jobs value and with the cache on or off.
+  parallelFor(NumFns, Opts.Jobs, [&](int F) {
+    const Function &IRF = M.Functions[static_cast<size_t>(F)];
+    auto Start = std::chrono::steady_clock::now();
+
+    int OldIdx = UseUcc ? OldRecord->findFunction(IRF.Name) : -1;
+    const MachineFunction *OldFinal =
+        OldIdx >= 0 ? &OldRecord->FinalCode[static_cast<size_t>(OldIdx)]
+                    : nullptr;
+    const std::vector<int> *OldOffsets =
+        UccFrames && OldIdx >= 0 &&
+                static_cast<size_t>(OldIdx) < OldRecord->FrameOffsets.size()
+            ? &OldRecord->FrameOffsets[static_cast<size_t>(OldIdx)]
+            : nullptr;
+
+    // UCC-RA inputs are part of the cache key, so they are materialized
+    // before the lookup (hit or miss).
+    UccAllocOptions UccOpts = Opts.Ucc;
+    std::vector<double> Freq;
+    if (UseUcc) {
       UccOpts.EtransInstr = Opts.Energy.instrTransmissionEnergy();
       UccOpts.EexeCycle = Opts.Energy.energyPerCycle();
-
       // Measured profile when the caller supplied one, else the static
       // loop-depth estimate.
-      std::vector<double> Freq;
-      auto Profiled = Opts.ProfiledFreq.find(MF.Name);
+      auto Profiled = Opts.ProfiledFreq.find(IRF.Name);
       if (Profiled != Opts.ProfiledFreq.end())
         Freq = Profiled->second;
       else
-        Freq = statementFrequencies(M.Functions[static_cast<size_t>(F)]);
-      Freq.resize(
-          static_cast<size_t>(M.Functions[static_cast<size_t>(F)].instrCount()),
-          1.0);
-      Out.RegAllocStats[static_cast<size_t>(F)] =
-          allocateUcc(MF, Ctx, UccOpts, Freq);
-    } else {
-      allocateLinearScan(MF);
-      Out.RegAllocStats[static_cast<size_t>(F)] = UccAllocStats{};
+        Freq = statementFrequencies(IRF);
+      Freq.resize(static_cast<size_t>(IRF.instrCount()), 1.0);
     }
-    assert(validateAllocation(MF).empty() &&
-           "register allocation failed validation");
-    if (currentTelemetry())
-      currentTelemetry()->addGauge(
-          "ra.seconds." + MF.Name,
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        RaStart)
-              .count());
-  });
-  telemetryEndSpan(); // ra
 
-  // Data layout.
+    auto compute = [&]() -> CompiledFunction {
+      CompiledFunction R;
+      {
+        ScopedSpan Span("isel");
+        R.Final = selectFunction(M, IRF);
+      }
+      {
+        ScopedSpan Span("ra");
+        if (UseUcc) {
+          UccContext Ctx;
+          Ctx.OldFinal = OldFinal;
+          Ctx.OldGlobalNames = &OldGlobalSyms;
+          Ctx.OldFunctionNames = &OldFunctionSyms;
+          Ctx.NewGlobalNames = &NewGlobalSyms;
+          Ctx.NewFunctionNames = &NewFunctionSyms;
+          R.Stats = allocateUcc(R.Final, Ctx, UccOpts, Freq);
+        } else {
+          allocateLinearScan(R.Final);
+          R.Stats = UccAllocStats{};
+        }
+        assert(validateAllocation(R.Final).empty() &&
+               "register allocation failed validation");
+      }
+      {
+        ScopedSpan Span("da");
+        if (OldOffsets)
+          R.Frame = layoutFrameUpdateConscious(
+              R.Final, OldFinal->FrameObjects, *OldOffsets, Opts.UccDa);
+        else
+          R.Frame = layoutFrame(R.Final);
+      }
+      return R;
+    };
+
+    CompiledFunction R;
+    if (Opts.Cache) {
+      CompileKeyInputs In;
+      In.F = &IRF;
+      In.RAKind = static_cast<uint8_t>(Opts.RA);
+      In.DAKind = static_cast<uint8_t>(Opts.DA);
+      In.UseUcc = UseUcc;
+      In.UccFrames = UccFrames;
+      In.Ucc = &UccOpts;
+      In.SpaceT = Opts.UccDa.SpaceT;
+      In.Freq = &Freq;
+      In.NewNamesDigest = NewNamesDigest;
+      In.OldFinal = OldFinal;
+      In.OldFrameOffsets = OldOffsets;
+      In.OldNamesDigest = OldNamesDigest;
+      bool Hit = false;
+      R = Opts.Cache->lookupOrCompute(CompileCache::buildKey(In), compute,
+                                      &Hit);
+      telemetryCount(Hit ? "compile.cache_hits" : "compile.cache_misses");
+    } else {
+      R = compute();
+    }
+
+    Out.MachineCode.Functions[static_cast<size_t>(F)] = std::move(R.Final);
+    Frames[static_cast<size_t>(F)] = std::move(R.Frame);
+    Out.RegAllocStats[static_cast<size_t>(F)] = R.Stats;
+    if (currentTelemetry()) {
+      currentTelemetry()->addGauge(
+          "compile.arena_bytes",
+          static_cast<double>(R.Stats.ArenaBytes));
+      currentTelemetry()->addGauge(
+          "ra.seconds." + IRF.Name,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        Start)
+              .count());
+    }
+  });
+
+  // Module-level data layout (global regions).
   telemetryBeginSpan("da");
   if (Opts.DA == DataAllocKind::UpdateConscious && OldRecord)
     Out.Layout = layoutGlobalsUpdateConscious(
         M, OldRecord->GlobalLayout, Opts.UccDa, &Out.DataAllocStats);
   else
     Out.Layout = layoutGlobalsBaseline(M);
-
-  std::vector<FrameLayout> Frames;
-  for (const MachineFunction &MF : Out.MachineCode.Functions) {
-    int OldIdx = UseUcc && Opts.DA == DataAllocKind::UpdateConscious
-                     ? OldRecord->findFunction(MF.Name)
-                     : -1;
-    if (OldIdx >= 0 &&
-        static_cast<size_t>(OldIdx) < OldRecord->FrameOffsets.size())
-      Frames.push_back(layoutFrameUpdateConscious(
-          MF,
-          OldRecord->FinalCode[static_cast<size_t>(OldIdx)].FrameObjects,
-          OldRecord->FrameOffsets[static_cast<size_t>(OldIdx)],
-          Opts.UccDa));
-    else
-      Frames.push_back(layoutFrame(MF));
-  }
   telemetryEndSpan(); // da
 
   {
@@ -197,6 +265,17 @@ CompileOutput backHalf(Module M, const CompileOptions &Opts,
     Out.Image = encodeModule(Out.MachineCode, M, Out.Layout, Frames,
                              &Out.EncodedIRIndex);
   }
+
+  // Cache accounting on the parent registry (hits/misses were counted in
+  // the per-item registries and merge deterministically).
+  if (Opts.Cache && currentTelemetry()) {
+    CompileCacheStats CS = Opts.Cache->stats();
+    telemetryCount("compile.cache_evictions",
+                   static_cast<int64_t>(CS.Evictions - EvictionsBefore));
+    telemetryGauge("compile.cache_entries",
+                   static_cast<double>(CS.Entries));
+  }
+
   Out.Record = buildRecord(M, Out.MachineCode, Out.Layout, Frames);
   Out.IR = std::move(M);
   return Out;

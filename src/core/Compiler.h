@@ -46,6 +46,8 @@
 
 namespace ucc {
 
+class CompileCache;
+
 /// Which register allocator a recompilation uses.
 enum class RegAllocKind { Baseline, UpdateConscious };
 
@@ -67,6 +69,12 @@ struct CompileOptions {
   /// (`--jobs` / UCC_JOBS / hardware concurrency); 1 = serial. Results
   /// are bit-identical for every value (docs/PERFORMANCE.md).
   int Jobs = 0;
+  /// Optional function-level compilation cache (core/CompileCache.h).
+  /// When set, unchanged functions skip isel -> RA -> frame layout on
+  /// recompiles; results are byte-identical with the cache on or off.
+  /// Non-owning — the caller keeps the cache alive across compiles (the
+  /// serving layer and UpdateSession own one per store).
+  CompileCache *Cache = nullptr;
 };
 
 /// Everything a compilation produces.

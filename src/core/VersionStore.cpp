@@ -342,10 +342,24 @@ std::optional<UpdatePlan> VersionStore::plan(int FromId, int ToId) const {
                              ToId);
 }
 
+UpdateSession::UpdateSession(VersionStore &Store, CompileOptions Opts)
+    : Store(Store), Opts(std::move(Opts)) {
+  if (!this->Opts.Cache) {
+    Cache = std::make_unique<CompileCache>();
+    this->Opts.Cache = Cache.get();
+  }
+}
+
+UpdateSession::~UpdateSession() = default;
+
 int UpdateSession::commit(const std::string &Source,
                           DiagnosticEngine &Diag) {
   return Store.size() == 0 ? Store.addInitial(Source, Opts, Diag)
                            : Store.addUpdate(Source, Opts, Diag);
+}
+
+CompileCacheStats UpdateSession::compileCacheStats() const {
+  return Opts.Cache ? Opts.Cache->stats() : CompileCacheStats{};
 }
 
 std::optional<UpdatePlan> UpdateSession::planFromPrevious() const {

@@ -30,10 +30,12 @@
 #ifndef UCC_CORE_VERSIONSTORE_H
 #define UCC_CORE_VERSIONSTORE_H
 
+#include "core/CompileCache.h"
 #include "core/Compiler.h"
 #include "net/Network.h"
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -127,8 +129,12 @@ std::optional<UpdatePlan> planBetweenVersions(
 /// the result.
 class UpdateSession {
 public:
-  UpdateSession(VersionStore &Store, CompileOptions Opts)
-      : Store(Store), Opts(std::move(Opts)) {}
+  /// A session owns a function-level compile cache (core/CompileCache.h)
+  /// shared by every commit, so functions untouched between versions skip
+  /// isel -> RA -> frame layout. Pass Opts with a non-null Cache to share
+  /// an external cache instead; results are byte-identical either way.
+  UpdateSession(VersionStore &Store, CompileOptions Opts);
+  ~UpdateSession();
 
   /// Compiles \p Source (initial compile when the store is empty, update-
   /// conscious recompile against the latest version otherwise) and stores
@@ -140,9 +146,14 @@ public:
 
   VersionStore &store() { return Store; }
 
+  /// Accounting for the session's compile cache (hits accumulate across
+  /// commits).
+  CompileCacheStats compileCacheStats() const;
+
 private:
   VersionStore &Store;
   CompileOptions Opts;
+  std::unique_ptr<CompileCache> Cache; ///< used when Opts.Cache is null
 };
 
 /// Plans and runs a fleet campaign bringing a mixed-version network to

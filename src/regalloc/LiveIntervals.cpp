@@ -51,13 +51,16 @@ IntervalAnalysis ucc::analyzeIntervals(const MachineFunction &MF) {
   };
 
   int Pos = 0;
+  RegList Defs, Uses;
   for (size_t B = 0; B < MF.Blocks.size(); ++B) {
     std::vector<BitVector> After = L.liveAfterPerInstr(G, static_cast<int>(B));
     for (size_t K = 0; K < MF.Blocks[B].Instrs.size(); ++K, ++Pos) {
       const MInstr &I = MF.Blocks[B].Instrs[K];
-      for (int D : minstrDefs(I))
+      minstrDefs(I, Defs);
+      for (int D : Defs)
         extend(D, Pos);
-      for (int U : minstrUses(I))
+      minstrUses(I, Uses);
+      for (int U : Uses)
         extend(U, Pos);
       IA.LiveAfter[static_cast<size_t>(Pos)] = After[K];
       // Everything live after this position must also cover position+1 (if
@@ -120,23 +123,19 @@ int rewriteToFrameSlots(MachineFunction &MF, const std::vector<int> &Victims,
         ++Inserted;
       };
 
-      std::vector<int> Uses = minstrUses(I);
-      auto isUsed = [&](int Reg) {
-        for (int U : Uses)
-          if (U == Reg)
-            return true;
-        return false;
-      };
-      if (I.B >= 0 && isUsed(I.B))
+      RegList Uses;
+      minstrUses(I, Uses);
+      if (I.B >= 0 && Uses.contains(I.B))
         fixUse(I.B);
-      if (I.C >= 0 && isUsed(I.C))
+      if (I.C >= 0 && Uses.contains(I.C))
         fixUse(I.C);
       // A is a use for stores/CMP/OUT; minstrUses already told us.
-      if (I.A >= 0 && isUsed(I.A))
+      if (I.A >= 0 && Uses.contains(I.A))
         fixUse(I.A);
 
       // Store after a def of a victim.
-      std::vector<int> Defs = minstrDefs(I);
+      RegList Defs;
+      minstrDefs(I, Defs);
       bool DefsVictim = false;
       for (int D : Defs)
         if (isVirtReg(D) && static_cast<size_t>(D) < SlotOf.size() &&

@@ -19,6 +19,7 @@
 #include "regalloc/LiveIntervals.h"
 #include "regalloc/UccIlpModel.h"
 
+#include "support/Arena.h"
 #include "support/Format.h"
 #include "support/Telemetry.h"
 
@@ -120,8 +121,14 @@ struct Flat {
   int IndexInBlock;
 };
 
-std::vector<Flat> flatten(const MachineFunction &MF) {
-  std::vector<Flat> Out;
+/// Per-round scratch lives in a bump arena: flattened instruction lists,
+/// the match table, and the chunk mask are short-lived and allocation-hot.
+using FlatList = ArenaVector<Flat>;
+using IntList = ArenaVector<int>;
+using BoolList = ArenaVector<bool>;
+
+FlatList flatten(const MachineFunction &MF, Arena &A) {
+  FlatList Out = makeArenaVector<Flat>(A);
   Out.reserve(static_cast<size_t>(MF.instrCount()));
   for (size_t B = 0; B < MF.Blocks.size(); ++B)
     for (size_t K = 0; K < MF.Blocks[B].Instrs.size(); ++K)
@@ -184,10 +191,9 @@ struct VRegInfo {
 /// Attempts the paper's full ILP on a straight-line (single-block)
 /// function. Returns true when the model fit the budget, solved, and was
 /// applied; false falls back to the greedy engine.
-bool tryIlpSingleBlock(MachineFunction &MF, const std::vector<Flat> &NewLin,
-                       const std::vector<Flat> &OldLin,
-                       const std::vector<int> &MatchedOld,
-                       const std::vector<bool> &InChangedChunk,
+bool tryIlpSingleBlock(MachineFunction &MF, const FlatList &NewLin,
+                       const FlatList &OldLin, const IntList &MatchedOld,
+                       const BoolList &InChangedChunk,
                        const UccAllocOptions &Opts,
                        const std::vector<double> &Freq,
                        const IntervalAnalysis &IA, UccAllocStats &Stats) {
@@ -210,6 +216,7 @@ bool tryIlpSingleBlock(MachineFunction &MF, const std::vector<Flat> &NewLin,
   Spec.Etrans = Opts.EtransInstr;
   Spec.Eexe = Opts.EexeCycle;
   Spec.Cnt = Opts.Cnt;
+  Spec.Instrs.reserve(NewN);
 
   // Which MInstr field each use slot reads (parallel to WindowInstr.Uses).
   struct SlotRef {
@@ -237,15 +244,10 @@ bool tryIlpSingleBlock(MachineFunction &MF, const std::vector<Flat> &NewLin,
         Mask |= static_cast<uint16_t>(1u << R);
     W.BusyMask = Mask;
 
-    std::vector<int> Uses = minstrUses(I);
-    auto slotUsed = [&](int Reg) {
-      for (int U : Uses)
-        if (U == Reg)
-          return true;
-      return false;
-    };
+    RegList Uses;
+    minstrUses(I, Uses);
     auto addUse = [&](int MInstr::*Reg, int MInstr::*Prov, int OldReg) {
-      if (I.*Reg < 0 || !isVirtReg(I.*Reg) || !slotUsed(I.*Reg))
+      if (I.*Reg < 0 || !isVirtReg(I.*Reg) || !Uses.contains(I.*Reg))
         return;
       W.Uses.push_back(varId(I.*Reg));
       W.UsePref.push_back(Anchor && isPhysReg(OldReg) ? OldReg : -1);
@@ -255,7 +257,8 @@ bool tryIlpSingleBlock(MachineFunction &MF, const std::vector<Flat> &NewLin,
     addUse(&MInstr::B, &MInstr::VB, O ? O->B : -1);
     addUse(&MInstr::C, &MInstr::VC, O ? O->C : -1);
 
-    std::vector<int> Defs = minstrDefs(I);
+    RegList Defs;
+    minstrDefs(I, Defs);
     if (!Defs.empty() && isVirtReg(Defs[0]) && !mopIsCall(I.Op)) {
       W.Def = varId(I.A);
       W.DefPref = Anchor && O && isPhysReg(O->A) ? O->A : -1;
@@ -419,7 +422,8 @@ UccAllocStats ucc::allocateUcc(MachineFunction &MF, const UccContext &Ctx,
   }
 
   memoryHomeAcrossCalls(MF);
-  std::vector<Flat> OldLin = flatten(*Ctx.OldFinal);
+  Arena Scratch;
+  FlatList OldLin = flatten(*Ctx.OldFinal, Scratch);
 
   for (int Round = 0; Round < 32; ++Round) {
     // Per-round statistics; a spill restarts the round from scratch.
@@ -429,12 +433,12 @@ UccAllocStats ucc::allocateUcc(MachineFunction &MF, const UccContext &Ctx,
     Stats.InsertedMovs = 0;
 
     IntervalAnalysis IA = analyzeIntervals(MF);
-    std::vector<Flat> NewLin = flatten(MF);
+    FlatList NewLin = flatten(MF, Scratch);
     size_t OldN = OldLin.size(), NewN = NewLin.size();
     Stats.TotalInstrs = static_cast<int>(NewN);
 
     // --- Alignment (skip pathological sizes; everything becomes changed).
-    std::vector<int> MatchedOld(NewN, -1);
+    IntList MatchedOld(NewN, -1, ArenaAllocator<int>(Scratch));
     if (OldN * NewN <= 25'000'000) {
       auto Matches = lcsAlign(OldN, NewN, [&](size_t I, size_t J) {
         return instrsSimilar(*OldLin[I].I, OldLin[I].Block, *Ctx.OldFinal,
@@ -446,7 +450,7 @@ UccAllocStats ucc::allocateUcc(MachineFunction &MF, const UccContext &Ctx,
 
     // --- Chunking with threshold K (section 3.2): unchanged runs shorter
     // than K are folded into the surrounding changed chunk.
-    std::vector<bool> InChangedChunk(NewN, false);
+    BoolList InChangedChunk(NewN, false, ArenaAllocator<bool>(Scratch));
     {
       size_t J = 0;
       while (J < NewN) {
@@ -518,7 +522,9 @@ UccAllocStats ucc::allocateUcc(MachineFunction &MF, const UccContext &Ctx,
       slot(N.A, O ? O->A : -1);
       slot(N.B, O ? O->B : -1);
       slot(N.C, O ? O->C : -1);
-      for (int D : minstrDefs(N))
+      RegList NDefs;
+      minstrDefs(N, NDefs);
+      for (int D : NDefs)
         if (isVirtReg(D))
           infoFor(D).DefPositions.push_back(static_cast<int>(J));
     }
@@ -712,9 +718,11 @@ UccAllocStats ucc::allocateUcc(MachineFunction &MF, const UccContext &Ctx,
       for (const auto &[Idx, Mov] : List)
         MF.Blocks[B].Instrs.insert(MF.Blocks[B].Instrs.begin() + Idx, Mov);
     }
+    Stats.ArenaBytes = static_cast<int64_t>(Scratch.bytesAllocated());
     return Stats;
   }
 
   assert(false && "UCC-RA failed to converge");
+  Stats.ArenaBytes = static_cast<int64_t>(Scratch.bytesAllocated());
   return Stats;
 }

@@ -33,6 +33,7 @@
 #include "codegen/MachineIR.h"
 #include "core/Record.h"
 #include "regalloc/LinearScan.h"
+#include "support/Interner.h"
 
 #include <cstdint>
 #include <string>
@@ -78,15 +79,20 @@ struct UccAllocStats {
   int SpilledVRegs = 0;
   bool UsedIlp = false;
   int64_t IlpPivots = 0;
+  /// Scratch bytes drawn from the per-run bump arena (deterministic for a
+  /// given input; surfaced as the `compile.arena_bytes` gauge).
+  int64_t ArenaBytes = 0;
 };
 
 /// Context resolving symbol identities across the two program versions.
+/// Name tables are interned (support/Interner.h): the alignment inner loop
+/// compares symbols — plain integers — instead of strings.
 struct UccContext {
   const MachineFunction *OldFinal = nullptr; ///< null = new function
-  const std::vector<std::string> *OldGlobalNames = nullptr;
-  const std::vector<std::string> *OldFunctionNames = nullptr;
-  const std::vector<std::string> *NewGlobalNames = nullptr;
-  const std::vector<std::string> *NewFunctionNames = nullptr;
+  const SymbolTable *OldGlobalNames = nullptr;
+  const SymbolTable *OldFunctionNames = nullptr;
+  const SymbolTable *NewGlobalNames = nullptr;
+  const SymbolTable *NewFunctionNames = nullptr;
 };
 
 /// Runs UCC-RA on \p MF in place (same postcondition as

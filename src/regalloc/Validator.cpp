@@ -38,14 +38,10 @@ std::string describeHolding(int Holding) {
 /// uses are reported; the state is updated in place either way.
 void walkBlock(const MachineFunction &MF, const MBlock &BB, RegState &State,
                std::vector<std::string> *Problems) {
+  RegList Uses, Defs;
   for (const MInstr &I : BB.Instrs) {
-    std::vector<int> Uses = minstrUses(I);
-    auto slotUsed = [&](int Reg) {
-      for (int U : Uses)
-        if (U == Reg)
-          return true;
-      return false;
-    };
+    minstrUses(I, Uses);
+    auto slotUsed = [&](int Reg) { return Uses.contains(Reg); };
     auto checkUse = [&](int Reg, int Vreg) {
       if (!Problems || Vreg < 0 || Reg < 0 || !isPhysReg(Reg))
         return;
@@ -68,7 +64,8 @@ void walkBlock(const MachineFunction &MF, const MBlock &BB, RegState &State,
         State[static_cast<size_t>(R)] = Opaque;
       continue;
     }
-    for (int D : minstrDefs(I))
+    minstrDefs(I, Defs);
+    for (int D : Defs)
       if (isPhysReg(D)) // slot A is the only register-def slot
         State[static_cast<size_t>(D)] = I.VA >= 0 ? I.VA : Opaque;
   }

@@ -162,7 +162,8 @@ struct PlanService::Cache {
 };
 
 PlanService::PlanService(VersionStore S, PlanServiceOptions O)
-    : Store(std::move(S)), C(std::make_unique<Cache>()), Opts(O) {
+    : Store(std::move(S)), FnCache(std::make_unique<CompileCache>()),
+      C(std::make_unique<Cache>()), Opts(O) {
   auto Initial = std::make_shared<Snapshot>();
   for (const StoredVersion &V : Store.versions()) {
     Initial->Versions.push_back(std::make_shared<const StoredVersion>(V));
@@ -337,9 +338,12 @@ int PlanService::commit(const std::string &Source,
   RequestTrace Trace;
   ScopedSpan Span("serve.commit");
   std::lock_guard<std::mutex> Guard(CommitLock);
+  CompileOptions Effective = CompileOpts;
+  if (!Effective.Cache)
+    Effective.Cache = FnCache.get();
   int Id = (Store.size() == 0 && ParentId < 0)
-               ? Store.addInitial(Source, CompileOpts, Diag)
-               : Store.addUpdate(Source, CompileOpts, Diag, ParentId);
+               ? Store.addInitial(Source, Effective, Diag)
+               : Store.addUpdate(Source, Effective, Diag, ParentId);
   if (Id < 0)
     return -1;
 
@@ -355,6 +359,10 @@ int PlanService::commit(const std::string &Source,
   NCommits.fetch_add(1, std::memory_order_relaxed);
   telemetryCount("serve.commits");
   return Id;
+}
+
+CompileCacheStats PlanService::compileCacheStats() const {
+  return FnCache->stats();
 }
 
 size_t PlanService::versionCount() const { return snapshot()->Versions.size(); }

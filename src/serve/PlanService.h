@@ -109,8 +109,15 @@ public:
   /// empty, addUpdate against \p ParentId or the tip otherwise), then
   /// publishes a new snapshot. In-flight plan() calls keep reading the old
   /// snapshot; later calls see the new version. Returns the id, or -1.
+  /// Unless \p Opts carries its own CompileCache, the service's
+  /// function-level compile cache serves the back half, so commits that
+  /// touch few functions skip isel -> RA for the rest (byte-identical
+  /// results either way).
   int commit(const std::string &Source, const CompileOptions &Opts,
              DiagnosticEngine &Diag, int ParentId = -1);
+
+  /// Accounting for the service's function-level compile cache.
+  CompileCacheStats compileCacheStats() const;
 
   /// Versions visible to plan() right now (the snapshot, not the store).
   size_t versionCount() const;
@@ -147,6 +154,9 @@ private:
 
   VersionStore Store; ///< guarded by CommitLock
   std::mutex CommitLock;
+  /// Function-level compile cache shared by every commit (internally
+  /// synchronized; see core/CompileCache.h).
+  std::unique_ptr<CompileCache> FnCache;
   std::atomic<std::shared_ptr<const Snapshot>> Snap;
   std::unique_ptr<Cache> C; ///< internally synchronized
   PlanServiceOptions Opts;

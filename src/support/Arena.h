@@ -1,0 +1,139 @@
+//===- support/Arena.h - bump-pointer arena for short-lived scratch -------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena for short-lived IR/MIR temporaries on the compile
+/// hot path. Allocation is a pointer bump; deallocation is a no-op and the
+/// whole arena is released at once when it is destroyed (or recycled with
+/// `reset`). `ArenaAllocator<T>` adapts it to the standard allocator
+/// interface so `std::vector`s of per-round scratch (flattened instruction
+/// lists, match tables, chunk masks) can live in it; `ArenaVector<T>` is
+/// the convenience alias. The arena is single-threaded by design — the
+/// compile pipeline gives each `parallelFor` item its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_SUPPORT_ARENA_H
+#define UCC_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ucc {
+
+/// Bump-pointer arena. Grows by doubling slabs (starting at 4 KiB) and
+/// never returns memory until `reset()` or destruction.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Bytes with the given power-of-two \p Align.
+  void *allocate(size_t Bytes, size_t Align = alignof(std::max_align_t)) {
+    if (Bytes == 0)
+      Bytes = 1;
+    uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+    uintptr_t Aligned = (P + (Align - 1)) & ~static_cast<uintptr_t>(Align - 1);
+    if (Aligned + Bytes > reinterpret_cast<uintptr_t>(End)) {
+      grow(Bytes + Align);
+      P = reinterpret_cast<uintptr_t>(Cur);
+      Aligned = (P + (Align - 1)) & ~static_cast<uintptr_t>(Align - 1);
+    }
+    Cur = reinterpret_cast<char *>(Aligned + Bytes);
+    Used += (Aligned + Bytes) - P;
+    return reinterpret_cast<void *>(Aligned);
+  }
+
+  /// Recycles every slab: subsequent allocations reuse the first slab.
+  /// Anything previously allocated from the arena is dead after this.
+  void reset() {
+    if (Slabs.size() > 1)
+      Slabs.resize(1);
+    if (!Slabs.empty()) {
+      Cur = Slabs.front().Data.get();
+      End = Cur + Slabs.front().Size;
+    }
+    Used = 0;
+  }
+
+  /// Total bytes handed out since construction/reset (including alignment
+  /// padding) — the number behind the `compile.arena_bytes` gauge.
+  size_t bytesAllocated() const { return Used; }
+
+  /// Total bytes reserved from the system across all slabs.
+  size_t bytesReserved() const {
+    size_t N = 0;
+    for (const Slab &S : Slabs)
+      N += S.Size;
+    return N;
+  }
+
+private:
+  struct Slab {
+    std::unique_ptr<char[]> Data;
+    size_t Size = 0;
+  };
+
+  void grow(size_t AtLeast) {
+    size_t Size = Slabs.empty() ? 4096 : Slabs.back().Size * 2;
+    while (Size < AtLeast)
+      Size *= 2;
+    Slab S;
+    S.Data = std::make_unique<char[]>(Size);
+    S.Size = Size;
+    Cur = S.Data.get();
+    End = Cur + Size;
+    Slabs.push_back(std::move(S));
+  }
+
+  std::vector<Slab> Slabs;
+  char *Cur = nullptr;
+  char *End = nullptr;
+  size_t Used = 0;
+};
+
+/// Standard-allocator adapter over an `Arena`. Deallocation is a no-op;
+/// containers using it must not outlive the arena.
+template <typename T> class ArenaAllocator {
+public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena &A) : A(&A) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U> &Other) : A(Other.arena()) {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(A->allocate(N * sizeof(T), alignof(T)));
+  }
+  void deallocate(T *, size_t) {}
+
+  Arena *arena() const { return A; }
+
+  template <typename U> bool operator==(const ArenaAllocator<U> &O) const {
+    return A == O.arena();
+  }
+  template <typename U> bool operator!=(const ArenaAllocator<U> &O) const {
+    return A != O.arena();
+  }
+
+private:
+  Arena *A;
+};
+
+/// A vector whose storage lives in an arena.
+template <typename T> using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+/// Convenience constructor: `auto V = makeArenaVector<int>(A);`.
+template <typename T> ArenaVector<T> makeArenaVector(Arena &A) {
+  return ArenaVector<T>(ArenaAllocator<T>(A));
+}
+
+} // namespace ucc
+
+#endif // UCC_SUPPORT_ARENA_H

@@ -1,0 +1,23 @@
+//===- support/Interner.cpp - process-global string interning -------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interner.h"
+
+using namespace ucc;
+
+StringInterner &StringInterner::global() {
+  static StringInterner SI;
+  return SI;
+}
+
+SymbolTable ucc::internNames(StringInterner &SI,
+                             const std::vector<std::string> &Names) {
+  SymbolTable Table;
+  Table.reserve(Names.size());
+  for (const std::string &N : Names)
+    Table.push_back(SI.intern(N));
+  return Table;
+}

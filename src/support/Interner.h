@@ -1,0 +1,115 @@
+//===- support/Interner.h - process-wide string interner ------------------===//
+//
+// Part of the UCC reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe string interner for symbol names (function, global, and
+/// frame-object names). Interning maps each distinct string to a small
+/// dense `Symbol` id; equal strings always intern to the same id for the
+/// lifetime of the process, so cross-version name comparisons — the inner
+/// loop of `instrsSimilar` during UCC register allocation — become integer
+/// compares, and the per-commit `NewGlobalNames`/`NewFunctionNames` string
+/// rebuilds in the compiler back half collapse to symbol-table lookups
+/// with no string copies.
+///
+/// Ids are process-global and NOT stable across processes: never persist
+/// them. Persisted artifacts (records, images) keep storing the strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef UCC_SUPPORT_INTERNER_H
+#define UCC_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ucc {
+
+/// A dense id for an interned string. Two symbols from the same interner
+/// compare equal iff the underlying strings are equal.
+using Symbol = uint32_t;
+
+/// Thread-safe append-only string interner. Strings are stored once in
+/// stable storage; `text()` views stay valid for the interner's lifetime.
+class StringInterner {
+public:
+  /// Interns \p S, returning its stable id.
+  Symbol intern(std::string_view S) {
+    std::lock_guard<std::mutex> Guard(Lock);
+    auto It = Ids.find(S);
+    if (It != Ids.end())
+      return It->second;
+    Strings.push_back(std::string(S));
+    Symbol Id = static_cast<Symbol>(Strings.size() - 1);
+    // Key the map by a view into the stable storage so lookups never copy.
+    Ids.emplace(std::string_view(Strings.back()), Id);
+    return Id;
+  }
+
+  /// The text behind \p Id. Valid for the interner's lifetime.
+  std::string_view text(Symbol Id) const {
+    std::lock_guard<std::mutex> Guard(Lock);
+    return Strings[static_cast<size_t>(Id)];
+  }
+
+  /// Number of distinct strings interned so far.
+  size_t size() const {
+    std::lock_guard<std::mutex> Guard(Lock);
+    return Strings.size();
+  }
+
+  /// The process-wide interner used by the compile pipeline.
+  static StringInterner &global();
+
+private:
+  /// Stable string storage: the vector holds owning pointers so interned
+  /// views never move when the vector grows.
+  class StableStrings {
+  public:
+    void push_back(std::string S) {
+      Items.push_back(std::make_unique<std::string>(std::move(S)));
+    }
+    const std::string &back() const { return *Items.back(); }
+    const std::string &operator[](size_t I) const { return *Items[I]; }
+    size_t size() const { return Items.size(); }
+
+  private:
+    std::vector<std::unique_ptr<std::string>> Items;
+  };
+
+  struct ViewHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>()(S);
+    }
+  };
+  struct ViewEq {
+    using is_transparent = void;
+    bool operator()(std::string_view A, std::string_view B) const {
+      return A == B;
+    }
+  };
+
+  mutable std::mutex Lock;
+  StableStrings Strings;
+  std::unordered_map<std::string_view, Symbol, ViewHash, ViewEq> Ids;
+};
+
+/// A module's name table as interned symbols (index-aligned with the
+/// string table it was built from).
+using SymbolTable = std::vector<Symbol>;
+
+/// Interns every name in \p Names (in order) into \p SI.
+SymbolTable internNames(StringInterner &SI,
+                        const std::vector<std::string> &Names);
+
+} // namespace ucc
+
+#endif // UCC_SUPPORT_INTERNER_H

@@ -152,6 +152,9 @@ void Telemetry::declareStandardCounters() {
       "ra.spilled_vregs", "ra.ilp_windows", "ra.ilp_binaries",
       "ra.ilp_constraints", "ra.window_cache_hits",
       "ra.window_cache_misses",
+      // compile: the incremental-recompilation cache (core/CompileCache).
+      "compile.cache_hits", "compile.cache_misses",
+      "compile.cache_evictions",
       // da: UCC-DA (section 4).
       "da.regions", "da.holes_filled", "da.hole_words", "da.relocated_vars",
       "da.region_words",

@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/CompileCache.h"
 #include "core/Compiler.h"
 #include "core/VersionStore.h"
 #include "diff/ImageDiff.h"
@@ -73,6 +74,49 @@ TEST(JobsDeterminism, UpdateCasesBitIdenticalAcrossJobs) {
     EXPECT_EQ(Script1.serialize(), Script8.serialize())
         << "case " << Case.Id << " (" << Case.Description
         << "): edit script differs across job counts";
+  }
+}
+
+TEST(JobsDeterminism, UpdateCasesBitIdenticalAcrossJobsAndCache) {
+  // The full jobs x cache sweep: the function-level compile cache is an
+  // optimization, never a different pipeline. Every configuration must
+  // produce byte-identical images and edit scripts.
+  for (const UpdateCase &Case : updateCases()) {
+    if (Case.Id > 4)
+      break;
+
+    std::vector<uint8_t> RefImage, RefScript;
+    bool HaveRef = false;
+    for (int Jobs : {1, 8}) {
+      for (bool Cached : {false, true}) {
+        CompileCache Cache;
+        CompileOptions Opts = uccOptions(Jobs);
+        if (Cached)
+          Opts.Cache = &Cache;
+
+        CompileOutput Old = mustCompile(Case.OldSource, Opts);
+        CompileOutput New =
+            mustRecompile(Case.NewSource, Old.Record, Opts);
+        std::vector<uint8_t> Image = New.Image.serialize();
+        std::vector<uint8_t> Script =
+            makeImageUpdate(Old.Image, New.Image).serialize();
+
+        if (!HaveRef) {
+          RefImage = std::move(Image);
+          RefScript = std::move(Script);
+          HaveRef = true;
+          continue;
+        }
+        EXPECT_EQ(Image, RefImage)
+            << "case " << Case.Id << ": jobs=" << Jobs << " cache="
+            << (Cached ? "on" : "off")
+            << " image differs from jobs=1 cache=off";
+        EXPECT_EQ(Script, RefScript)
+            << "case " << Case.Id << ": jobs=" << Jobs << " cache="
+            << (Cached ? "on" : "off")
+            << " edit script differs from jobs=1 cache=off";
+      }
+    }
   }
 }
 

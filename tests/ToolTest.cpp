@@ -577,12 +577,13 @@ TEST_F(ToolFixture, ServeBenchTracedBatchCrossesWorkerTracks) {
   // >=2-track assertion failed.
   std::string Trace = path("events.json");
   std::string Text;
-  std::set<double> FlowStartIds, FlowEndIds, EndTids;
+  std::set<double> FlowStartIds, FlowEndIds, EndTids, WorkerLabelTids;
   bool SawBatchSpan = false, SawPlanTraceArg = false;
   for (int Attempt = 0; Attempt < 5 && EndTids.size() < 2; ++Attempt) {
     FlowStartIds.clear();
     FlowEndIds.clear();
     EndTids.clear();
+    WorkerLabelTids.clear();
     SawBatchSpan = SawPlanTraceArg = false;
     ASSERT_EQ(uccc("serve-bench" + Store +
                    " --requests 64 --batch 16 --jobs 4 --trace-events " +
@@ -610,6 +611,13 @@ TEST_F(ToolFixture, ServeBenchTracedBatchCrossesWorkerTracks) {
         if (Args && Args->get("trace"))
           SawPlanTraceArg = true;
       }
+      if (Name == "thread_name" && Ph == "M") {
+        const testjson::Value *Args = E->get("args");
+        const testjson::Value *Tid = E->get("tid");
+        if (Tid && Args && Args->get("name") &&
+            Args->get("name")->Str.rfind("worker ", 0) == 0)
+          WorkerLabelTids.insert(Tid->Num);
+      }
     }
   }
   EXPECT_TRUE(SawBatchSpan) << Text.substr(0, 2000);
@@ -619,8 +627,13 @@ TEST_F(ToolFixture, ServeBenchTracedBatchCrossesWorkerTracks) {
   EXPECT_EQ(FlowStartIds, FlowEndIds) << "every fan-out arrow must land";
   EXPECT_GE(EndTids.size(), 2u)
       << "64 requests over 4 workers must span >=2 worker tracks";
-  EXPECT_NE(Text.find("\"worker 0\""), std::string::npos)
-      << "worker tracks must be labeled for Perfetto";
+  // Which workers claim items is pure scheduling (under TSan the spawned
+  // threads can drain a whole batch before the caller's own Work() call
+  // gets a turn), so assert the labeling contract itself: every track a
+  // fan-out arrow landed on carries a "worker N" thread_name row.
+  for (double Tid : EndTids)
+    EXPECT_TRUE(WorkerLabelTids.count(Tid))
+        << "worker track " << Tid << " must be labeled for Perfetto";
 }
 
 TEST_F(ToolFixture, MonitorAndMetricsFlagDiagnostics) {

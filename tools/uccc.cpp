@@ -384,6 +384,11 @@ int cmdUpdate(Args &A) {
   CompilationRecord OldRec = loadRecord(RecPath);
   BinaryImage OldImg = loadImage(ImgPath);
 
+  // Route the recompile through a function-level compile cache so --stats
+  // surfaces the compile.cache_* counters (results are byte-identical).
+  CompileCache FnCache;
+  Opts.Cache = &FnCache;
+
   DiagnosticEngine Diag;
   auto Out = Compiler::recompile(readTextFile(Src), OldRec, Opts, Diag);
   if (!Out) {
@@ -540,6 +545,10 @@ int cmdCommit(Args &A) {
   VersionStore Store = openStoreOrDie(StoreDir);
 
   std::string Source = readTextFile(Src);
+  // Route the commit through a function-level compile cache so --stats
+  // surfaces the compile.cache_* counters (results are byte-identical).
+  CompileCache FnCache;
+  Opts.Cache = &FnCache;
   DiagnosticEngine Diag;
   int Id;
   if (Store.size() == 0) {
@@ -1040,6 +1049,14 @@ void renderMonitor(const std::string &Path,
               monitorField(Last, "counters", "serve.precomputed"),
               monitorField(Last, "counters", "serve.batches"),
               monitorField(Last, "counters", "serve.commits"));
+  double CHits = monitorField(Last, "counters", "compile.cache_hits");
+  double CMisses = monitorField(Last, "counters", "compile.cache_misses");
+  if (CHits + CMisses > 0.0)
+    std::printf("  recompile   %5.1f%% hit rate  hits %.0f  misses %.0f  "
+                "evictions %.0f  arena %.0f bytes\n",
+                100.0 * CHits / (CHits + CMisses), CHits, CMisses,
+                monitorField(Last, "counters", "compile.cache_evictions"),
+                monitorField(Last, "gauges", "compile.arena_bytes"));
   if (const json::Value *G = Last.find("gauges"))
     if (G->find("net.campaign_joules"))
       std::printf("  energy      %.6f J across %.0f campaign(s)\n",
@@ -1113,6 +1130,26 @@ void printStats(const Telemetry &T) {
                   static_cast<long long>(Value));
   for (const auto &[Name, Value] : T.gauges())
     std::printf("%-32s %g\n", Name.c_str(), Value);
+
+  // One-line incremental-recompilation summary (core/CompileCache),
+  // printed only when a compile cache actually ran this command.
+  long long CacheHits = 0, CacheMisses = 0, CacheEvictions = 0;
+  for (const auto &[Name, Value] : T.counters()) {
+    if (Name == "compile.cache_hits")
+      CacheHits = static_cast<long long>(Value);
+    else if (Name == "compile.cache_misses")
+      CacheMisses = static_cast<long long>(Value);
+    else if (Name == "compile.cache_evictions")
+      CacheEvictions = static_cast<long long>(Value);
+  }
+  double ArenaBytes = 0.0;
+  for (const auto &[Name, Value] : T.gauges())
+    if (Name == "compile.arena_bytes")
+      ArenaBytes = Value;
+  if (CacheHits + CacheMisses > 0)
+    std::printf("compile cache: %lld hit(s), %lld miss(es), %lld "
+                "eviction(s), arena %.0f bytes\n",
+                CacheHits, CacheMisses, CacheEvictions, ArenaBytes);
 }
 
 int dispatch(const std::string &Cmd, Args &A) {
