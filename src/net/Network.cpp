@@ -15,10 +15,17 @@
 /// per-node cumulative `energy/node<N>` samples, and a per-round
 /// `net.progress` counter (nodes reached so far).
 ///
+/// `disseminate()` is a facade: the round loop lives on verbatim as
+/// `disseminateRounds()` (the oracle), while the facade runs the
+/// discrete-event engine's legacy-compat schedule (net/EventSim.h) which
+/// reproduces the loop bit for bit. The campaign layer is engine-agnostic
+/// and goes through the facade.
+///
 //===----------------------------------------------------------------------===//
 
 #include "net/Network.h"
 
+#include "net/EventSim.h"
 #include "support/Format.h"
 #include "support/RNG.h"
 #include "support/Telemetry.h"
@@ -29,6 +36,36 @@
 #include <optional>
 
 using namespace ucc;
+
+// Clamped accessors behind PacketFormat: a misconfigured format must not
+// divide by zero (or produce negative counts) in the middle of a flood.
+static int clampedPayload(const PacketFormat &Fmt) {
+  if (Fmt.PayloadBytes > 0)
+    return Fmt.PayloadBytes;
+  if (Telemetry *Tel = currentTelemetry())
+    Tel->addCounter("net.bad_packet_format");
+  return 1;
+}
+
+static int clampedHeader(const PacketFormat &Fmt) {
+  if (Fmt.HeaderBytes >= 0)
+    return Fmt.HeaderBytes;
+  if (Telemetry *Tel = currentTelemetry())
+    Tel->addCounter("net.bad_packet_format");
+  return 0;
+}
+
+int PacketFormat::packetsFor(size_t ScriptBytes) const {
+  if (ScriptBytes == 0)
+    return 0;
+  size_t Payload = static_cast<size_t>(clampedPayload(*this));
+  return static_cast<int>((ScriptBytes + Payload - 1) / Payload);
+}
+
+size_t PacketFormat::bytesOnAir(size_t ScriptBytes) const {
+  return ScriptBytes + static_cast<size_t>(packetsFor(ScriptBytes)) *
+                           static_cast<size_t>(clampedHeader(*this));
+}
 
 Topology Topology::line(int N) {
   assert(N > 0 && "line topology needs at least one node");
@@ -103,6 +140,16 @@ DisseminationResult ucc::disseminate(const Topology &T, size_t ScriptBytes,
                                      const PacketFormat &Fmt,
                                      const Mica2Power &Power,
                                      const RadioChannel &Channel) {
+  // The event engine's compat schedule replays the round loop below bit
+  // for bit (oracle-checked in tests/FleetSimTest.cpp).
+  return detail::disseminateEventCompat(T, ScriptBytes, Fmt, Power, Channel);
+}
+
+DisseminationResult ucc::disseminateRounds(const Topology &T,
+                                           size_t ScriptBytes,
+                                           const PacketFormat &Fmt,
+                                           const Mica2Power &Power,
+                                           const RadioChannel &Channel) {
   ScopedSpan Span("net");
   DisseminationResult R;
   R.Packets = Fmt.packetsFor(ScriptBytes);

@@ -45,22 +45,18 @@ struct Topology {
 
 /// Packetization parameters (section 2.2: scripts are divided into packets
 /// that may be grouped/encrypted; we model size and count).
+///
+/// Invalid formats never reach the division below: a non-positive
+/// PayloadBytes is clamped to 1 and a negative HeaderBytes to 0, and each
+/// clamped call bumps the `net.bad_packet_format` counter so a
+/// misconfigured caller is visible in telemetry instead of crashing (or
+/// silently returning a negative packet count).
 struct PacketFormat {
   int HeaderBytes = 8;
   int PayloadBytes = 24;
 
-  int packetsFor(size_t ScriptBytes) const {
-    if (ScriptBytes == 0)
-      return 0;
-    return static_cast<int>((ScriptBytes + PayloadBytes - 1) /
-                            static_cast<size_t>(PayloadBytes));
-  }
-
-  size_t bytesOnAir(size_t ScriptBytes) const {
-    return ScriptBytes +
-           static_cast<size_t>(packetsFor(ScriptBytes)) *
-               static_cast<size_t>(HeaderBytes);
-  }
+  int packetsFor(size_t ScriptBytes) const;
+  size_t bytesOnAir(size_t ScriptBytes) const;
 };
 
 /// Link quality (section 2.2 notes transmitting more data "increases the
@@ -90,10 +86,25 @@ struct DisseminationResult {
 };
 
 /// Floods a script of \p ScriptBytes from the sink across \p T.
+///
+/// A facade over the discrete-event engine's legacy-compat schedule
+/// (net/EventSim.h): results — packets, hops, joules, retransmissions,
+/// trace events — are bit-identical to the seed round-based engine for
+/// every channel, seed and topology. Callers that want the full radio
+/// model (per-link loss, contention, duty cycling) use simulateFlood().
 DisseminationResult disseminate(const Topology &T, size_t ScriptBytes,
                                 const PacketFormat &Fmt = PacketFormat(),
                                 const Mica2Power &Power = Mica2Power(),
                                 const RadioChannel &Channel = RadioChannel());
+
+/// The seed round-based engine (one BFS level per round over an ideal
+/// air), kept verbatim as the oracle the event engine is checked against
+/// in tests. Behavior and telemetry are identical to disseminate().
+DisseminationResult
+disseminateRounds(const Topology &T, size_t ScriptBytes,
+                  const PacketFormat &Fmt = PacketFormat(),
+                  const Mica2Power &Power = Mica2Power(),
+                  const RadioChannel &Channel = RadioChannel());
 
 //===----------------------------------------------------------------------===//
 // Fleet update campaigns

@@ -176,7 +176,12 @@ void Telemetry::declareStandardCounters() {
       // net: multi-hop dissemination (section 2.2).
       "net.floods", "net.packets", "net.bytes_on_air", "net.transmitters",
       "net.retransmissions", "net.failed_packets", "net.campaigns",
-      "net.cohorts"};
+      "net.cohorts", "net.bad_packet_format",
+      // net.event: the discrete-event fleet simulator (net/EventSim).
+      "net.event.processed", "net.event.batches",
+      "net.event.parallel_batches", "net.collisions", "net.backoffs",
+      "net.sleep.defers", "net.sleep.misses", "net.overheard",
+      "net.beacons", "net.requests", "net.nodes_incomplete"};
   for (const char *Name : Standard)
     declareCounter(Name);
 }

@@ -39,6 +39,31 @@ TEST(Campaign, GroupsNodesByDeployedVersion) {
   EXPECT_EQ(R.Cohorts[1].ScriptBytes, 40u);
 }
 
+TEST(Campaign, StaleVersionsAllCurrentIsEmpty) {
+  // Every non-sink node already runs the target.
+  EXPECT_TRUE(staleVersions({7, 3, 3, 3, 3}, 3).empty());
+  // Single-node fleet: only the sink, nothing to plan.
+  EXPECT_TRUE(staleVersions({0}, 5).empty());
+  // Empty fleet.
+  EXPECT_TRUE(staleVersions({}, 5).empty());
+}
+
+TEST(Campaign, StaleVersionsAllStaleListsEachVersionOnce) {
+  // Node 0 (the sink, running 9) is skipped even though 9 != target.
+  std::vector<int> Stale = staleVersions({9, 2, 0, 2, 1, 0}, 3);
+  EXPECT_EQ(Stale, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Campaign, StaleVersionsSinkOnlyFleetIgnoresTheSink) {
+  // The sink's own (stale-looking) version never forms a cohort, matching
+  // runUpdateCampaign's grouping.
+  std::vector<int> Versions = {0, 4, 4};
+  EXPECT_EQ(staleVersions(Versions, 4), std::vector<int>{});
+  CampaignResult R = runUpdateCampaign(Topology::line(3), Versions, 4,
+                                       fakeBytes);
+  EXPECT_TRUE(R.Cohorts.empty());
+}
+
 TEST(Campaign, AllNodesCurrentMeansNoFloods) {
   Topology T = Topology::star(5);
   std::vector<int> Versions(5, 3);

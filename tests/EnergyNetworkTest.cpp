@@ -2,10 +2,12 @@
 
 #include "energy/EnergyModel.h"
 #include "net/Network.h"
+#include "support/Telemetry.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 using namespace ucc;
 
@@ -167,6 +169,85 @@ TEST(Network, DisconnectedNodesSpendNothing) {
   T.Neighbors = {{1}, {0}, {}}; // node 2 unreachable
   DisseminationResult R = disseminate(T, 64);
   EXPECT_EQ(R.PerNodeJoules[2], 0.0);
+}
+
+TEST(Network, HopDistancesMarkDisconnectedComponents) {
+  Topology T;
+  T.NumNodes = 6;
+  // 0-1-2 reachable; 3-4 an island; 5 fully isolated.
+  T.Neighbors = {{1}, {0, 2}, {1}, {4}, {3}, {}};
+  std::vector<int> Dist = T.hopDistances();
+  EXPECT_EQ(Dist, (std::vector<int>{0, 1, 2, -1, -1, -1}));
+}
+
+TEST(Network, HopDistancesOnEmptyTopology) {
+  Topology T;
+  EXPECT_TRUE(T.hopDistances().empty());
+}
+
+// The satellite fix: a non-positive payload (or negative header) must not
+// divide by zero or fabricate negative packet counts — it clamps and
+// bumps net.bad_packet_format.
+TEST(Network, PacketFormatClampsInvalidSizes) {
+  Telemetry Tel;
+  TelemetryScope Scope(Tel);
+
+  PacketFormat ZeroPayload;
+  ZeroPayload.PayloadBytes = 0;
+  EXPECT_EQ(ZeroPayload.packetsFor(5), 5); // one byte per packet
+  EXPECT_EQ(Tel.counter("net.bad_packet_format"), 1);
+
+  PacketFormat NegativePayload;
+  NegativePayload.PayloadBytes = -24;
+  EXPECT_EQ(NegativePayload.packetsFor(3), 3);
+
+  PacketFormat NegativeHeader;
+  NegativeHeader.HeaderBytes = -8;
+  EXPECT_EQ(NegativeHeader.bytesOnAir(100), 100u); // header clamped to 0
+
+  // A valid format never touches the counter.
+  int64_t Before = Tel.counter("net.bad_packet_format");
+  PacketFormat Ok;
+  EXPECT_EQ(Ok.packetsFor(100), 5);
+  EXPECT_EQ(Tel.counter("net.bad_packet_format"), Before);
+
+  // And a flood over a broken format survives end to end.
+  DisseminationResult R =
+      disseminate(Topology::line(3), 64, ZeroPayload);
+  EXPECT_EQ(R.Packets, 64);
+  EXPECT_GT(R.totalJoules(), 0.0);
+}
+
+// Pins the MaxAttempts boundary semantics: a packet that exhausts its
+// attempt budget still counts every extra attempt in Retransmissions
+// (the sender spent that energy) *and* counts once in FailedPackets.
+TEST(Network, ExhaustedAttemptsCountInBothLedgers) {
+  RadioChannel Hopeless;
+  Hopeless.LossRate = 1.0;
+  Hopeless.MaxAttempts = 4;
+  DisseminationResult R = disseminate(Topology::line(2), 100, PacketFormat(),
+                                      Mica2Power(), Hopeless);
+  ASSERT_GT(R.Packets, 0);
+  // One transmitter; every packet burns all 4 attempts and fails.
+  EXPECT_EQ(R.Transmitters, 1);
+  EXPECT_EQ(R.Retransmissions, 3 * R.Packets);
+  EXPECT_EQ(R.FailedPackets, R.Packets);
+  // The energy ledger includes the failed attempts.
+  double PacketBits = static_cast<double>(R.BytesOnAir) * 8.0 / R.Packets;
+  EXPECT_DOUBLE_EQ(R.TotalTxJoules, PacketBits *
+                                        Mica2Power().radioTxEnergyPerBit() *
+                                        4.0 * R.Packets);
+}
+
+TEST(Network, SingleAttemptChannelNeverRetransmits) {
+  RadioChannel OneShot;
+  OneShot.LossRate = 1.0;
+  OneShot.MaxAttempts = 1;
+  DisseminationResult R = disseminate(Topology::line(2), 100, PacketFormat(),
+                                      Mica2Power(), OneShot);
+  // With a single attempt there are no retries to count, only failures.
+  EXPECT_EQ(R.Retransmissions, 0);
+  EXPECT_EQ(R.FailedPackets, R.Packets);
 }
 
 } // namespace
