@@ -6,14 +6,22 @@
 // the release just behind the head, a long tail lags several back, and a
 // sprinkling of arbitrary pairs models cross-version queries). Reports
 // cache-cold vs cache-warm plans/sec and p95 latency, batch throughput,
-// and — the correctness anchor — that every served plan is byte-identical
-// to the direct VersionStore::plan result. The bench hard-fails if the
-// cache-warm speedup drops below 5x cold or any plan diverges.
+// a closed-loop multi-threaded driver (`--threads`, default 8) swept
+// across shard counts {1,2,4,8} plus a same-shard adversarial mix, a
+// scan-thrash admission scenario, a TTL expiry scenario, and — the
+// correctness anchor — that every served plan is byte-identical to the
+// direct VersionStore::plan result, across shard counts, thread counts,
+// and cache on/off. The bench hard-fails if the cache-warm speedup drops
+// below 5x cold, the admission policy lets a one-pass scan thrash the
+// hot set, any plan diverges, or (on machines with at least 4 cores)
+// the contended 8-thread run fails to reach 3x plans/sec on 8 shards
+// over 1 — on smaller machines the scaling ratio is printed but the
+// gate is skipped, since there is no parallelism to measure.
 //
 // Wall-clock metrics carry the `_seconds` suffix so the baseline gate
 // skips them; everything else (request mix, hit/miss accounting, route
-// choices, script bytes, the scripted eviction scenario) is deterministic
-// for a given profile and regression-gated.
+// choices, script bytes, the scripted eviction/admission/TTL scenarios)
+// is deterministic for a given profile and regression-gated.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,9 +33,13 @@
 #include "support/RNG.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -129,6 +141,19 @@ double percentileUs(std::vector<double> Latencies, double Q) {
   return Latencies[At] * 1e6;
 }
 
+PlanServiceOptions serveOpts(size_t Capacity, size_t NumShards = 8) {
+  PlanServiceOptions Opts;
+  Opts.CacheCapacity = Capacity;
+  Opts.Shards = NumShards;
+  return Opts;
+}
+
+/// One closed-loop multi-threaded measurement.
+struct MtStats {
+  double PlansPerSec = 0;
+  double P95Us = 0;
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -138,8 +163,18 @@ int main(int Argc, char **Argv) {
   const int Requests = Bench.quick() ? 1500 : 12000;
   const int ColdRequests = Bench.quick() ? 40 : 150;
   const int WarmSeqRequests = Bench.quick() ? 1000 : 2000;
+  const int MtRequests = Bench.quick() ? 20000 : 60000;
   const int Head = Versions - 1;
   const double ZipfS = 1.2;
+
+  // The closed-loop driver's thread count (the harness ignores flags it
+  // does not know).
+  int Threads = 8;
+  for (int I = 1; I < Argc; ++I)
+    if (std::string(Argv[I]) == "--threads" && I + 1 < Argc)
+      Threads = std::atoi(Argv[I + 1]);
+  if (Threads < 1)
+    Threads = 1;
 
   std::printf("Plan service: %d releases, %d requests, zipf s=%.1f, "
               "target v%d\n\n",
@@ -148,8 +183,7 @@ int main(int Argc, char **Argv) {
   // Two identical chains: one stays a raw store (the byte-identity
   // reference), one becomes the service under test.
   VersionStore Reference = buildStore(Versions);
-  PlanService Service(buildStore(Versions),
-                      PlanServiceOptions{512});
+  PlanService Service(buildStore(Versions), serveOpts(512));
 
   // The request stream: Zipf-ranked stale versions against the head
   // (rank 1 = the release just behind it), plus every 7th request an
@@ -188,13 +222,42 @@ int main(int Argc, char **Argv) {
     if (std::find(Unique.begin(), Unique.end(), P) == Unique.end())
       Unique.push_back(P);
 
+  // The byte-identity oracle: the raw store's answer for every distinct
+  // pair the stream touches. Every serving configuration below — any
+  // shard count, thread count, cache on or off — must reproduce these
+  // bytes exactly.
+  std::map<std::pair<int, int>, std::vector<uint8_t>> RefBytes;
+  for (const auto &[From, To] : Unique) {
+    auto Direct = Reference.plan(From, To);
+    if (!Direct) {
+      std::fprintf(stderr, "bench_plan_service: reference plan failed\n");
+      return 1;
+    }
+    RefBytes[{From, To}] = Direct->Update.serialize();
+  }
+  auto verifyService = [&](const PlanService &Svc) {
+    int Bad = 0;
+    for (const auto &[From, To] : Unique) {
+      auto P = Svc.plan(From, To);
+      if (!P || P->Update.serialize() != RefBytes[{From, To}]) {
+        std::fprintf(stderr,
+                     "bench_plan_service: plan %d -> %d diverges from "
+                     "the direct store plan\n",
+                     From, To);
+        ++Bad;
+      }
+    }
+    return Bad;
+  };
+
   // --- Cache-cold: capacity 0 disables caching, every request pays the
   // full direct-diff + chain-compose planning cost.
   double ColdSeconds;
   double ColdP95Us;
   double ColdP99Us;
+  int Mismatches = 0;
   {
-    PlanService Cold(buildStore(Versions), PlanServiceOptions{0});
+    PlanService Cold(buildStore(Versions), serveOpts(0));
     std::vector<double> Latency;
     Latency.reserve(static_cast<size_t>(ColdRequests));
     auto Begin = std::chrono::steady_clock::now();
@@ -208,6 +271,7 @@ int main(int Argc, char **Argv) {
       }
       Latency.push_back(secondsSince(T0));
     }
+    Mismatches += verifyService(Cold); // byte identity with caching off
     ColdSeconds = secondsSince(Begin);
     ColdP95Us = percentileUs(Latency, 0.95);
     ColdP99Us = percentileUs(Latency, 0.99);
@@ -255,7 +319,7 @@ int main(int Argc, char **Argv) {
   Bench.sampleMetrics(); // phase boundary: warm sequential loop done
 
   auto BatchBegin = std::chrono::steady_clock::now();
-  std::vector<std::optional<UpdatePlan>> BatchPlans =
+  std::vector<std::shared_ptr<const UpdatePlan>> BatchPlans =
       Service.planBatch(Stream, Bench.jobs());
   double BatchSeconds = secondsSince(BatchBegin);
   double BatchPlansPerSec = Requests / BatchSeconds;
@@ -268,14 +332,11 @@ int main(int Argc, char **Argv) {
 
   // --- Byte identity: every distinct pair the stream touched, service vs
   // direct store. This is the acceptance anchor, so it hard-fails.
-  int Mismatches = 0;
   int ChainedRoutes = 0;
   size_t TotalScriptBytes = 0;
   for (const auto &[From, To] : Unique) {
     auto Served = Service.plan(From, To);
-    auto Direct = Reference.plan(From, To);
-    if (!Served || !Direct ||
-        Served->Update.serialize() != Direct->Update.serialize()) {
+    if (!Served || Served->Update.serialize() != RefBytes[{From, To}]) {
       std::fprintf(stderr,
                    "bench_plan_service: plan %d -> %d diverges from the "
                    "direct store plan\n",
@@ -288,12 +349,137 @@ int main(int Argc, char **Argv) {
       ++ChainedRoutes;
   }
 
+  // --- The contended multi-threaded scenarios: a closed loop (every
+  // thread grabs the next request as soon as it finishes the last) over
+  // the warm Zipf stream, swept across shard counts. Same request
+  // stream, same cache capacity — only the lock granularity changes.
+  auto runClosedLoop = [&](const PlanService &Svc,
+                           const std::vector<std::pair<int, int>> &Reqs) {
+    std::atomic<int> Next{0};
+    std::atomic<int> Failed{0};
+    std::vector<std::vector<double>> Lat(static_cast<size_t>(Threads));
+    auto Begin = std::chrono::steady_clock::now();
+    std::vector<std::thread> Pool;
+    Pool.reserve(static_cast<size_t>(Threads));
+    for (int T = 0; T < Threads; ++T)
+      Pool.emplace_back([&, T] {
+        std::vector<double> &My = Lat[static_cast<size_t>(T)];
+        My.reserve(static_cast<size_t>(MtRequests / Threads + 1));
+        for (;;) {
+          int K = Next.fetch_add(1, std::memory_order_relaxed);
+          if (K >= MtRequests)
+            return;
+          const auto &Req = Reqs[static_cast<size_t>(K) % Reqs.size()];
+          auto T0 = std::chrono::steady_clock::now();
+          if (!Svc.plan(Req.first, Req.second))
+            Failed.fetch_add(1, std::memory_order_relaxed);
+          My.push_back(secondsSince(T0));
+        }
+      });
+    for (std::thread &T : Pool)
+      T.join();
+    double Seconds = secondsSince(Begin);
+    if (Failed.load() != 0) {
+      std::fprintf(stderr,
+                   "bench_plan_service: multi-threaded plan failed\n");
+      std::exit(1);
+    }
+    std::vector<double> All;
+    All.reserve(static_cast<size_t>(MtRequests));
+    for (const std::vector<double> &L : Lat)
+      All.insert(All.end(), L.begin(), L.end());
+    MtStats R;
+    R.PlansPerSec = MtRequests / Seconds;
+    R.P95Us = percentileUs(All, 0.95);
+    return R;
+  };
+
+  std::map<size_t, MtStats> Sweep;
+  for (size_t NumShards : {size_t(1), size_t(2), size_t(4), size_t(8)}) {
+    PlanService Svc(buildStore(Versions), serveOpts(512, NumShards));
+    Svc.planBatch(Unique, Bench.jobs()); // warm every pair first
+    Sweep[NumShards] = runClosedLoop(Svc, Stream);
+    Mismatches += verifyService(Svc); // byte identity after contention
+  }
+  double ScalingX = Sweep[8].PlansPerSec / Sweep[1].PlansPerSec;
+  Bench.sampleMetrics(); // phase boundary: shard sweep done
+
+  // The adversarial mix: every request hashes into ONE of the 8 shards,
+  // so sharding buys nothing and the single hot lock is the ceiling.
+  MtStats SameShard;
+  size_t SameShardPairs = 0;
+  {
+    PlanService Svc(buildStore(Versions), serveOpts(512, 8));
+    Svc.planBatch(Unique, Bench.jobs());
+    std::vector<std::vector<std::pair<int, int>>> ByShard(
+        Svc.shardCount());
+    for (const auto &P : Unique)
+      if (auto Idx = Svc.shardIndex(P.first, P.second))
+        ByShard[*Idx].push_back(P);
+    const std::vector<std::pair<int, int>> *Crowded = &ByShard[0];
+    for (const std::vector<std::pair<int, int>> &Pairs : ByShard)
+      if (Pairs.size() > Crowded->size())
+        Crowded = &Pairs;
+    SameShardPairs = Crowded->size();
+    SameShard = runClosedLoop(Svc, *Crowded);
+    Mismatches += verifyService(Svc);
+  }
+  Bench.sampleMetrics(); // phase boundary: adversarial scenario done
+
+  // --- Scan-thrash: a hot pair of plans accessed repeatedly, then a
+  // one-pass scan over every other stale version. Classic LRU lets the
+  // scan evict the hot set (two extra misses when it returns); the
+  // frequency doorkeeper refuses the scan residency and keeps the hot
+  // set resident. Deterministic, so the gate pins all three counters.
+  uint64_t ScanHotMissesLru = 0, ScanHotMissesTinyLfu = 0,
+           ScanAdmissionRejects = 0;
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    PlanServiceOptions Opts = serveOpts(2, 1);
+    Opts.Admit = Pass ? PlanServiceOptions::Admission::Frequency
+                      : PlanServiceOptions::Admission::Always;
+    PlanService Svc(buildStore(Versions), Opts);
+    for (int K = 0; K < 3; ++K) {
+      Svc.plan(0, Head);
+      Svc.plan(1, Head);
+    }
+    for (int From = 2; From < Head; ++From)
+      Svc.plan(From, Head); // the scan
+    PlanServiceStats Mid = Svc.stats();
+    Svc.plan(0, Head);
+    Svc.plan(1, Head);
+    PlanServiceStats End = Svc.stats();
+    if (Pass) {
+      ScanHotMissesTinyLfu = End.Misses - Mid.Misses;
+      ScanAdmissionRejects = End.AdmissionRejects;
+    } else {
+      ScanHotMissesLru = End.Misses - Mid.Misses;
+    }
+  }
+
+  // --- TTL: on an injected clock, a cached plan older than the TTL is
+  // dropped at its next lookup and recomputed. One expiry, exactly.
+  uint64_t TtlExpired = 0;
+  {
+    double FakeNow = 0;
+    PlanServiceOptions Opts = serveOpts(8, 1);
+    Opts.TtlSeconds = 30;
+    Opts.Clock = [&FakeNow] { return FakeNow; };
+    PlanService Svc(buildStore(Versions), Opts);
+    Svc.plan(0, Head); // miss, stamped t=0
+    FakeNow = 10;
+    Svc.plan(0, Head); // fresh: hit
+    FakeNow = 45;
+    Svc.plan(0, Head); // expired: dropped and recomputed
+    TtlExpired = Svc.stats().TtlExpired;
+  }
+
   // --- A scripted eviction scenario the regression gate can pin: a
-  // capacity-2 cache walked through three pairs evicts the LRU pair, and
-  // that pair's return misses and evicts again — two evictions total.
+  // capacity-2 single-shard cache walked through three pairs evicts the
+  // LRU pair, and that pair's return misses and evicts again — two
+  // evictions total.
   uint64_t Cap2Evictions;
   {
-    PlanService Tiny(buildStore(Versions), PlanServiceOptions{2});
+    PlanService Tiny(buildStore(Versions), serveOpts(2, 1));
     Tiny.plan(0, Head);
     Tiny.plan(1, Head);
     Tiny.plan(2, Head); // evicts (0, Head)
@@ -318,6 +504,32 @@ int main(int Argc, char **Argv) {
   std::printf("measured hits/misses:        %llu / %llu\n",
               static_cast<unsigned long long>(MeasuredHits),
               static_cast<unsigned long long>(MeasuredMisses));
+
+  unsigned Cores = std::thread::hardware_concurrency();
+  bool EnforceScaling = Cores >= 4 && Threads >= 4;
+  std::printf("\nContended serving, %d threads, %d requests "
+              "(closed loop, warm cache):\n",
+              Threads, MtRequests);
+  std::printf("%-28s %12s %12s\n", "shards", "plans/sec", "p95 (us)");
+  for (const auto &[NumShards, R] : Sweep)
+    std::printf("%-28zu %12.0f %12.2f\n", NumShards, R.PlansPerSec,
+                R.P95Us);
+  std::printf("%-28s %12.0f %12.2f   (%zu pairs, one shard)\n",
+              "same-shard adversarial", SameShard.PlansPerSec,
+              SameShard.P95Us, SameShardPairs);
+  std::printf("shards=8 over shards=1:      %.2fx", ScalingX);
+  if (!EnforceScaling)
+    std::printf("   (3x gate skipped: %u core%s)", Cores,
+                Cores == 1 ? "" : "s");
+  std::printf("\n");
+
+  std::printf("\nadmission scan-thrash:       hot misses %llu (lru) vs "
+              "%llu (tinylfu), %llu scan rejects\n",
+              static_cast<unsigned long long>(ScanHotMissesLru),
+              static_cast<unsigned long long>(ScanHotMissesTinyLfu),
+              static_cast<unsigned long long>(ScanAdmissionRejects));
+  std::printf("ttl expirations:             %llu\n",
+              static_cast<unsigned long long>(TtlExpired));
   std::printf("capacity-2 evictions:        %llu\n",
               static_cast<unsigned long long>(Cap2Evictions));
   std::printf("byte-identical to store:     %s\n",
@@ -333,6 +545,26 @@ int main(int Argc, char **Argv) {
   Bench.metric("total_script_bytes",
                static_cast<double>(TotalScriptBytes));
   Bench.metric("cap2_evictions", static_cast<double>(Cap2Evictions));
+  Bench.metric("scan_hot_misses_lru",
+               static_cast<double>(ScanHotMissesLru));
+  Bench.metric("scan_hot_misses_tinylfu",
+               static_cast<double>(ScanHotMissesTinyLfu));
+  Bench.metric("scan_admission_rejects",
+               static_cast<double>(ScanAdmissionRejects));
+  Bench.metric("ttl_expired", static_cast<double>(TtlExpired));
+  Bench.metric("mt_threads", Threads);
+  Bench.metric("mt_same_shard_pairs",
+               static_cast<double>(SameShardPairs));
+  for (const auto &[NumShards, R] : Sweep) {
+    Bench.metric(format("mt_shards%zu_plans_per_sec_seconds", NumShards),
+                 R.PlansPerSec);
+    Bench.metric(format("mt_shards%zu_p95_us_seconds", NumShards),
+                 R.P95Us);
+  }
+  Bench.metric("mt_same_shard_plans_per_sec_seconds",
+               SameShard.PlansPerSec);
+  Bench.metric("mt_same_shard_p95_us_seconds", SameShard.P95Us);
+  Bench.metric("mt_scaling_shards8_over_1_x_seconds", ScalingX);
   Bench.metric("byte_identical", Mismatches == 0 ? 1.0 : 0.0);
   Bench.metric("cold_plans_per_sec_seconds", ColdPlansPerSec);
   Bench.metric("warm_plans_per_sec_seconds", WarmPlansPerSec);
@@ -352,6 +584,20 @@ int main(int Argc, char **Argv) {
                  "bench_plan_service: warm speedup %.1fx is below the "
                  "5x acceptance floor\n",
                  Speedup);
+    return 1;
+  }
+  if (ScanHotMissesTinyLfu != 0) {
+    std::fprintf(stderr,
+                 "bench_plan_service: the admission doorkeeper let a "
+                 "one-pass scan evict the hot set (%llu hot misses)\n",
+                 static_cast<unsigned long long>(ScanHotMissesTinyLfu));
+    return 1;
+  }
+  if (EnforceScaling && ScalingX < 3.0) {
+    std::fprintf(stderr,
+                 "bench_plan_service: contended %d-thread throughput on "
+                 "8 shards is only %.2fx the 1-shard cache (3x floor)\n",
+                 Threads, ScalingX);
     return 1;
   }
   return 0;

@@ -271,6 +271,26 @@ const StoredVersion *VersionStore::latest() const {
   return Versions.empty() ? nullptr : &Versions.back();
 }
 
+std::vector<int> VersionStore::children(int Id) const {
+  std::vector<int> Out;
+  for (const StoredVersion &V : Versions)
+    if (V.Parent == Id)
+      Out.push_back(V.Id);
+  return Out;
+}
+
+std::vector<int> VersionStore::tips() const {
+  std::vector<bool> HasChild(Versions.size(), false);
+  for (const StoredVersion &V : Versions)
+    if (V.Parent >= 0 && static_cast<size_t>(V.Parent) < Versions.size())
+      HasChild[static_cast<size_t>(V.Parent)] = true;
+  std::vector<int> Out;
+  for (const StoredVersion &V : Versions)
+    if (!HasChild[static_cast<size_t>(V.Id)])
+      Out.push_back(V.Id);
+  return Out;
+}
+
 std::optional<UpdatePlan> ucc::planBetweenVersions(
     const std::function<const StoredVersion *(int)> &Find, int FromId,
     int ToId) {
@@ -287,22 +307,56 @@ std::optional<UpdatePlan> ucc::planBetweenVersions(
   ImageUpdate Direct = makeImageUpdate(From->Image, To->Image);
   P.DirectBytes = Direct.scriptBytes();
 
-  // The chained route exists only when To descends from From: collect the
-  // parent path To -> ... -> From, then compose the per-step packages.
-  std::vector<int> Path;
-  for (int At = ToId; At != FromId && At >= 0; At = Find(At)->Parent)
-    Path.push_back(At);
-  bool HasChain = ToId != FromId &&
-                  (Path.empty() || Find(Path.back())->Parent == FromId);
+  // The version graph is a parent forest — every version has at most one
+  // parent — so any two connected versions are joined by exactly one
+  // simple path: up from From to their lowest common ancestor, then down
+  // to To. That path is what a cost-based shortest-path search over the
+  // DAG returns (each stored edge carries its script-bytes cost, and a
+  // tree admits no alternative), which covers upgrades, rollbacks, and
+  // cross-branch hops alike. The fresh endpoint diff competes as an
+  // always-present direct edge; the final call compares ACTUAL composed
+  // bytes against direct bytes, not the per-step cost sum, because
+  // composition cancels edits that later steps undo.
+  std::vector<int> Path; // From -> ... -> To, endpoints included
+  {
+    std::map<int, size_t> UpIndex; // ancestor id -> hops above From
+    std::vector<int> Up;
+    for (int At = FromId; At >= 0;) {
+      UpIndex[At] = Up.size();
+      Up.push_back(At);
+      const StoredVersion *V = Find(At);
+      if (!V)
+        break;
+      At = V->Parent;
+    }
+    std::vector<int> Down; // To -> ... -> LCA child
+    int Lca = -1;
+    for (int At = ToId; At >= 0;) {
+      if (auto It = UpIndex.find(At); It != UpIndex.end()) {
+        Lca = At;
+        break;
+      }
+      Down.push_back(At);
+      const StoredVersion *V = Find(At);
+      if (!V)
+        break;
+      At = V->Parent;
+    }
+    if (Lca >= 0) {
+      for (size_t I = 0; I <= UpIndex[Lca]; ++I)
+        Path.push_back(Up[I]);
+      for (size_t I = Down.size(); I-- > 0;)
+        Path.push_back(Down[I]);
+    }
+  }
+  bool HasChain = Path.size() >= 2;
 
   ImageUpdate Chained;
   if (HasChain) {
-    std::reverse(Path.begin(), Path.end()); // first step's target first
-    int PrevId = FromId;
     bool First = true;
-    for (int StepId : Path) {
-      ImageUpdate Step =
-          makeImageUpdate(Find(PrevId)->Image, Find(StepId)->Image);
+    for (size_t I = 1; I < Path.size(); ++I) {
+      ImageUpdate Step = makeImageUpdate(Find(Path[I - 1])->Image,
+                                         Find(Path[I])->Image);
       if (First) {
         Chained = std::move(Step);
         First = false;
@@ -312,9 +366,8 @@ std::optional<UpdatePlan> ucc::planBetweenVersions(
           return std::nullopt;
         Chained = std::move(Combined);
       }
-      PrevId = StepId;
     }
-    P.ChainSteps = static_cast<int>(Path.size());
+    P.ChainSteps = static_cast<int>(Path.size()) - 1;
     P.ChainedBytes = Chained.scriptBytes();
   }
 

@@ -65,8 +65,8 @@ struct UpdatePlan {
   ImageUpdate Update;      ///< the winning package
   size_t ScriptBytes = 0;  ///< its size on air
   size_t DirectBytes = 0;  ///< cost of the fresh endpoint diff
-  size_t ChainedBytes = 0; ///< cost of the composed chain (0 if no chain)
-  int ChainSteps = 0;      ///< parent-link hops From -> To (0 if no chain)
+  size_t ChainedBytes = 0; ///< cost of the composed route (0 if none)
+  int ChainSteps = 0;      ///< DAG hops From -> To via the LCA (0 if none)
 };
 
 /// The sink's version chain. Pointers returned by find()/latest() are
@@ -94,16 +94,26 @@ public:
 
   const StoredVersion *find(int Id) const;
   const StoredVersion *latest() const;
+
+  /// The version DAG made explicit: `addUpdate(..., ParentId)` may branch
+  /// off any stored version, so histories form a parent tree rather than
+  /// one chain. `children` lists the versions committed against \p Id (in
+  /// id order); `tips` lists every leaf (versions nothing was committed
+  /// against) — a linear history has exactly one tip.
+  std::vector<int> children(int Id) const;
+  std::vector<int> tips() const;
+
   size_t size() const { return Versions.size(); }
   const std::vector<StoredVersion> &versions() const { return Versions; }
   const std::string &directory() const { return Dir; }
 
   /// Plans the update taking \p FromId to \p ToId: builds the fresh
-  /// endpoint diff, and — when \p ToId descends from \p FromId through
-  /// parent links — the composed stepwise chain, then picks whichever is
-  /// cheaper in edit-script bytes (ties go Direct, matching what a
-  /// chain-oblivious sink would ship). Returns nullopt for unknown ids or
-  /// a composition failure.
+  /// endpoint diff, and — whenever the two versions are connected in the
+  /// parent DAG (upgrade, rollback, or cross-branch) — the composed
+  /// stepwise route through their lowest common ancestor, then picks
+  /// whichever costs fewer edit-script bytes (ties go Direct, matching
+  /// what a graph-oblivious sink would ship). Returns nullopt for unknown
+  /// ids or a composition failure.
   std::optional<UpdatePlan> plan(int FromId, int ToId) const;
 
 private:
@@ -115,11 +125,16 @@ private:
 };
 
 /// The direct-vs-chained planner over any dense version index: \p Find maps
-/// an id to its StoredVersion (nullptr = unknown). This is the single
-/// planning algorithm behind VersionStore::plan and serve/PlanService — the
-/// service plans on an immutable snapshot, the store on its live chain, and
-/// both produce byte-identical packages because they share this function.
-/// Counts store.plans / store.plans_direct / store.plans_chained.
+/// an id to its StoredVersion (nullptr = unknown). The composed candidate
+/// is the cheapest route through the version DAG — the unique tree path
+/// through the lowest common ancestor, discovered by parent walks, with
+/// the direct endpoint diff competing as an always-present edge — so
+/// rollbacks and cross-branch hops compose just like forward chains. This
+/// is the single planning algorithm behind VersionStore::plan and
+/// serve/PlanService — the service plans on an immutable snapshot, the
+/// store on its live graph, and both produce byte-identical packages
+/// because they share this function. Counts store.plans /
+/// store.plans_direct / store.plans_chained.
 std::optional<UpdatePlan> planBetweenVersions(
     const std::function<const StoredVersion *(int)> &Find, int FromId,
     int ToId);

@@ -8,14 +8,31 @@
 /// The serving mechanics. The snapshot is a vector of shared_ptr-owned
 /// StoredVersion copies plus one content hash per version; commit builds
 /// the successor snapshot by structural sharing (the old entries are
-/// reused, only the new version is copied) and publishes it with a single
-/// atomic pointer store. The cache follows regalloc/WindowCache: entries
-/// live in an intrusive LRU list and are found through a hash-keyed
-/// collision chain confirmed field by field, a miss inserts a not-yet-ready
-/// entry and computes outside the lock, and concurrent requests for the
-/// same pair block on a condition variable until the owner fills it.
-/// Entries are shared_ptr so an eviction can never pull a result out from
-/// under a waiter, and in-flight (not Ready) entries are never evicted.
+/// reused, only the new version is copied) and publishes it by bumping an
+/// atomic snapshot id — readers keep a thread-local pointer to the
+/// snapshot they last used and only take the publication lock when the id
+/// moved, so the steady-state read path is one acquire load with no
+/// shared-cache-line writes.
+///
+/// The cache is an array of shards, each following regalloc/WindowCache:
+/// entries live in an intrusive LRU list and are found through a
+/// hash-keyed collision chain confirmed field by field, a miss inserts a
+/// not-yet-ready entry and computes outside the lock, and concurrent
+/// requests for the same pair block on the shard's condition variable
+/// until the owner fills it. Entries are shared_ptr so an eviction can
+/// never pull a result out from under a waiter, and in-flight (not Ready)
+/// entries are never evicted. Capacity is a single global budget: the
+/// inserting shard evicts from its own LRU tail while the global resident
+/// count is over budget, which keeps the degenerate everything-hashes-to-
+/// one-shard case exactly as capacious as the uniform case.
+///
+/// Admission (TinyLFU-flavored) and TTL act per shard under the same
+/// lock: every access bumps a small frequency sketch, a computed plan is
+/// granted residency over budget only if it is hotter than the shard's
+/// LRU victim, and a hit older than the TTL is dropped and recomputed.
+/// Neither policy touches the exactly-once latch — the latch entry is
+/// always inserted and always filled; the policies only decide residency
+/// afterward.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +43,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <list>
@@ -60,6 +78,28 @@ uint64_t pairKey(uint64_t FromHash, uint64_t ToHash) {
   return fnv1aBytes(H, &ToHash, sizeof(ToHash));
 }
 
+/// Key -> shard. A splitmix finalizer decorrelates the shard choice from
+/// the in-shard hash map's bucket choice (libstdc++ hashes uint64_t
+/// keys by identity).
+size_t shardFor(uint64_t Key, size_t NumShards) {
+  uint64_t Z = Key + 0x9e3779b97f4a7c15ull;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  Z ^= Z >> 31;
+  return static_cast<size_t>(Z % NumShards);
+}
+
+/// Snapshot ids are unique across every service in the process, so a
+/// thread-local cached snapshot can never be mistaken for one belonging
+/// to a different service that reused the same address.
+std::atomic<uint64_t> GlobalSnapId{0};
+
+double steadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// Records the enclosing scope's wall time into a latency histogram,
 /// early returns included.
 struct LatencyStopwatch {
@@ -86,11 +126,24 @@ struct RequestTrace {
   }
 };
 
+struct CacheEntry {
+  int From = -1;
+  int To = -1;
+  uint64_t Key = 0;
+  bool Ready = false;   ///< Plan is filled in; guarded by the shard lock
+  bool Resident = true; ///< still in the LRU list (false after eviction)
+  /// Null until Ready; null AND Ready = a cached planning failure.
+  std::shared_ptr<const UpdatePlan> Plan;
+  double FillSeconds = 0; ///< TTL stamp, set when the plan is filled
+  std::list<std::shared_ptr<CacheEntry>>::iterator Self;
+};
+
 } // namespace
 
 /// The immutable version index one plan() call reads: dense ids, like the
 /// store, plus the per-version content hash the cache key is built from.
 struct PlanService::Snapshot {
+  uint64_t Id = 0; ///< globally unique publication id
   std::vector<std::shared_ptr<const StoredVersion>> Versions;
   std::vector<uint64_t> ImageHash;
 
@@ -101,21 +154,12 @@ struct PlanService::Snapshot {
   }
 };
 
-namespace {
-
-struct CacheEntry {
-  int From = -1;
-  int To = -1;
-  uint64_t Key = 0;
-  bool Ready = false;    ///< Plan is filled in; guarded by Cache::Lock
-  bool Resident = true;  ///< still in the LRU list (false after eviction)
-  std::optional<UpdatePlan> Plan;
-  std::list<std::shared_ptr<CacheEntry>>::iterator Self;
-};
-
-} // namespace
-
-struct PlanService::Cache {
+/// One cache shard: an independent WindowCache-style LRU plus the shard's
+/// slice of the accounting and a small TinyLFU frequency sketch. All
+/// fields are guarded by Lock; the counters are plain integers because
+/// every mutation already holds it, which is exactly what makes
+/// shardStats() consistent.
+struct PlanService::Shard {
   std::mutex Lock;
   std::condition_variable Filled;
   /// Front = most recently used. shared_ptr entries keep evicted results
@@ -125,6 +169,37 @@ struct PlanService::Cache {
   /// ids land in the same chain and are told apart by exact id match).
   std::unordered_map<uint64_t, std::vector<std::shared_ptr<CacheEntry>>>
       Map;
+
+  uint64_t Hits = 0, Misses = 0, Evictions = 0, AdmissionRejects = 0,
+           TtlExpired = 0, InflightWaits = 0;
+
+  /// Two-probe min sketch of access frequency (the admission doorkeeper's
+  /// memory). Halved every 8192 recorded accesses so frequency estimates
+  /// stay recency-biased.
+  std::array<uint8_t, 1024> Freq{};
+  uint32_t SketchOps = 0;
+
+  /// Prebuilt per-shard telemetry counter names (serve.shard.<i>.*), so
+  /// the hot path never formats strings.
+  std::string CtrHits, CtrMisses, CtrEvictions;
+
+  void recordAccess(uint64_t Key) {
+    uint8_t &A = Freq[Key & 1023];
+    uint8_t &B = Freq[(Key >> 32) & 1023];
+    if (A < 255)
+      ++A;
+    if (B < 255)
+      ++B;
+    if (++SketchOps >= 8192) {
+      for (uint8_t &C : Freq)
+        C = static_cast<uint8_t>(C >> 1);
+      SketchOps = 0;
+    }
+  }
+
+  uint32_t estimate(uint64_t Key) const {
+    return std::min(Freq[Key & 1023], Freq[(Key >> 32) & 1023]);
+  }
 
   void removeFromMap(const std::shared_ptr<CacheEntry> &E) {
     auto It = Map.find(E->Key);
@@ -136,46 +211,72 @@ struct PlanService::Cache {
       Map.erase(It);
   }
 
-  /// Evicts least-recently-used Ready entries until the size bound holds.
-  /// In-flight entries are skipped — the cache may transiently exceed its
-  /// capacity while more than CacheCapacity pairs compute at once.
-  void evictExcess(size_t Capacity, const std::function<void()> &OnEvict) {
-    while (Lru.size() > Capacity) {
-      bool Evicted = false;
-      for (auto It = std::prev(Lru.end());; --It) {
-        if ((*It)->Ready) {
-          std::shared_ptr<CacheEntry> Victim = *It;
-          removeFromMap(Victim);
-          Victim->Resident = false;
-          Lru.erase(It);
-          OnEvict();
-          Evicted = true;
-          break;
-        }
-        if (It == Lru.begin())
-          break;
-      }
-      if (!Evicted)
-        break;
-    }
+  /// Unlinks \p E from the shard (map + LRU). Waiters that already hold
+  /// the shared_ptr are unaffected.
+  void drop(const std::shared_ptr<CacheEntry> &E) {
+    removeFromMap(E);
+    E->Resident = false;
+    Lru.erase(E->Self);
+  }
+
+  /// The entry the LRU policy would evict next: the least recently used
+  /// Ready entry, excluding \p Keep. Null when every entry is in flight.
+  std::shared_ptr<CacheEntry> victim(const CacheEntry *Keep) {
+    for (auto It = Lru.rbegin(); It != Lru.rend(); ++It)
+      if ((*It)->Ready && It->get() != Keep)
+        return *It;
+    return nullptr;
   }
 };
 
 PlanService::PlanService(VersionStore S, PlanServiceOptions O)
     : Store(std::move(S)), FnCache(std::make_unique<CompileCache>()),
-      C(std::make_unique<Cache>()), Opts(O) {
+      Opts(std::move(O)) {
+  if (Opts.Shards == 0)
+    Opts.Shards = 1;
+  ClockFn = Opts.Clock ? Opts.Clock : steadySeconds;
+  Shards.reserve(Opts.Shards);
+  for (size_t I = 0; I < Opts.Shards; ++I) {
+    auto Sh = std::make_unique<Shard>();
+    Sh->CtrHits = format("serve.shard.%zu.hits", I);
+    Sh->CtrMisses = format("serve.shard.%zu.misses", I);
+    Sh->CtrEvictions = format("serve.shard.%zu.evictions", I);
+    Shards.push_back(std::move(Sh));
+  }
+
   auto Initial = std::make_shared<Snapshot>();
+  Initial->Id = GlobalSnapId.fetch_add(1, std::memory_order_relaxed) + 1;
   for (const StoredVersion &V : Store.versions()) {
     Initial->Versions.push_back(std::make_shared<const StoredVersion>(V));
     Initial->ImageHash.push_back(imageContentHash(V.Image));
   }
-  Snap.store(std::shared_ptr<const Snapshot>(std::move(Initial)));
+  uint64_t Id = Initial->Id;
+  Snap = std::move(Initial);
+  CurrentSnapId.store(Id, std::memory_order_release);
 }
 
 PlanService::~PlanService() = default;
 
 std::shared_ptr<const PlanService::Snapshot> PlanService::snapshot() const {
-  return Snap.load();
+  // The thread-local cache makes the common path lock-free: one acquire
+  // load of the published id, compared against what this thread last
+  // refreshed. A retained shared_ptr can outlive the service (snapshots
+  // are self-contained), and globally unique ids rule out aliasing with
+  // another service at a reused address.
+  struct Cached {
+    const PlanService *Svc = nullptr;
+    uint64_t Id = 0;
+    std::shared_ptr<const Snapshot> Snap;
+  };
+  thread_local Cached Tls;
+  uint64_t Id = CurrentSnapId.load(std::memory_order_acquire);
+  if (Tls.Svc == this && Tls.Id == Id && Tls.Snap)
+    return Tls.Snap;
+  std::lock_guard<std::mutex> Guard(SnapLock);
+  Tls.Svc = this;
+  Tls.Id = Snap->Id;
+  Tls.Snap = Snap;
+  return Tls.Snap;
 }
 
 std::optional<UpdatePlan>
@@ -184,7 +285,132 @@ PlanService::planOnSnapshot(const Snapshot &S, int FromId, int ToId) const {
                              ToId);
 }
 
-std::optional<UpdatePlan> PlanService::plan(int FromId, int ToId) const {
+std::shared_ptr<const UpdatePlan>
+PlanService::planThroughShard(const std::shared_ptr<const Snapshot> &S,
+                              int FromId, int ToId) const {
+  uint64_t Key = pairKey(S->ImageHash[static_cast<size_t>(FromId)],
+                         S->ImageHash[static_cast<size_t>(ToId)]);
+  Shard &Sh = *Shards[shardFor(Key, Shards.size())];
+  bool UseAdmission =
+      Opts.Admit == PlanServiceOptions::Admission::Frequency;
+  double Now = Opts.TtlSeconds > 0 ? ClockFn() : 0;
+
+  std::shared_ptr<CacheEntry> E;
+  {
+    std::unique_lock<std::mutex> Guard(Sh.Lock);
+    if (UseAdmission)
+      Sh.recordAccess(Key);
+    if (auto It = Sh.Map.find(Key); It != Sh.Map.end())
+      for (const std::shared_ptr<CacheEntry> &Cand : It->second)
+        if (Cand->From == FromId && Cand->To == ToId) {
+          E = Cand;
+          break;
+        }
+    if (E && E->Ready && Opts.TtlSeconds > 0 &&
+        Now - E->FillSeconds > Opts.TtlSeconds) {
+      // Expired: drop it and take the miss path below. Only Ready entries
+      // can expire — an in-flight fill is by definition fresh.
+      Sh.drop(E);
+      TotalEntries.fetch_sub(1, std::memory_order_relaxed);
+      ++Sh.TtlExpired;
+      telemetryCount("serve.ttl_expired");
+      E = nullptr;
+    }
+    if (E) {
+      if (!E->Ready) {
+        // Someone else is computing this exact pair: wait for the latch
+        // instead of solving it twice. The waiter still counts a hit —
+        // the result was (about to be) in the cache.
+        ++Sh.InflightWaits;
+        telemetryCount("serve.inflight_waits");
+        Sh.Filled.wait(Guard, [&] { return E->Ready; });
+      }
+      ++Sh.Hits;
+      if (Telemetry *T = currentTelemetry()) {
+        T->addCounter("serve.cache_hits");
+        T->addCounter(Sh.CtrHits);
+      }
+      if (E->Resident)
+        Sh.Lru.splice(Sh.Lru.begin(), Sh.Lru, E->Self);
+      return E->Plan;
+    }
+    E = std::make_shared<CacheEntry>();
+    E->From = FromId;
+    E->To = ToId;
+    E->Key = Key;
+    Sh.Map[Key].push_back(E);
+    Sh.Lru.push_front(E);
+    E->Self = Sh.Lru.begin();
+    TotalEntries.fetch_add(1, std::memory_order_relaxed);
+    ++Sh.Misses;
+    if (Telemetry *T = currentTelemetry()) {
+      T->addCounter("serve.cache_misses");
+      T->addCounter(Sh.CtrMisses);
+    }
+    if (!UseAdmission) {
+      // Classic LRU: enforce the global budget now, evicting from this
+      // shard's own tail. In-flight entries are skipped — the cache may
+      // transiently exceed its capacity while many pairs compute at once.
+      while (TotalEntries.load(std::memory_order_relaxed) >
+             Opts.CacheCapacity) {
+        std::shared_ptr<CacheEntry> V = Sh.victim(E.get());
+        if (!V)
+          break;
+        Sh.drop(V);
+        TotalEntries.fetch_sub(1, std::memory_order_relaxed);
+        ++Sh.Evictions;
+        if (Telemetry *T = currentTelemetry()) {
+          T->addCounter("serve.evictions");
+          T->addCounter(Sh.CtrEvictions);
+        }
+      }
+    }
+  }
+
+  // Compute outside the lock; composition failures are cached too — they
+  // are as immutable as any other answer for a committed pair.
+  std::shared_ptr<const UpdatePlan> P;
+  if (std::optional<UpdatePlan> Computed =
+          planOnSnapshot(*S, FromId, ToId))
+    P = std::make_shared<const UpdatePlan>(std::move(*Computed));
+  {
+    std::lock_guard<std::mutex> Guard(Sh.Lock);
+    E->Plan = P;
+    E->Ready = true;
+    E->FillSeconds = Opts.TtlSeconds > 0 ? ClockFn() : 0;
+    if (UseAdmission && E->Resident) {
+      // The doorkeeper decides residency only now that the plan exists:
+      // over budget, the newcomer must be hotter than the shard's LRU
+      // victim to displace it; otherwise the newcomer itself is dropped.
+      // Waiters already holding the entry still get their plan.
+      while (TotalEntries.load(std::memory_order_relaxed) >
+             Opts.CacheCapacity) {
+        std::shared_ptr<CacheEntry> V = Sh.victim(E.get());
+        if (!V)
+          break;
+        if (Sh.estimate(E->Key) <= Sh.estimate(V->Key)) {
+          Sh.drop(E);
+          TotalEntries.fetch_sub(1, std::memory_order_relaxed);
+          ++Sh.AdmissionRejects;
+          telemetryCount("serve.admission_rejects");
+          break;
+        }
+        Sh.drop(V);
+        TotalEntries.fetch_sub(1, std::memory_order_relaxed);
+        ++Sh.Evictions;
+        if (Telemetry *T = currentTelemetry()) {
+          T->addCounter("serve.evictions");
+          T->addCounter(Sh.CtrEvictions);
+        }
+      }
+    }
+  }
+  Sh.Filled.notify_all();
+  return P;
+}
+
+std::shared_ptr<const UpdatePlan> PlanService::plan(int FromId,
+                                                    int ToId) const {
   RequestTrace Trace;
   ScopedSpan Span("serve.plan");
   LatencyStopwatch Timer(Latency);
@@ -192,71 +418,36 @@ std::optional<UpdatePlan> PlanService::plan(int FromId, int ToId) const {
   NPlans.fetch_add(1, std::memory_order_relaxed);
   telemetryCount("serve.plans");
 
-  // Unknown ids are answered (nullopt) but never cached: the snapshot that
+  // Unknown ids are answered (null) but never cached: the snapshot that
   // rejects them today may know them after the next commit.
-  if (!S->find(FromId) || !S->find(ToId))
-    return std::nullopt;
+  if (!S->find(FromId) || !S->find(ToId)) {
+    NRejected.fetch_add(1, std::memory_order_relaxed);
+    telemetryCount("serve.rejected");
+    return nullptr;
+  }
 
   if (Opts.CacheCapacity == 0) {
-    NMisses.fetch_add(1, std::memory_order_relaxed);
-    telemetryCount("serve.cache_misses");
-    return planOnSnapshot(*S, FromId, ToId);
-  }
-
-  uint64_t Key = pairKey(S->ImageHash[static_cast<size_t>(FromId)],
-                         S->ImageHash[static_cast<size_t>(ToId)]);
-  std::shared_ptr<CacheEntry> E;
-  {
-    std::unique_lock<std::mutex> Guard(C->Lock);
-    if (auto It = C->Map.find(Key); It != C->Map.end())
-      for (const std::shared_ptr<CacheEntry> &Cand : It->second)
-        if (Cand->From == FromId && Cand->To == ToId) {
-          E = Cand;
-          break;
-        }
-    if (E) {
-      if (!E->Ready) {
-        // Someone else is computing this exact pair: wait for the latch
-        // instead of solving it twice. The waiter still counts a hit —
-        // the result was (about to be) in the cache.
-        NInflightWaits.fetch_add(1, std::memory_order_relaxed);
-        telemetryCount("serve.inflight_waits");
-        C->Filled.wait(Guard, [&] { return E->Ready; });
+    uint64_t Key = pairKey(S->ImageHash[static_cast<size_t>(FromId)],
+                           S->ImageHash[static_cast<size_t>(ToId)]);
+    Shard &Sh = *Shards[shardFor(Key, Shards.size())];
+    {
+      std::lock_guard<std::mutex> Guard(Sh.Lock);
+      ++Sh.Misses;
+      if (Telemetry *T = currentTelemetry()) {
+        T->addCounter("serve.cache_misses");
+        T->addCounter(Sh.CtrMisses);
       }
-      NHits.fetch_add(1, std::memory_order_relaxed);
-      telemetryCount("serve.cache_hits");
-      if (E->Resident)
-        C->Lru.splice(C->Lru.begin(), C->Lru, E->Self);
-      return E->Plan;
     }
-    E = std::make_shared<CacheEntry>();
-    E->From = FromId;
-    E->To = ToId;
-    E->Key = Key;
-    C->Map[Key].push_back(E);
-    C->Lru.push_front(E);
-    E->Self = C->Lru.begin();
-    NMisses.fetch_add(1, std::memory_order_relaxed);
-    telemetryCount("serve.cache_misses");
-    C->evictExcess(Opts.CacheCapacity, [this] {
-      NEvictions.fetch_add(1, std::memory_order_relaxed);
-      telemetryCount("serve.evictions");
-    });
+    if (std::optional<UpdatePlan> Computed =
+            planOnSnapshot(*S, FromId, ToId))
+      return std::make_shared<const UpdatePlan>(std::move(*Computed));
+    return nullptr;
   }
 
-  // Compute outside the lock; composition failures are cached too — they
-  // are as immutable as any other answer for a committed pair.
-  std::optional<UpdatePlan> P = planOnSnapshot(*S, FromId, ToId);
-  {
-    std::lock_guard<std::mutex> Guard(C->Lock);
-    E->Plan = P;
-    E->Ready = true;
-  }
-  C->Filled.notify_all();
-  return P;
+  return planThroughShard(S, FromId, ToId);
 }
 
-std::vector<std::optional<UpdatePlan>>
+std::vector<std::shared_ptr<const UpdatePlan>>
 PlanService::planBatch(const std::vector<std::pair<int, int>> &Pairs,
                        int Jobs) const {
   // The whole batch is one trace: the context minted here rides through
@@ -286,14 +477,15 @@ PlanService::planBatch(const std::vector<std::pair<int, int>> &Pairs,
                    static_cast<int64_t>(Duplicates));
   }
 
-  std::vector<std::optional<UpdatePlan>> UniqueResults(Unique.size());
+  std::vector<std::shared_ptr<const UpdatePlan>> UniqueResults(
+      Unique.size());
   parallelFor(static_cast<int>(Unique.size()), Jobs, [&](int I) {
     UniqueResults[static_cast<size_t>(I)] =
         plan(Unique[static_cast<size_t>(I)].first,
              Unique[static_cast<size_t>(I)].second);
   });
 
-  std::vector<std::optional<UpdatePlan>> Out(Pairs.size());
+  std::vector<std::shared_ptr<const UpdatePlan>> Out(Pairs.size());
   for (size_t I = 0; I < Pairs.size(); ++I)
     Out[I] = UniqueResults[Slot[I]];
   return Out;
@@ -314,7 +506,9 @@ int PlanService::warm(const std::vector<int> &NodeVersions,
   }
 
   // Hottest version first; ties go to the older version, which campaigns
-  // flood first anyway.
+  // flood first anyway. The cap is the global capacity — shard placement
+  // is the pair hash's business, so even a warm set that lands entirely
+  // in one shard stays resident.
   std::vector<std::pair<int, int>> ByHeat(Count.begin(), Count.end());
   std::stable_sort(ByHeat.begin(), ByHeat.end(),
                    [](const auto &A, const auto &B) {
@@ -348,13 +542,19 @@ int PlanService::commit(const std::string &Source,
     return -1;
 
   // Publish the successor snapshot: reuse every existing entry, copy only
-  // the new version. Readers on the old snapshot are unaffected.
-  std::shared_ptr<const Snapshot> Old = Snap.load();
-  auto Next = std::make_shared<Snapshot>(*Old);
-  const StoredVersion &V = *Store.find(Id);
-  Next->Versions.push_back(std::make_shared<const StoredVersion>(V));
-  Next->ImageHash.push_back(imageContentHash(V.Image));
-  Snap.store(std::shared_ptr<const Snapshot>(std::move(Next)));
+  // the new version. Readers on the old snapshot are unaffected; readers
+  // with a cached pointer notice the id moved and refresh.
+  {
+    std::lock_guard<std::mutex> SnapGuard(SnapLock);
+    auto Next = std::make_shared<Snapshot>(*Snap);
+    Next->Id = GlobalSnapId.fetch_add(1, std::memory_order_relaxed) + 1;
+    const StoredVersion &V = *Store.find(Id);
+    Next->Versions.push_back(std::make_shared<const StoredVersion>(V));
+    Next->ImageHash.push_back(imageContentHash(V.Image));
+    uint64_t NextId = Next->Id;
+    Snap = std::move(Next);
+    CurrentSnapId.store(NextId, std::memory_order_release);
+  }
 
   NCommits.fetch_add(1, std::memory_order_relaxed);
   telemetryCount("serve.commits");
@@ -374,31 +574,71 @@ int PlanService::latestId() const {
 PlanServiceStats PlanService::stats() const {
   PlanServiceStats S;
   S.Plans = NPlans.load(std::memory_order_relaxed);
-  S.Hits = NHits.load(std::memory_order_relaxed);
-  S.Misses = NMisses.load(std::memory_order_relaxed);
-  S.Evictions = NEvictions.load(std::memory_order_relaxed);
-  S.InflightWaits = NInflightWaits.load(std::memory_order_relaxed);
+  S.Rejected = NRejected.load(std::memory_order_relaxed);
   S.Batches = NBatches.load(std::memory_order_relaxed);
   S.BatchDeduped = NBatchDeduped.load(std::memory_order_relaxed);
   S.Precomputed = NPrecomputed.load(std::memory_order_relaxed);
   S.Commits = NCommits.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> Guard(C->Lock);
-  S.CacheEntries = C->Lru.size();
+  // Each shard's slice is read under that shard's lock — never from a
+  // racy global — so concurrent eviction cannot tear a shard's (hits,
+  // misses, evictions, entries) quadruple.
+  for (const std::unique_ptr<Shard> &Sh : Shards) {
+    std::lock_guard<std::mutex> Guard(Sh->Lock);
+    S.Hits += Sh->Hits;
+    S.Misses += Sh->Misses;
+    S.Evictions += Sh->Evictions;
+    S.AdmissionRejects += Sh->AdmissionRejects;
+    S.TtlExpired += Sh->TtlExpired;
+    S.InflightWaits += Sh->InflightWaits;
+    S.CacheEntries += Sh->Lru.size();
+  }
   return S;
 }
 
+std::vector<PlanShardStats> PlanService::shardStats() const {
+  std::vector<PlanShardStats> Out;
+  Out.reserve(Shards.size());
+  for (const std::unique_ptr<Shard> &Sh : Shards) {
+    std::lock_guard<std::mutex> Guard(Sh->Lock);
+    PlanShardStats S;
+    S.Hits = Sh->Hits;
+    S.Misses = Sh->Misses;
+    S.Evictions = Sh->Evictions;
+    S.AdmissionRejects = Sh->AdmissionRejects;
+    S.TtlExpired = Sh->TtlExpired;
+    S.InflightWaits = Sh->InflightWaits;
+    S.Entries = Sh->Lru.size();
+    Out.push_back(S);
+  }
+  return Out;
+}
+
+size_t PlanService::shardCount() const { return Shards.size(); }
+
+std::optional<size_t> PlanService::shardIndex(int FromId, int ToId) const {
+  std::shared_ptr<const Snapshot> S = snapshot();
+  if (!S->find(FromId) || !S->find(ToId))
+    return std::nullopt;
+  uint64_t Key = pairKey(S->ImageHash[static_cast<size_t>(FromId)],
+                         S->ImageHash[static_cast<size_t>(ToId)]);
+  return shardFor(Key, Shards.size());
+}
+
 void PlanService::clearCache() const {
-  std::lock_guard<std::mutex> Guard(C->Lock);
-  // Drop Ready entries only; in-flight ones still have an owner that will
-  // fill them and waiters parked on the latch. A clear is a reset, not an
-  // eviction — serve.evictions counts capacity pressure only.
-  for (auto It = C->Lru.begin(); It != C->Lru.end();) {
-    if ((*It)->Ready) {
-      C->removeFromMap(*It);
-      (*It)->Resident = false;
-      It = C->Lru.erase(It);
-    } else {
-      ++It;
+  for (const std::unique_ptr<Shard> &Sh : Shards) {
+    std::lock_guard<std::mutex> Guard(Sh->Lock);
+    // Drop Ready entries only; in-flight ones still have an owner that
+    // will fill them and waiters parked on the latch. A clear is a reset,
+    // not an eviction — serve.evictions counts capacity pressure only.
+    for (auto It = Sh->Lru.begin(); It != Sh->Lru.end();) {
+      if ((*It)->Ready) {
+        Sh->removeFromMap(*It);
+        (*It)->Resident = false;
+        It = Sh->Lru.erase(It);
+        TotalEntries.fetch_sub(1, std::memory_order_relaxed);
+      } else {
+        ++It;
+      }
     }
   }
 }
@@ -421,7 +661,8 @@ ucc::planFleetCampaign(const PlanService &Service, const Topology &T,
   Pairs.reserve(Stale.size());
   for (int V : Stale)
     Pairs.push_back({V, TargetVersion});
-  std::vector<std::optional<UpdatePlan>> Plans = Service.planBatch(Pairs);
+  std::vector<std::shared_ptr<const UpdatePlan>> Plans =
+      Service.planBatch(Pairs);
 
   std::map<int, size_t> BytesFor;
   for (size_t I = 0; I < Stale.size(); ++I) {

@@ -8,25 +8,35 @@
 /// The request-serving layer over core/VersionStore: a long-lived sink
 /// process answers `plan(from, to)` for a whole fleet at high rates, so the
 /// store facade alone — single-threaded, recomputing every diff — is the
-/// wrong shape. PlanService wraps a store with three serving mechanisms:
+/// wrong shape. PlanService wraps a store with four serving mechanisms:
 ///
-///  * an immutable snapshot index behind an RCU-style atomic pointer swap,
-///    so `plan` reads never take a lock and `commit` never blocks them;
-///  * a bounded LRU cache of composed plans keyed by a canonical
-///    `(fromHash, toHash)` pair, with an exactly-once in-flight latch
-///    (generalizing regalloc/WindowCache) so concurrent requests for the
-///    same pair compute the plan once and everyone else waits for it;
+///  * an immutable snapshot index published through an atomic sequence
+///    number with a per-thread snapshot cache, so steady-state `plan`
+///    reads touch no lock and no shared cache line beyond one acquire
+///    load, and `commit` never blocks them;
+///  * a plan cache split into N independent shards (canonical pair hash →
+///    shard), each with its own mutex, LRU list, and exactly-once
+///    in-flight latch (generalizing regalloc/WindowCache), so concurrent
+///    requests for distinct pairs never contend on a shared lock; plans
+///    are held behind `shared_ptr<const UpdatePlan>`, so a cache hit is a
+///    pointer copy, not a deep copy of the composed script;
+///  * admission and TTL policies per shard: a TinyLFU-flavored frequency
+///    doorkeeper that refuses residency to one-hit wonders once the cache
+///    is full (scan-resistant), and an optional time-to-live so a
+///    long-lived service re-validates stale plans;
 ///  * batched requests (`planBatch`) that dedupe shared pairs and fan out
 ///    across support/ThreadPool, plus a precompute pass (`warm`) that
-///    seeds the cache from an observed fleet-version histogram.
+///    seeds the shards from an observed fleet-version histogram.
 ///
-/// Plans are immutable once both endpoints are committed (the chain is
-/// append-only and parent links never change), which is what makes them
-/// cacheable forever; correctness is anchored by sharing the exact planner
-/// (core planBetweenVersions) with VersionStore::plan, so a served plan is
-/// byte-identical to a direct store plan. Serving activity is visible as
-/// the `serve.*` telemetry counters (see docs/OBSERVABILITY.md) and as
-/// CacheStats for callers that need exact accounting in tests.
+/// Plans are immutable once both endpoints are committed (the version
+/// graph is append-only and parent links never change), which is what
+/// makes them cacheable forever; correctness is anchored by sharing the
+/// exact planner (core planBetweenVersions) with VersionStore::plan, so a
+/// served plan is byte-identical to a direct store plan regardless of
+/// shard count, thread count, or policy. Serving activity is visible as
+/// the `serve.*` telemetry counters — including per-shard
+/// `serve.shard.<i>.*` (see docs/OBSERVABILITY.md) — and as
+/// PlanServiceStats for callers that need exact accounting in tests.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +48,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -46,28 +57,77 @@
 
 namespace ucc {
 
-/// Serving knobs. CacheCapacity bounds the number of cached plans (an LRU
-/// evicts beyond it); 0 disables caching entirely, which makes every
-/// request recompute — the cache-cold configuration benches measure.
+/// Serving knobs. CacheCapacity bounds the number of cached plans across
+/// ALL shards (a global budget, not a per-shard quota; each shard evicts
+/// from its own LRU tail when the global count is over budget); 0 disables
+/// caching entirely, which makes every request recompute — the cache-cold
+/// configuration benches measure.
 struct PlanServiceOptions {
   size_t CacheCapacity = 256;
+
+  /// Number of independent cache shards (clamped to at least 1). Requests
+  /// map to shards by canonical pair hash, so distinct hot pairs spread
+  /// across mutexes; 1 reproduces the single-lock cache exactly (tests
+  /// that script LRU order pin this).
+  size_t Shards = 8;
+
+  /// Cache admission policy. `Always` admits every computed plan (classic
+  /// LRU). `Frequency` is a TinyLFU-flavored doorkeeper: while the cache
+  /// is over budget, a newly computed plan becomes resident only if its
+  /// access frequency (per-shard sketch, periodically halved) exceeds the
+  /// would-be LRU victim's — one-pass scans stop thrashing the working
+  /// set. Either way the plan is computed once and returned; admission
+  /// only decides residency.
+  enum class Admission { Always, Frequency };
+  Admission Admit = Admission::Always;
+
+  /// Plan time-to-live in seconds; 0 = plans never expire. Expiry is
+  /// lazy: an expired entry is dropped on its next lookup (counted as
+  /// serve.ttl_expired plus a miss) and recomputed.
+  double TtlSeconds = 0;
+
+  /// Clock used for TTL stamps, seconds on any monotonic scale. Unset =
+  /// steady_clock. Tests inject a fake clock to make expiry
+  /// deterministic.
+  std::function<double()> Clock;
 };
 
-/// Exact cache accounting, mirrored into the `serve.*` telemetry counters.
-/// InflightWaits counts requests that found their pair already being
-/// computed and blocked on the latch; it depends on thread scheduling and
-/// is observability-only (never asserted or regression-gated).
+/// Exact cache accounting, mirrored into the `serve.*` telemetry
+/// counters. Summed across shards; each shard's slice is gathered under
+/// that shard's own lock, so a quiesced service satisfies
+/// Plans == Hits + Misses + Rejected exactly. InflightWaits counts
+/// requests that found their pair already being computed and blocked on
+/// the latch; it depends on thread scheduling and is observability-only
+/// (never asserted or regression-gated).
 struct PlanServiceStats {
   uint64_t Plans = 0;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
+  /// Requests for ids the snapshot does not know (answered null, never
+  /// cached, not counted as hit or miss).
+  uint64_t Rejected = 0;
   uint64_t Evictions = 0;
+  /// Computed plans refused residency by the admission policy.
+  uint64_t AdmissionRejects = 0;
+  /// Cached plans dropped because they outlived TtlSeconds.
+  uint64_t TtlExpired = 0;
   uint64_t InflightWaits = 0;
   uint64_t Batches = 0;
   uint64_t BatchDeduped = 0;
   uint64_t Precomputed = 0;
   uint64_t Commits = 0;
   size_t CacheEntries = 0;
+};
+
+/// One shard's slice of the accounting (read under that shard's lock).
+struct PlanShardStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t AdmissionRejects = 0;
+  uint64_t TtlExpired = 0;
+  uint64_t InflightWaits = 0;
+  size_t Entries = 0;
 };
 
 /// The thread-safe serving front end. `plan`/`planBatch`/`warm` may be
@@ -84,24 +144,27 @@ public:
   PlanService &operator=(const PlanService &) = delete;
 
   /// Plans FromId -> ToId against the current snapshot, serving from the
-  /// cache when the pair was planned before. Returns nullopt for ids the
-  /// snapshot does not know (never cached) or a composition failure
-  /// (cached, like any other answer). Byte-identical to
-  /// VersionStore::plan on the same chain.
-  std::optional<UpdatePlan> plan(int FromId, int ToId) const;
+  /// cache when the pair was planned before. The returned plan is
+  /// immutable and shared with the cache — a hit costs one shared_ptr
+  /// copy. Returns null for ids the snapshot does not know (never cached)
+  /// or a composition failure (cached, like any other answer).
+  /// Byte-identical to VersionStore::plan on the same version graph.
+  std::shared_ptr<const UpdatePlan> plan(int FromId, int ToId) const;
 
   /// Plans a whole batch: dedupes repeated pairs, fans the distinct ones
   /// out across \p Jobs threads (0 = ThreadPool::defaultJobs()), and
   /// returns one result per input pair, in input order.
-  std::vector<std::optional<UpdatePlan>>
+  std::vector<std::shared_ptr<const UpdatePlan>>
   planBatch(const std::vector<std::pair<int, int>> &Pairs,
             int Jobs = 0) const;
 
   /// Precomputes plans for the hottest (version -> \p TargetVersion)
   /// pairs in \p NodeVersions (an observed fleet-version histogram; node 0
   /// is the sink and ignored, matching campaign cohort grouping). Pairs
-  /// are warmed most-populous version first, capped at the cache capacity.
-  /// Returns the number of pairs planned.
+  /// are warmed most-populous version first, capped at the GLOBAL cache
+  /// capacity — pair hashes decide which shard holds each plan, so a warm
+  /// set that happens to hash into one shard still fits (capacity is not
+  /// split into per-shard quotas). Returns the number of pairs planned.
   int warm(const std::vector<int> &NodeVersions, int TargetVersion,
            int Jobs = 0) const;
 
@@ -125,6 +188,15 @@ public:
   int latestId() const;
 
   PlanServiceStats stats() const;
+  /// Per-shard accounting, index = shard (each slice read under its
+  /// shard's lock).
+  std::vector<PlanShardStats> shardStats() const;
+  /// Number of cache shards actually in use (>= 1).
+  size_t shardCount() const;
+  /// The shard the (FromId, ToId) pair maps to under the current
+  /// snapshot, or nullopt for unknown ids. Exposed so adversarial benches
+  /// and distribution tests can construct same-shard request mixes.
+  std::optional<size_t> shardIndex(int FromId, int ToId) const;
 
   /// Per-request latency distribution (every plan() call records into it,
   /// cache hits and misses alike). Always on — two clock reads and a few
@@ -146,24 +218,38 @@ public:
 
 private:
   struct Snapshot;
-  struct Cache;
+  struct Shard;
 
   std::shared_ptr<const Snapshot> snapshot() const;
   std::optional<UpdatePlan> planOnSnapshot(const Snapshot &S, int FromId,
                                            int ToId) const;
+  std::shared_ptr<const UpdatePlan>
+  planThroughShard(const std::shared_ptr<const Snapshot> &S, int FromId,
+                   int ToId) const;
 
   VersionStore Store; ///< guarded by CommitLock
   std::mutex CommitLock;
   /// Function-level compile cache shared by every commit (internally
   /// synchronized; see core/CompileCache.h).
   std::unique_ptr<CompileCache> FnCache;
-  std::atomic<std::shared_ptr<const Snapshot>> Snap;
-  std::unique_ptr<Cache> C; ///< internally synchronized
-  PlanServiceOptions Opts;
 
-  mutable std::atomic<uint64_t> NPlans{0}, NHits{0}, NMisses{0},
-      NEvictions{0}, NInflightWaits{0}, NBatches{0}, NBatchDeduped{0},
-      NPrecomputed{0}, NCommits{0};
+  /// Snapshot publication: readers load CurrentSnapId (acquire) and serve
+  /// from a thread-local cache when it still names that snapshot; only a
+  /// stale thread takes SnapLock to refresh. Snapshot ids are globally
+  /// unique, so a thread-local entry can never alias a snapshot from
+  /// another service reusing this address.
+  mutable std::mutex SnapLock;
+  std::shared_ptr<const Snapshot> Snap; ///< guarded by SnapLock
+  std::atomic<uint64_t> CurrentSnapId{0};
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  /// Resident entries across all shards (the global capacity budget).
+  mutable std::atomic<size_t> TotalEntries{0};
+  PlanServiceOptions Opts;
+  std::function<double()> ClockFn; ///< resolved TTL clock
+
+  mutable std::atomic<uint64_t> NPlans{0}, NRejected{0}, NBatches{0},
+      NBatchDeduped{0}, NPrecomputed{0}, NCommits{0};
   mutable LatencyHistogram Latency;
 };
 

@@ -166,9 +166,13 @@ void Telemetry::declareStandardCounters() {
       // store: the sink-side version chain and its update planner.
       "store.commits", "store.loads", "store.plans", "store.plans_direct",
       "store.plans_chained",
-      // serve: the request-serving front end over the store.
+      // serve: the request-serving front end over the store. Per-shard
+      // slices appear as serve.shard.<i>.{hits,misses,evictions} on
+      // first use (shard count is a runtime knob, so they cannot be
+      // pre-declared here).
       "serve.plans", "serve.cache_hits", "serve.cache_misses",
-      "serve.evictions", "serve.inflight_waits", "serve.batches",
+      "serve.rejected", "serve.evictions", "serve.admission_rejects",
+      "serve.ttl_expired", "serve.inflight_waits", "serve.batches",
       "serve.batch_deduped", "serve.precomputed", "serve.commits",
       // sim: the SAVR simulator (section 5.1's Avrora stand-in).
       "sim.runs", "sim.steps", "sim.cycles", "sim.radio_packets",

@@ -1,10 +1,12 @@
 //===- tests/PlanServiceTest.cpp - the update-distribution service --------===//
 //
 // The serving layer's contract: plans byte-identical to the raw store,
-// exact hit/miss/eviction accounting, an exactly-once in-flight latch
-// under contention, snapshot isolation across concurrent commits, and
-// batch dedupe. The concurrent tests run under TSan in CI — they are the
-// data-race regression net for the RCU snapshot and the cache latch.
+// exact hit/miss/eviction accounting summed across shards, an
+// exactly-once in-flight latch under contention, snapshot isolation
+// across concurrent commits, batch dedupe, and the admission/TTL cache
+// policies. The concurrent tests run under TSan in CI — they are the
+// data-race regression net for the snapshot publication and the sharded
+// cache latch.
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,10 +30,10 @@ CompileOptions uccOptions() {
   return Opts;
 }
 
-/// A four-version chain alternating between a real update case's old and
-/// new sources: v0/v2 and v1/v3 share source text (and image content), so
-/// the canonical content-hash cache key collides across distinct id pairs
-/// — exactly the case the exact-id confirmation must tell apart.
+/// A chain alternating between a real update case's old and new sources:
+/// even and odd versions share source text (and image content), so the
+/// canonical content-hash cache key collides across distinct id pairs —
+/// exactly the case the exact-id confirmation must tell apart.
 VersionStore buildChain(int Versions = 4) {
   const UpdateCase &Case = updateCases()[5];
   VersionStore Store;
@@ -47,8 +49,25 @@ VersionStore buildChain(int Versions = 4) {
   return Store;
 }
 
-std::vector<uint8_t> planBytes(const std::optional<UpdatePlan> &P) {
-  EXPECT_TRUE(P.has_value());
+/// A branched history: v0 -> v1 -> {v2, v3 -> v4}. Cross-branch plans
+/// (2 <-> 4) must route through the LCA at v1.
+VersionStore buildDag() {
+  const UpdateCase &Case = updateCases()[5];
+  VersionStore Store;
+  DiagnosticEngine Diag;
+  auto Src = [&](int V) -> const std::string & {
+    return (V % 2) ? Case.NewSource : Case.OldSource;
+  };
+  EXPECT_EQ(Store.addInitial(Src(0), uccOptions(), Diag), 0) << Diag.str();
+  EXPECT_EQ(Store.addUpdate(Src(1), uccOptions(), Diag, 0), 1) << Diag.str();
+  EXPECT_EQ(Store.addUpdate(Src(2), uccOptions(), Diag, 1), 2) << Diag.str();
+  EXPECT_EQ(Store.addUpdate(Src(3), uccOptions(), Diag, 1), 3) << Diag.str();
+  EXPECT_EQ(Store.addUpdate(Src(4), uccOptions(), Diag, 3), 4) << Diag.str();
+  return Store;
+}
+
+std::vector<uint8_t> planBytes(const std::shared_ptr<const UpdatePlan> &P) {
+  EXPECT_TRUE(P != nullptr);
   return P ? P->Update.serialize() : std::vector<uint8_t>();
 }
 
@@ -64,7 +83,7 @@ TEST(PlanService, ServesByteIdenticalPlansAcrossJobCounts) {
       for (int To = 0; To < 4; ++To) {
         auto Served = Service.plan(From, To);
         auto Direct = Reference.plan(From, To);
-        ASSERT_TRUE(Served.has_value()) << From << "->" << To;
+        ASSERT_TRUE(Served != nullptr) << From << "->" << To;
         EXPECT_EQ(Served->Update.serialize(), Direct->Update.serialize())
             << From << "->" << To << " at jobs " << Jobs;
         EXPECT_EQ(Served->Route, Direct->Route);
@@ -73,6 +92,39 @@ TEST(PlanService, ServesByteIdenticalPlansAcrossJobCounts) {
       }
   }
   ThreadPool::setDefaultJobs(0);
+}
+
+TEST(PlanService, DagStoresServeByteIdenticalPlansAcrossShardCounts) {
+  // Same anchor over a branched store: every ordered pair — upgrades,
+  // rollbacks, and the cross-branch hops that route through the LCA —
+  // serves byte-identical to the store, at every shard and job count.
+  VersionStore Reference = buildDag();
+  for (int Jobs : {1, 8}) {
+    ThreadPool::setDefaultJobs(Jobs);
+    for (size_t NumShards : {size_t(1), size_t(8)}) {
+      PlanServiceOptions Opts;
+      Opts.Shards = NumShards;
+      PlanService Service(buildDag(), Opts);
+      for (int From = 0; From < 5; ++From)
+        for (int To = 0; To < 5; ++To) {
+          auto Served = Service.plan(From, To);
+          auto Direct = Reference.plan(From, To);
+          ASSERT_TRUE(Served != nullptr && Direct.has_value())
+              << From << "->" << To;
+          EXPECT_EQ(Served->Update.serialize(), Direct->Update.serialize())
+              << From << "->" << To << " shards " << NumShards << " jobs "
+              << Jobs;
+          EXPECT_EQ(Served->Route, Direct->Route);
+          EXPECT_EQ(Served->ChainSteps, Direct->ChainSteps);
+        }
+    }
+  }
+  ThreadPool::setDefaultJobs(0);
+  // The cross-branch pair really is composed through the LCA (v1):
+  // 2 -> 1 -> 3 -> 4 is three hops.
+  auto P = Reference.plan(2, 4);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->ChainSteps, 3);
 }
 
 TEST(PlanService, SharedContentHashesAreToldApartByIds) {
@@ -97,11 +149,12 @@ TEST(PlanService, SharedContentHashesAreToldApartByIds) {
 TEST(PlanService, HitMissEvictionAccounting) {
   PlanServiceOptions Opts;
   Opts.CacheCapacity = 2;
+  Opts.Shards = 1; // one LRU list, so eviction order is scriptable
   PlanService Service(buildChain(), Opts);
 
-  EXPECT_TRUE(Service.plan(0, 3).has_value()); // miss
-  EXPECT_TRUE(Service.plan(0, 3).has_value()); // hit
-  EXPECT_TRUE(Service.plan(1, 3).has_value()); // miss
+  EXPECT_TRUE(Service.plan(0, 3) != nullptr); // miss
+  EXPECT_TRUE(Service.plan(0, 3) != nullptr); // hit
+  EXPECT_TRUE(Service.plan(1, 3) != nullptr); // miss
   PlanServiceStats S = Service.stats();
   EXPECT_EQ(S.Plans, 3u);
   EXPECT_EQ(S.Hits, 1u);
@@ -111,26 +164,198 @@ TEST(PlanService, HitMissEvictionAccounting) {
 
   // Re-touch (0,3) so (1,3) is the least recently used, then a third
   // pair evicts it.
-  EXPECT_TRUE(Service.plan(0, 3).has_value()); // hit, moves to front
-  EXPECT_TRUE(Service.plan(2, 3).has_value()); // miss, evicts (1,3)
+  EXPECT_TRUE(Service.plan(0, 3) != nullptr); // hit, moves to front
+  EXPECT_TRUE(Service.plan(2, 3) != nullptr); // miss, evicts (1,3)
   S = Service.stats();
   EXPECT_EQ(S.Evictions, 1u);
   EXPECT_EQ(S.CacheEntries, 2u);
-  EXPECT_TRUE(Service.plan(0, 3).has_value()); // still cached: hit
+  EXPECT_TRUE(Service.plan(0, 3) != nullptr); // still cached: hit
   EXPECT_EQ(Service.stats().Hits, 3u);
-  EXPECT_TRUE(Service.plan(1, 3).has_value()); // evicted: misses again
+  EXPECT_TRUE(Service.plan(1, 3) != nullptr); // evicted: misses again
   S = Service.stats();
   EXPECT_EQ(S.Misses, 4u);
   EXPECT_EQ(S.Evictions, 2u);
+}
+
+TEST(PlanService, ShardedAccountingInvariants) {
+  // Satellite invariants under a mixed workload on a sharded cache:
+  // every slice is gathered under its shard's lock, and the quiesced
+  // totals reconcile exactly — Plans == Hits + Misses + Rejected, and
+  // residency == Misses - Evictions (nothing else removes entries with
+  // admission and TTL off).
+  PlanServiceOptions Opts;
+  Opts.CacheCapacity = 4;
+  Opts.Shards = 4;
+  PlanService Service(buildChain(6), Opts);
+
+  for (int From = 0; From < 6; ++From)
+    for (int To = 0; To < 6; ++To)
+      EXPECT_TRUE(Service.plan(From, To) != nullptr);
+  for (int K = 0; K < 10; ++K)
+    EXPECT_TRUE(Service.plan(K % 3, 5) != nullptr);
+  EXPECT_TRUE(Service.plan(0, 99) == nullptr);
+  EXPECT_TRUE(Service.plan(-1, 2) == nullptr);
+
+  PlanServiceStats S = Service.stats();
+  EXPECT_EQ(S.Plans, 36u + 10u + 2u);
+  EXPECT_EQ(S.Rejected, 2u);
+  EXPECT_EQ(S.Plans, S.Hits + S.Misses + S.Rejected);
+  EXPECT_EQ(S.AdmissionRejects, 0u);
+  EXPECT_EQ(S.TtlExpired, 0u);
+  EXPECT_EQ(S.CacheEntries, static_cast<size_t>(S.Misses - S.Evictions));
+  // The budget is enforced by the inserting shard's own tail, so a shard
+  // whose only entry is the newcomer can overshoot transiently — but
+  // never by more than one straggler per other shard.
+  EXPECT_LE(S.CacheEntries, 4u + 3u);
+  EXPECT_GE(S.CacheEntries, 1u);
+
+  // The per-shard slices sum to the service totals.
+  EXPECT_EQ(Service.shardCount(), 4u);
+  std::vector<PlanShardStats> Shards = Service.shardStats();
+  ASSERT_EQ(Shards.size(), 4u);
+  uint64_t Hits = 0, Misses = 0, Evictions = 0;
+  size_t Entries = 0;
+  for (const PlanShardStats &Sh : Shards) {
+    Hits += Sh.Hits;
+    Misses += Sh.Misses;
+    Evictions += Sh.Evictions;
+    Entries += Sh.Entries;
+  }
+  EXPECT_EQ(Hits, S.Hits);
+  EXPECT_EQ(Misses, S.Misses);
+  EXPECT_EQ(Evictions, S.Evictions);
+  EXPECT_EQ(Entries, S.CacheEntries);
+
+  // shardIndex is a stable pure function of the pair, and rejects
+  // unknown ids like plan() does.
+  auto Idx = Service.shardIndex(0, 3);
+  ASSERT_TRUE(Idx.has_value());
+  EXPECT_LT(*Idx, Service.shardCount());
+  EXPECT_EQ(Service.shardIndex(0, 3), Idx);
+  EXPECT_FALSE(Service.shardIndex(0, 99).has_value());
+}
+
+TEST(PlanService, CapacityIsAGlobalBudgetNotAPerShardQuota) {
+  // The degenerate distribution: pick pairs that all hash into ONE shard
+  // and fill the whole global budget through it. A per-shard quota
+  // (capacity / shards) would evict; the global budget must not.
+  PlanServiceOptions Opts;
+  Opts.CacheCapacity = 3;
+  Opts.Shards = 4;
+  PlanService Service(buildChain(6), Opts);
+
+  std::vector<std::vector<std::pair<int, int>>> ByShard(
+      Service.shardCount());
+  for (int From = 0; From < 6; ++From)
+    for (int To = 0; To < 6; ++To) {
+      if (From == To)
+        continue;
+      auto Idx = Service.shardIndex(From, To);
+      ASSERT_TRUE(Idx.has_value());
+      ByShard[*Idx].push_back({From, To});
+    }
+  const std::vector<std::pair<int, int>> *Crowded = nullptr;
+  for (const auto &Pairs : ByShard)
+    if (Pairs.size() >= 3) {
+      Crowded = &Pairs;
+      break;
+    }
+  ASSERT_NE(Crowded, nullptr) << "30 pairs over 4 shards must crowd one";
+
+  for (int K = 0; K < 3; ++K)
+    EXPECT_TRUE(
+        Service.plan((*Crowded)[K].first, (*Crowded)[K].second) != nullptr);
+  PlanServiceStats S = Service.stats();
+  EXPECT_EQ(S.Misses, 3u);
+  EXPECT_EQ(S.Evictions, 0u);
+  EXPECT_EQ(S.CacheEntries, 3u);
+  // All three stay resident in the one shard: pure hits on re-access.
+  for (int K = 0; K < 3; ++K)
+    EXPECT_TRUE(
+        Service.plan((*Crowded)[K].first, (*Crowded)[K].second) != nullptr);
+  S = Service.stats();
+  EXPECT_EQ(S.Hits, 3u);
+  EXPECT_EQ(S.Evictions, 0u);
+}
+
+TEST(PlanService, AdmissionFrequencyKeepsHotPairsAgainstScans) {
+  // TinyLFU-flavored doorkeeper: once the cache is full, a one-pass scan
+  // must not thrash the hot working set — the scan's one-hit wonders are
+  // computed and served but refused residency.
+  PlanServiceOptions Opts;
+  Opts.CacheCapacity = 2;
+  Opts.Shards = 1;
+  Opts.Admit = PlanServiceOptions::Admission::Frequency;
+  PlanService Service(buildChain(8), Opts);
+
+  // Build frequency for the hot pairs while filling the cache.
+  for (int K = 0; K < 3; ++K) {
+    EXPECT_TRUE(Service.plan(0, 7) != nullptr);
+    EXPECT_TRUE(Service.plan(1, 7) != nullptr);
+  }
+  PlanServiceStats S = Service.stats();
+  EXPECT_EQ(S.Misses, 2u);
+  EXPECT_EQ(S.Hits, 4u);
+  EXPECT_EQ(S.CacheEntries, 2u);
+
+  // A cold scan over four other pairs.
+  for (int From = 2; From <= 5; ++From)
+    EXPECT_TRUE(Service.plan(From, 7) != nullptr);
+  S = Service.stats();
+  EXPECT_EQ(S.AdmissionRejects, 4u)
+      << "every scan pair is refused residency";
+  EXPECT_EQ(S.Evictions, 0u);
+  EXPECT_EQ(S.CacheEntries, 2u);
+  EXPECT_EQ(S.CacheEntries,
+            static_cast<size_t>(S.Misses - S.Evictions - S.AdmissionRejects));
+
+  // The hot pairs survived the scan.
+  EXPECT_TRUE(Service.plan(0, 7) != nullptr);
+  EXPECT_TRUE(Service.plan(1, 7) != nullptr);
+  EXPECT_EQ(Service.stats().Hits, 6u);
+}
+
+TEST(PlanService, TtlExpiresCachedPlans) {
+  // Lazy expiry on an injected clock: an entry older than TtlSeconds is
+  // dropped at its next lookup (counted serve.ttl_expired, then the
+  // request proceeds as a miss) and re-cached with a fresh stamp.
+  double FakeNow = 0.0;
+  PlanServiceOptions Opts;
+  Opts.Shards = 1;
+  Opts.TtlSeconds = 10.0;
+  Opts.Clock = [&FakeNow] { return FakeNow; };
+  PlanService Service(buildChain(), Opts);
+
+  std::vector<uint8_t> First = planBytes(Service.plan(0, 3)); // miss
+  FakeNow = 5.0;
+  EXPECT_TRUE(Service.plan(0, 3) != nullptr); // within TTL: hit
+  PlanServiceStats S = Service.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.TtlExpired, 0u);
+
+  FakeNow = 16.0; // 16s after the fill: expired
+  EXPECT_EQ(planBytes(Service.plan(0, 3)), First);
+  S = Service.stats();
+  EXPECT_EQ(S.TtlExpired, 1u);
+  EXPECT_EQ(S.Misses, 2u) << "expiry recomputes";
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.CacheEntries, 1u);
+  EXPECT_EQ(S.CacheEntries,
+            static_cast<size_t>(S.Misses - S.Evictions - S.TtlExpired));
+
+  // The refill stamped the entry at 16s, so it serves again until 26s.
+  FakeNow = 20.0;
+  EXPECT_TRUE(Service.plan(0, 3) != nullptr);
+  EXPECT_EQ(Service.stats().Hits, 2u);
 }
 
 TEST(PlanService, LatencyHistogramCoversEveryRequest) {
   PlanService Service(buildChain());
   EXPECT_EQ(Service.latency().count(), 0u);
 
-  EXPECT_TRUE(Service.plan(0, 3).has_value()); // miss (slow path)
-  EXPECT_TRUE(Service.plan(0, 3).has_value()); // hit (fast path)
-  EXPECT_FALSE(Service.plan(0, 99).has_value()); // failure still counts
+  EXPECT_TRUE(Service.plan(0, 3) != nullptr); // miss (slow path)
+  EXPECT_TRUE(Service.plan(0, 3) != nullptr); // hit (fast path)
+  EXPECT_TRUE(Service.plan(0, 99) == nullptr); // failure still counts
   std::vector<std::pair<int, int>> Batch = {{0, 3}, {1, 3}};
   Service.planBatch(Batch);
 
@@ -150,7 +375,7 @@ TEST(PlanService, LatencyHistogramCoversEveryRequest) {
   Service.resetLatency();
   EXPECT_EQ(Service.latency().count(), 0u);
   EXPECT_EQ(Service.stats().Plans, PlansBefore);
-  EXPECT_TRUE(Service.plan(1, 3).has_value());
+  EXPECT_TRUE(Service.plan(1, 3) != nullptr);
   EXPECT_EQ(Service.latency().count(), 1u);
 }
 
@@ -159,19 +384,20 @@ TEST(PlanService, CapacityZeroDisablesCaching) {
   Opts.CacheCapacity = 0;
   PlanService Service(buildChain(), Opts);
   for (int K = 0; K < 3; ++K)
-    EXPECT_TRUE(Service.plan(0, 3).has_value());
+    EXPECT_TRUE(Service.plan(0, 3) != nullptr);
   PlanServiceStats S = Service.stats();
   EXPECT_EQ(S.Misses, 3u);
   EXPECT_EQ(S.Hits, 0u);
   EXPECT_EQ(S.CacheEntries, 0u);
 }
 
-TEST(PlanService, UnknownIdsAnswerNulloptAndAreNeverCached) {
+TEST(PlanService, UnknownIdsAnswerNullAndAreNeverCached) {
   PlanService Service(buildChain());
-  EXPECT_FALSE(Service.plan(0, 99).has_value());
-  EXPECT_FALSE(Service.plan(-3, 0).has_value());
+  EXPECT_TRUE(Service.plan(0, 99) == nullptr);
+  EXPECT_TRUE(Service.plan(-3, 0) == nullptr);
   PlanServiceStats S = Service.stats();
   EXPECT_EQ(S.Plans, 2u);
+  EXPECT_EQ(S.Rejected, 2u) << "unknown ids are rejects, not misses";
   EXPECT_EQ(S.Misses, 0u);
   EXPECT_EQ(S.CacheEntries, 0u);
 }
@@ -190,7 +416,7 @@ TEST(PlanService, ExactlyOnceLatchUnderContention) {
       while (Ready.load() < NumThreads) {
       } // start as simultaneously as the scheduler allows
       auto P = Service.plan(0, 3);
-      ASSERT_TRUE(P.has_value());
+      ASSERT_TRUE(P != nullptr);
       Results[static_cast<size_t>(T)] = P->Update.serialize();
     });
   for (std::thread &T : Threads)
@@ -213,11 +439,12 @@ TEST(PlanService, LatchContentionThroughThreadPoolBatch) {
   std::vector<std::pair<int, int>> Batch = {{0, 3}, {1, 3}, {2, 3}};
   std::thread Other(
       [&] { Service.planBatch(Batch, 4); });
-  std::vector<std::optional<UpdatePlan>> Mine = Service.planBatch(Batch, 4);
+  std::vector<std::shared_ptr<const UpdatePlan>> Mine =
+      Service.planBatch(Batch, 4);
   Other.join();
 
   for (const auto &P : Mine)
-    EXPECT_TRUE(P.has_value());
+    EXPECT_TRUE(P != nullptr);
   PlanServiceStats S = Service.stats();
   // Six requests total across both batches; each of the three pairs was
   // computed exactly once, whoever got there first.
@@ -230,7 +457,7 @@ TEST(PlanService, SnapshotIsolationAcrossCommitAndPlan) {
   // Readers keep planning (0,1) while the writer commits three more
   // versions. Every read must succeed against a coherent snapshot and
   // return the same bytes — commits never block or corrupt in-flight
-  // plans. TSan checks the pointer-swap discipline.
+  // plans. TSan checks the publication discipline.
   const UpdateCase &Case = updateCases()[5];
   PlanService Service(buildChain(2));
   std::vector<uint8_t> Expected = planBytes(Service.plan(0, 1));
@@ -275,10 +502,11 @@ TEST(PlanService, BatchDedupesAndPreservesOrder) {
   PlanService Service(buildChain());
   std::vector<std::pair<int, int>> Pairs = {
       {0, 3}, {1, 3}, {0, 3}, {2, 3}, {1, 3}, {0, 3}};
-  std::vector<std::optional<UpdatePlan>> Plans = Service.planBatch(Pairs);
+  std::vector<std::shared_ptr<const UpdatePlan>> Plans =
+      Service.planBatch(Pairs);
   ASSERT_EQ(Plans.size(), Pairs.size());
   for (size_t I = 0; I < Pairs.size(); ++I) {
-    ASSERT_TRUE(Plans[I].has_value()) << "request " << I;
+    ASSERT_TRUE(Plans[I] != nullptr) << "request " << I;
     EXPECT_EQ(Plans[I]->From, Pairs[I].first);
     EXPECT_EQ(Plans[I]->To, Pairs[I].second);
   }
@@ -291,11 +519,11 @@ TEST(PlanService, BatchDedupesAndPreservesOrder) {
   EXPECT_EQ(S.Misses, 3u);
   EXPECT_EQ(S.Plans, 3u) << "deduped requests never reach plan()";
 
-  // A failing pair inside a batch answers nullopt without failing others.
-  std::vector<std::optional<UpdatePlan>> Mixed =
+  // A failing pair inside a batch answers null without failing others.
+  std::vector<std::shared_ptr<const UpdatePlan>> Mixed =
       Service.planBatch({{0, 3}, {0, 42}});
-  EXPECT_TRUE(Mixed[0].has_value());
-  EXPECT_FALSE(Mixed[1].has_value());
+  EXPECT_TRUE(Mixed[0] != nullptr);
+  EXPECT_TRUE(Mixed[1] == nullptr);
 }
 
 TEST(PlanService, WarmPrecomputesHotPairsFromFleetHistogram) {
@@ -308,32 +536,34 @@ TEST(PlanService, WarmPrecomputesHotPairsFromFleetHistogram) {
   EXPECT_EQ(S.Misses, 2u);
   EXPECT_EQ(S.CacheEntries, 2u);
   // Campaign-shaped traffic now serves entirely from the cache.
-  EXPECT_TRUE(Service.plan(1, 3).has_value());
-  EXPECT_TRUE(Service.plan(0, 3).has_value());
+  EXPECT_TRUE(Service.plan(1, 3) != nullptr);
+  EXPECT_TRUE(Service.plan(0, 3) != nullptr);
   S = Service.stats();
   EXPECT_EQ(S.Hits, 2u);
   EXPECT_EQ(S.Misses, 2u);
 
-  // A capacity-bounded service warms only as many pairs as it can hold,
-  // hottest first.
+  // A capacity-bounded service warms only as many pairs as the GLOBAL
+  // budget can hold, hottest first — regardless of which shards the
+  // warmed pairs hash into.
   PlanServiceOptions Tiny;
   Tiny.CacheCapacity = 1;
+  Tiny.Shards = 8;
   PlanService Bounded(buildChain(), Tiny);
   EXPECT_EQ(Bounded.warm(Fleet, 3), 1);
-  EXPECT_TRUE(Bounded.plan(1, 3).has_value()); // the hot pair: a hit
+  EXPECT_TRUE(Bounded.plan(1, 3) != nullptr); // the hot pair: a hit
   EXPECT_EQ(Bounded.stats().Hits, 1u);
 }
 
 TEST(PlanService, ClearCacheResetsEntriesButNotAccounting) {
   PlanService Service(buildChain());
-  EXPECT_TRUE(Service.plan(0, 3).has_value());
-  EXPECT_TRUE(Service.plan(1, 3).has_value());
+  EXPECT_TRUE(Service.plan(0, 3) != nullptr);
+  EXPECT_TRUE(Service.plan(1, 3) != nullptr);
   EXPECT_EQ(Service.stats().CacheEntries, 2u);
   Service.clearCache();
   PlanServiceStats S = Service.stats();
   EXPECT_EQ(S.CacheEntries, 0u);
   EXPECT_EQ(S.Evictions, 0u) << "a clear is not an eviction";
-  EXPECT_TRUE(Service.plan(0, 3).has_value());
+  EXPECT_TRUE(Service.plan(0, 3) != nullptr);
   EXPECT_EQ(Service.stats().Misses, 3u);
 }
 

@@ -363,7 +363,7 @@ TEST_F(ToolFixture, StoreWorkflowCommitHistoryPlanCampaign) {
             0)
       << capturedOutput();
   EXPECT_NE(capturedOutput().find("direct diff:"), std::string::npos);
-  EXPECT_NE(capturedOutput().find("composed chain:"), std::string::npos);
+  EXPECT_NE(capturedOutput().find("composed route:"), std::string::npos);
   ASSERT_EQ(uccc("patch " + path("store/v0.img") + " " + path("plan.pkg") +
                  " -o " + path("patched.img")),
             0)
@@ -382,10 +382,13 @@ TEST_F(ToolFixture, StoreWorkflowCommitHistoryPlanCampaign) {
             std::string::npos)
       << capturedOutput();
 
-  // Planning to a downgrade target still works (direct route).
+  // Planning to a downgrade target works too: the rollback composes
+  // through the version graph and competes with the direct diff.
   ASSERT_EQ(uccc("plan" + Store + " --from 2 --to 0"), 0)
       << capturedOutput();
-  EXPECT_NE(capturedOutput().find("not an ancestor"), std::string::npos)
+  EXPECT_NE(capturedOutput().find("composed route: "), std::string::npos)
+      << capturedOutput();
+  EXPECT_NE(capturedOutput().find("(2 steps)"), std::string::npos)
       << capturedOutput();
 }
 

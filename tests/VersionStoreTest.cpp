@@ -39,6 +39,23 @@ void buildChain(VersionStore &Store) {
       << Diag.str();
 }
 
+/// A branched history: v0 -> v1 -> {v2, v3 -> v4}. The branch point v1 is
+/// the LCA of the two tips, so cross-branch plans must compose through it.
+void buildDag(VersionStore &Store) {
+  const UpdateCase &Case = updateCases()[5];
+  DiagnosticEngine Diag;
+  ASSERT_EQ(Store.addInitial(Case.OldSource, uccOptions(), Diag), 0)
+      << Diag.str();
+  ASSERT_EQ(Store.addUpdate(Case.NewSource, uccOptions(), Diag, 0), 1)
+      << Diag.str();
+  ASSERT_EQ(Store.addUpdate(Case.OldSource, uccOptions(), Diag, 1), 2)
+      << Diag.str();
+  ASSERT_EQ(Store.addUpdate(Case.NewSource, uccOptions(), Diag, 1), 3)
+      << Diag.str();
+  ASSERT_EQ(Store.addUpdate(Case.OldSource, uccOptions(), Diag, 3), 4)
+      << Diag.str();
+}
+
 class ScratchDir : public ::testing::Test {
 protected:
   void SetUp() override {
@@ -101,18 +118,147 @@ TEST(VersionStore, PlanPatchesAnyAncestorToDescendant) {
   }
 }
 
-TEST(VersionStore, PlanAgainstTheChainDirectionFallsBackToDirect) {
+TEST(VersionStore, PlanAgainstTheChainDirectionComposesTheRollback) {
   VersionStore Store;
   buildChain(Store);
-  // v0 is an ancestor of v2, not the other way around: a downgrade has no
-  // stepwise chain, so only the direct diff is available.
+  // A downgrade walks the same tree path in reverse: the planner composes
+  // the stepwise rollback route v2 -> v1 -> v0 and lets it compete with
+  // the direct diff on actual bytes.
   auto P = Store.plan(2, 0);
   ASSERT_TRUE(P.has_value());
-  EXPECT_EQ(P->Route, UpdatePlan::RouteKind::Direct);
-  EXPECT_EQ(P->ChainSteps, 0);
+  EXPECT_EQ(P->ChainSteps, 2);
+  EXPECT_GT(P->ChainedBytes, 0u);
+  if (P->Route == UpdatePlan::RouteKind::Chained)
+    EXPECT_LT(P->ChainedBytes, P->DirectBytes);
+  else
+    EXPECT_LE(P->DirectBytes, P->ChainedBytes);
   BinaryImage Patched;
   ASSERT_TRUE(applyUpdate(Store.find(2)->Image, P->Update, Patched));
   EXPECT_EQ(Patched.serialize(), Store.find(0)->Image.serialize());
+}
+
+TEST(VersionStore, ChildrenAndTipsExposeTheDag) {
+  VersionStore Chain;
+  buildChain(Chain);
+  EXPECT_EQ(Chain.children(0), (std::vector<int>{1}));
+  EXPECT_EQ(Chain.children(2), (std::vector<int>()));
+  EXPECT_EQ(Chain.tips(), (std::vector<int>{2}));
+
+  VersionStore Dag;
+  buildDag(Dag);
+  EXPECT_EQ(Dag.find(2)->Parent, 1);
+  EXPECT_EQ(Dag.find(3)->Parent, 1);
+  EXPECT_EQ(Dag.children(1), (std::vector<int>{2, 3}));
+  EXPECT_EQ(Dag.children(42), (std::vector<int>()));
+  EXPECT_EQ(Dag.tips(), (std::vector<int>{2, 4}));
+}
+
+TEST(VersionStore, CrossBranchPlansComposeThroughTheLca) {
+  VersionStore Store;
+  buildDag(Store);
+  // 2 and 4 are on different branches (no ancestor relation either way):
+  // the composed candidate walks 2 -> 1 (the LCA) -> 3 -> 4 and competes
+  // with the direct diff on actual bytes.
+  for (auto [From, To] : {std::pair{2, 4}, {4, 2}}) {
+    auto P = Store.plan(From, To);
+    ASSERT_TRUE(P.has_value()) << From << "->" << To;
+    EXPECT_EQ(P->ChainSteps, 3);
+    EXPECT_GT(P->ChainedBytes, 0u);
+    if (P->Route == UpdatePlan::RouteKind::Chained)
+      EXPECT_LT(P->ChainedBytes, P->DirectBytes);
+    else
+      EXPECT_LE(P->DirectBytes, P->ChainedBytes);
+    BinaryImage Patched;
+    ASSERT_TRUE(applyUpdate(Store.find(From)->Image, P->Update, Patched));
+    EXPECT_EQ(Patched.serialize(), Store.find(To)->Image.serialize());
+  }
+  // The sibling hop 2 -> 3 routes through the LCA in two steps.
+  auto Sib = Store.plan(2, 3);
+  ASSERT_TRUE(Sib.has_value());
+  EXPECT_EQ(Sib->ChainSteps, 2);
+}
+
+TEST(VersionStore, SingleStepPlansTieAndGoDirect) {
+  VersionStore Store;
+  buildChain(Store);
+  // A one-hop plan's composed route IS the direct diff (the same
+  // endpoint pair through the same differ), so the bytes tie exactly —
+  // and ties must deterministically pick Direct, upgrades and rollbacks
+  // alike.
+  for (auto [From, To] : {std::pair{0, 1}, {1, 2}, {1, 0}, {2, 1}}) {
+    auto P = Store.plan(From, To);
+    ASSERT_TRUE(P.has_value()) << From << "->" << To;
+    EXPECT_EQ(P->ChainSteps, 1);
+    EXPECT_EQ(P->ChainedBytes, P->DirectBytes);
+    EXPECT_EQ(P->Route, UpdatePlan::RouteKind::Direct);
+  }
+}
+
+TEST(VersionStore, ComposedRouteBeatsDirectWhenTheDirectDiffFragments) {
+  // Engineered images, planned through planBetweenVersions' Find hook:
+  // one 6000-word function whose words cycle through a two-word pattern
+  // (nothing for the diff engine to anchor on), with 1000 scattered
+  // single-word replacements between the endpoints. The direct endpoint
+  // diff blows the Myers D budget and falls back to block copies that
+  // find no run long enough to keep, so it ships nearly the whole
+  // changed region; each stepwise diff stays under the budget and is
+  // optimal, and their composition ships only the replaced words. The
+  // planner must notice the composed route is cheaper and take it —
+  // DBCN's observation that hopping through stored intermediates can
+  // beat a fresh endpoint diff.
+  constexpr int Words = 6000;
+  auto image = [](const std::vector<uint32_t> &Code) {
+    BinaryImage Img;
+    Img.Code = Code;
+    Img.Functions.push_back(
+        {"main", 0, static_cast<uint32_t>(Code.size())});
+    Img.EntryFunc = 0;
+    return Img;
+  };
+  std::vector<uint32_t> Base(Words);
+  for (int K = 0; K < Words; ++K)
+    Base[static_cast<size_t>(K)] = 10u + (static_cast<uint32_t>(K) & 1u);
+  // Endpoint to endpoint, every third word of the first 4500 changes:
+  // edit distance 3000 overruns the (bidirectional) Myers budget and the
+  // surviving two-word runs are below the fallback's minimum, so the
+  // direct diff ships the whole changed region. Each step changes only
+  // half the words (distance 1500, within budget), so the stepwise
+  // scripts are exact and their composition ships just the 1500
+  // replacements.
+  std::vector<uint32_t> MidCode = Base, FinalCode = Base;
+  for (int K = 0; K < 1500; ++K) {
+    size_t At = static_cast<size_t>(K) * 3;
+    uint32_t Val = 1000u + static_cast<uint32_t>(K);
+    if (K % 2 == 0)
+      MidCode[At] = Val;
+    FinalCode[At] = Val;
+  }
+
+  StoredVersion V0, V1, V2;
+  V0.Id = 0;
+  V0.Parent = -1;
+  V0.Image = image(Base);
+  V1.Id = 1;
+  V1.Parent = 0;
+  V1.Image = image(MidCode);
+  V2.Id = 2;
+  V2.Parent = 1;
+  V2.Image = image(FinalCode);
+  const StoredVersion *Vs[] = {&V0, &V1, &V2};
+  auto Find = [&](int Id) -> const StoredVersion * {
+    return (Id >= 0 && Id < 3) ? Vs[Id] : nullptr;
+  };
+
+  auto P = planBetweenVersions(Find, 0, 2);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->ChainSteps, 2);
+  EXPECT_LT(P->ChainedBytes, P->DirectBytes);
+  EXPECT_EQ(P->Route, UpdatePlan::RouteKind::Chained);
+  EXPECT_EQ(P->ScriptBytes, P->ChainedBytes);
+  // And the composed package still patches v0's image exactly to v2's.
+  BinaryImage Patched;
+  ASSERT_TRUE(applyUpdate(V0.Image, P->Update, Patched));
+  EXPECT_EQ(Patched.serialize(), V2.Image.serialize());
 }
 
 TEST(VersionStore, PlanRejectsUnknownVersions) {

@@ -65,6 +65,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -121,8 +122,9 @@ namespace {
       "               [--loss <p>] [--seed <n>]\n"
       "  uccc serve-bench --store <dir> [--requests <n>] [--cache <n>]\n"
       "               [--zipf <s>] [--target <id>] [--seed <n>] [--warm]\n"
-      "               [--batch <n>] [--metrics <file>]\n"
-      "               [--metrics-every <n>]\n"
+      "               [--batch <n>] [--threads <n>] [--shards <n>]\n"
+      "               [--admission always|freq] [--ttl <seconds>]\n"
+      "               [--metrics <file>] [--metrics-every <n>]\n"
       "               [--slo-p99-us <us> --flight-record <file>]\n"
       "  uccc monitor --metrics <file> [--once] [--interval-ms <n>]\n"
       "               [--idle-exit <n>]\n"
@@ -263,6 +265,8 @@ private:
                                       "--loss",      "--seed",
                                       "--batch",     "--cache",
                                       "--requests",  "--zipf",
+                                      "--threads",   "--shards",
+                                      "--admission", "--ttl",
                                       "--metrics",   "--metrics-every",
                                       "--slo-p99-us",
                                       "--flight-record",
@@ -620,9 +624,11 @@ std::vector<std::pair<int, int>> parseBatchSpec(const std::string &Spec) {
 int cmdPlanBatch(const std::string &StoreDir,
                  const std::vector<std::pair<int, int>> &Pairs,
                  size_t Cache) {
-  PlanService Service(openStoreOrDie(StoreDir),
-                      PlanServiceOptions{Cache});
-  std::vector<std::optional<UpdatePlan>> Plans = Service.planBatch(Pairs);
+  PlanServiceOptions ServeOpts;
+  ServeOpts.CacheCapacity = Cache;
+  PlanService Service(openStoreOrDie(StoreDir), ServeOpts);
+  std::vector<std::shared_ptr<const UpdatePlan>> Plans =
+      Service.planBatch(Pairs);
 
   int Failures = 0;
   std::printf("%-6s %-6s %-8s %10s %10s %10s\n", "from", "to", "route",
@@ -702,10 +708,10 @@ int cmdPlan(Args &A) {
               P->ScriptBytes);
   std::printf("  direct diff:    %zu bytes\n", P->DirectBytes);
   if (P->ChainSteps > 0)
-    std::printf("  composed chain: %zu bytes (%d steps)\n",
+    std::printf("  composed route: %zu bytes (%d steps)\n",
                 P->ChainedBytes, P->ChainSteps);
   else
-    std::printf("  composed chain: n/a (v%d is not an ancestor of v%d)\n",
+    std::printf("  composed route: n/a (v%d and v%d share no graph path)\n",
                 P->From, P->To);
   return 0;
 }
@@ -798,6 +804,10 @@ int cmdServeBench(Args &A) {
   std::string TargetArg = A.option("--target");
   std::string SeedArg = A.option("--seed");
   std::string BatchArg = A.option("--batch");
+  std::string ThreadsArg = A.option("--threads");
+  std::string ShardsArg = A.option("--shards");
+  std::string AdmissionArg = A.option("--admission");
+  std::string TtlArg = A.option("--ttl");
   std::string MetricsPath = A.option("--metrics");
   std::string EveryArg = A.option("--metrics-every");
   std::string SloArg = A.option("--slo-p99-us");
@@ -827,6 +837,35 @@ int cmdServeBench(Args &A) {
     Batch = parseInt(BatchArg, "--batch");
     if (Batch <= 0)
       dieCli("--batch expects a positive integer");
+  }
+  int Threads = 1;
+  if (!ThreadsArg.empty()) {
+    Threads = parseInt(ThreadsArg, "--threads");
+    if (Threads <= 0)
+      dieCli("--threads expects a positive integer");
+  }
+  if (Threads > 1 && Batch > 0)
+    dieCli("--threads cannot be combined with --batch (a batch already "
+           "fans out internally)");
+  PlanServiceOptions ServeOpts;
+  if (!ShardsArg.empty()) {
+    int N = parseInt(ShardsArg, "--shards");
+    if (N <= 0)
+      dieCli("--shards expects a positive integer");
+    ServeOpts.Shards = static_cast<size_t>(N);
+  }
+  if (!AdmissionArg.empty()) {
+    if (AdmissionArg == "always")
+      ServeOpts.Admit = PlanServiceOptions::Admission::Always;
+    else if (AdmissionArg == "freq" || AdmissionArg == "frequency")
+      ServeOpts.Admit = PlanServiceOptions::Admission::Frequency;
+    else
+      dieCli("--admission expects 'always' or 'freq'");
+  }
+  if (!TtlArg.empty()) {
+    ServeOpts.TtlSeconds = parseDouble(TtlArg, "--ttl");
+    if (ServeOpts.TtlSeconds <= 0.0)
+      dieCli("--ttl expects a positive number of seconds");
   }
   if (!EveryArg.empty() && MetricsPath.empty())
     dieCli("--metrics-every requires --metrics");
@@ -866,7 +905,8 @@ int cmdServeBench(Args &A) {
   for (int K = 0; K < Requests; ++K)
     Fleet.push_back(Candidates[Zipf.sample(Rng) - 1]);
 
-  PlanService Service(std::move(Store), PlanServiceOptions{Cache});
+  ServeOpts.CacheCapacity = Cache;
+  PlanService Service(std::move(Store), ServeOpts);
 
   // Observability session: metrics sampling and the flight recorder need
   // a registry — reuse the ambient one (--trace-json/--trace-events/
@@ -946,7 +986,7 @@ int cmdServeBench(Args &A) {
       Pairs.clear();
       for (int K = 0; K < Len; ++K)
         Pairs.push_back({Fleet[static_cast<size_t>(At + K) + 1], Target});
-      std::vector<std::optional<UpdatePlan>> Plans =
+      std::vector<std::shared_ptr<const UpdatePlan>> Plans =
           Service.planBatch(Pairs);
       for (int K = 0; K < Len; ++K)
         if (!Plans[static_cast<size_t>(K)])
@@ -954,6 +994,41 @@ int cmdServeBench(Args &A) {
                      Pairs[static_cast<size_t>(K)].first, Target));
       Tick(Len);
     }
+  } else if (Threads > 1) {
+    // Closed-loop concurrent driver: every worker pulls the next request
+    // off the shared stream as soon as its previous one finishes. Metrics
+    // sampling stays on the boundary observations (the snapshotter is
+    // single-threaded). Worker threads do not inherit the thread-current
+    // telemetry registry, so each gets a scratch registry merged after
+    // the join — the same discipline as ThreadPool::parallelFor — or
+    // --stats/--trace-json would lose every serve.* count from the loop.
+    std::atomic<int> Next{0};
+    std::atomic<int> Failed{-1};
+    Telemetry *ParentRegistry = currentTelemetry();
+    std::vector<Telemetry> Scratch(static_cast<size_t>(Threads));
+    std::vector<std::thread> Pool;
+    Pool.reserve(static_cast<size_t>(Threads));
+    for (int T = 0; T < Threads; ++T)
+      Pool.emplace_back([&, T] {
+        std::optional<TelemetryScope> Scope;
+        if (ParentRegistry)
+          Scope.emplace(Scratch[static_cast<size_t>(T)]);
+        for (;;) {
+          int K = Next.fetch_add(1, std::memory_order_relaxed);
+          if (K >= Requests || Failed.load(std::memory_order_relaxed) >= 0)
+            return;
+          if (!Service.plan(Fleet[static_cast<size_t>(K) + 1], Target))
+            Failed.store(Fleet[static_cast<size_t>(K) + 1],
+                         std::memory_order_relaxed);
+        }
+      });
+    for (std::thread &T : Pool)
+      T.join();
+    if (ParentRegistry)
+      for (const Telemetry &Child : Scratch)
+        ParentRegistry->mergeChild(Child);
+    if (int From = Failed.load(); From >= 0)
+      die(format("cannot plan update %d -> %d", From, Target));
   } else {
     for (int K = 0; K < Requests; ++K) {
       auto P = Service.plan(Fleet[static_cast<size_t>(K) + 1], Target);
@@ -970,10 +1045,12 @@ int cmdServeBench(Args &A) {
   const LatencyHistogram &H = Service.latency();
   PlanServiceStats S = Service.stats();
   std::printf("serve-bench: %zu version(s), target v%d, %d request(s), "
-              "zipf s=%.2f, cache %zu%s%s\n",
+              "zipf s=%.2f, cache %zu, shards %zu%s%s%s\n",
               NumVersions, Target, Requests, ZipfS, Cache,
+              Service.shardCount(),
               Warm ? format(" (%d pair(s) warmed)", Warmed).c_str() : "",
-              Batch > 0 ? format(", batches of %d", Batch).c_str() : "");
+              Batch > 0 ? format(", batches of %d", Batch).c_str() : "",
+              Threads > 1 ? format(", %d threads", Threads).c_str() : "");
   std::printf("  %.0f plans/sec, p50 %.1f us, p95 %.1f us, p99 %.1f us\n",
               Requests / TotalSeconds, H.quantileSeconds(0.50) * 1e6,
               H.quantileSeconds(0.95) * 1e6, H.quantileSeconds(0.99) * 1e6);
@@ -984,6 +1061,21 @@ int cmdServeBench(Args &A) {
               static_cast<unsigned long long>(S.Evictions),
               static_cast<unsigned long long>(S.InflightWaits),
               S.CacheEntries);
+  if (S.AdmissionRejects || S.TtlExpired || S.Rejected ||
+      ServeOpts.Admit == PlanServiceOptions::Admission::Frequency ||
+      ServeOpts.TtlSeconds > 0)
+    std::printf("  policy: admission %s (%llu reject(s)), ttl %s "
+                "(%llu expired), %llu unknown-id reject(s)\n",
+                ServeOpts.Admit ==
+                        PlanServiceOptions::Admission::Frequency
+                    ? "freq"
+                    : "always",
+                static_cast<unsigned long long>(S.AdmissionRejects),
+                ServeOpts.TtlSeconds > 0
+                    ? format("%.3gs", ServeOpts.TtlSeconds).c_str()
+                    : "off",
+                static_cast<unsigned long long>(S.TtlExpired),
+                static_cast<unsigned long long>(S.Rejected));
   return 0;
 }
 
@@ -1049,6 +1141,38 @@ void renderMonitor(const std::string &Path,
               monitorField(Last, "counters", "serve.precomputed"),
               monitorField(Last, "counters", "serve.batches"),
               monitorField(Last, "counters", "serve.commits"));
+  double ARej = monitorField(Last, "counters", "serve.admission_rejects");
+  double Expired = monitorField(Last, "counters", "serve.ttl_expired");
+  double Unknown = monitorField(Last, "counters", "serve.rejected");
+  if (ARej + Expired + Unknown > 0.0)
+    std::printf("  policy      admission rejects %.0f  ttl expired %.0f  "
+                "unknown-id rejects %.0f\n",
+                ARej, Expired, Unknown);
+  // Per-shard hit counters (serve.shard.<i>.hits) appear once a sharded
+  // service has served traffic; summarize the spread so a hot shard is
+  // visible at a glance.
+  if (const json::Value *Counters = Last.find("counters")) {
+    int NShards = 0, HotShard = -1;
+    double HotHits = 0.0, ShardHits = 0.0;
+    for (const auto &[Name, V] : Counters->Obj) {
+      const std::string Prefix = "serve.shard.";
+      if (Name.compare(0, Prefix.size(), Prefix) != 0 ||
+          Name.size() <= Prefix.size() ||
+          Name.compare(Name.size() - 5, 5, ".hits") != 0)
+        continue;
+      int Idx = std::atoi(Name.c_str() + Prefix.size());
+      ++NShards;
+      ShardHits += V.Num;
+      if (V.Num > HotHits) {
+        HotHits = V.Num;
+        HotShard = Idx;
+      }
+    }
+    if (NShards > 1 && HotShard >= 0 && ShardHits > 0.0)
+      std::printf("  shards      %d reporting  hottest #%d (%.0f hits, "
+                  "%.1f%% of shard traffic)\n",
+                  NShards, HotShard, HotHits, 100.0 * HotHits / ShardHits);
+  }
   double CHits = monitorField(Last, "counters", "compile.cache_hits");
   double CMisses = monitorField(Last, "counters", "compile.cache_misses");
   if (CHits + CMisses > 0.0)
